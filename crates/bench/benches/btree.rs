@@ -1,0 +1,45 @@
+//! Criterion microbench: B+tree point ops and range scans at 100k keys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esdb_storage::btree::BTree;
+use std::time::Duration;
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_100k");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let tree = BTree::new();
+    for k in 0..100_000u64 {
+        tree.insert(k.wrapping_mul(2_654_435_761) % 1_000_000, k);
+    }
+
+    let mut probe = 0u64;
+    g.bench_function("get_hit_or_miss", |b| {
+        b.iter(|| {
+            probe = probe.wrapping_add(104_729);
+            std::hint::black_box(tree.get(probe % 1_000_000))
+        })
+    });
+
+    let mut key = 1_000_000u64;
+    g.bench_function("insert_fresh", |b| {
+        b.iter(|| {
+            key += 1;
+            tree.insert(key, key)
+        })
+    });
+
+    let mut start = 0u64;
+    g.bench_function("range_100", |b| {
+        b.iter(|| {
+            start = (start + 7_919) % 1_000_000;
+            std::hint::black_box(tree.range(start, start + 1_000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

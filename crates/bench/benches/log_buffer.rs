@@ -1,0 +1,49 @@
+//! Criterion microbench: log-buffer insert cost, serial vs decoupled vs
+//! consolidated (single-thread overhead and 4-thread contention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_wal::{ConsolidatedLogBuffer, DecoupledLogBuffer, LogBuffer, SerialLogBuffer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make(which: &str) -> Arc<dyn LogBuffer> {
+    match which {
+        "serial" => Arc::new(SerialLogBuffer::new(None)),
+        "decoupled" => Arc::new(DecoupledLogBuffer::new(None)),
+        _ => Arc::new(ConsolidatedLogBuffer::new(None)),
+    }
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_insert_64B");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let payload = [7u8; 64];
+
+    for which in ["serial", "decoupled", "consolidated"] {
+        g.bench_with_input(BenchmarkId::new("single_thread", which), &which, |b, w| {
+            let buf = make(w);
+            b.iter(|| buf.insert(std::hint::black_box(&payload)));
+        });
+        g.bench_with_input(BenchmarkId::new("4_threads_x1000", which), &which, |b, w| {
+            b.iter(|| {
+                let buf = make(w);
+                std::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let buf = Arc::clone(&buf);
+                        s.spawn(move || {
+                            for _ in 0..1_000 {
+                                buf.insert(&payload);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbench: query engines on a fixed analytical plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_staged::{execute_staged, execute_volcano, AggFunc, CmpOp, PlanNode};
+use std::time::Duration;
+
+fn plan() -> PlanNode {
+    let fact = PlanNode::values(
+        (0..60_000i64)
+            .map(|i| vec![i % 32, (i * 7) % 500, i % 11])
+            .collect(),
+    );
+    let dim = PlanNode::values((0..32).map(|g| vec![g, g * 10]).collect());
+    dim.hash_join(fact, 0, 0)
+        .filter(4, CmpOp::Lt, 450)
+        .aggregate(Some(0), 4, AggFunc::Sum)
+        .sort(0)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_60k_rows");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let p = plan();
+
+    g.bench_function("volcano", |b| {
+        b.iter(|| std::hint::black_box(execute_volcano(&p)))
+    });
+    for batch in [1usize, 64, 1_024] {
+        g.bench_with_input(BenchmarkId::new("staged", batch), &batch, |b, &batch| {
+            b.iter(|| std::hint::black_box(execute_staged(&p, batch)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

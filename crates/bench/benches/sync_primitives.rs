@@ -1,0 +1,53 @@
+//! Criterion microbench: uncontended acquisition cost of every critical-
+//! section primitive, plus the reader-writer latch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esdb_sync::{BlockLock, HybridLock, McsLock, RawLock, RwLatch, TasLock, TatasLock, TicketLock};
+use std::time::Duration;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_unlock");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    macro_rules! case {
+        ($name:literal, $lock:expr) => {
+            g.bench_function($name, |b| {
+                let lock = $lock;
+                b.iter(|| {
+                    lock.lock();
+                    std::hint::black_box(());
+                    lock.unlock();
+                });
+            });
+        };
+    }
+    case!("tas", TasLock::new());
+    case!("tatas", TatasLock::new());
+    case!("ticket", TicketLock::new());
+    case!("mcs", McsLock::new());
+    case!("block", BlockLock::new());
+    case!("hybrid", HybridLock::new());
+
+    g.bench_function("rwlatch_shared", |b| {
+        let latch = RwLatch::new();
+        b.iter(|| {
+            latch.lock_shared();
+            std::hint::black_box(());
+            latch.unlock_shared();
+        });
+    });
+    g.bench_function("rwlatch_exclusive", |b| {
+        let latch = RwLatch::new();
+        b.iter(|| {
+            latch.lock_exclusive();
+            std::hint::black_box(());
+            latch.unlock_exclusive();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended);
+criterion_main!(benches);

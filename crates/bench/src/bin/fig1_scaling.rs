@@ -1,0 +1,64 @@
+//! fig1_scaling — the headline figure.
+//!
+//! Claim (keynote, citing the Shore-MT/DORA line): *"current parallelism
+//! methods are of bounded utility as the number of processors per chip
+//! increases exponentially"* — and decoupling data access from thread
+//! assignment restores scalability.
+//!
+//! TATP (100k subscribers) on the CMP simulator, contexts 1→64:
+//! the conventional engine (centralized lock manager + serial log), an
+//! intermediate configuration (DORA + serial log), and the full scalable
+//! stack (DORA + consolidated log + ELR).
+
+use esdb_bench::{header, row, CONTEXT_SWEEP};
+use esdb_core::config::LogChoice;
+use esdb_core::{run_sim_workload, EngineConfig, ExecutionModel, SimRunConfig};
+use esdb_workload::Tatp;
+
+fn main() {
+    let configs: Vec<(&str, EngineConfig)> = vec![
+        ("conventional", EngineConfig::conventional_baseline()),
+        (
+            "dora+serial-log",
+            EngineConfig {
+                execution: ExecutionModel::Dora { partitions: 64 },
+                log: LogChoice::Serial,
+                elr: false,
+                ..EngineConfig::default()
+            },
+        ),
+        ("dora+conslog+elr", EngineConfig::scalable(64)),
+    ];
+
+    header(
+        "fig1",
+        "TATP throughput vs hardware contexts (simulated CMP, txn/Mcycle)",
+        &["contexts", "conventional", "dora+serial-log", "dora+conslog+elr", "conv_speedup", "scalable_speedup"],
+    );
+
+    let mut base: Vec<f64> = vec![0.0; configs.len()];
+    for &contexts in &CONTEXT_SWEEP {
+        let mut tpmcs = Vec::new();
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let mut w = Tatp::new(100_000, 7);
+            let r = run_sim_workload(&mut w, cfg, &SimRunConfig::at_contexts(contexts));
+            let tpmc = r.tpmc();
+            if contexts == 1 {
+                base[i] = tpmc.max(1e-9);
+            }
+            tpmcs.push(tpmc);
+        }
+        row(&[
+            contexts.to_string(),
+            format!("{:.0}", tpmcs[0]),
+            format!("{:.0}", tpmcs[1]),
+            format!("{:.0}", tpmcs[2]),
+            format!("{:.1}x", tpmcs[0] / base[0]),
+            format!("{:.1}x", tpmcs[2] / base[2]),
+        ]);
+    }
+    println!(
+        "\nexpected shape: the conventional column flattens well before 64 contexts;\n\
+         the scalable column keeps growing (bounded only by partitions/memory)."
+    );
+}

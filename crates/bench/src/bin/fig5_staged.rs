@@ -1,0 +1,74 @@
+//! fig5_staged — staged (service-oriented) query execution.
+//!
+//! Claim: StagedDB-style operators-as-services exploit locality a Volcano
+//! engine destroys. On native hardware we measure the dispatch/locality
+//! proxy directly: per-row virtual-call execution vs batched stage
+//! execution over the same plans, sweeping packet size (packet = 1 row is
+//! Volcano-equivalent work).
+
+use esdb_bench::{header, median_secs, row};
+use esdb_staged::{execute_staged, execute_staged_parallel, execute_volcano, AggFunc, CmpOp, PlanNode};
+
+fn make_plan(rows: usize) -> PlanNode {
+    let fact = PlanNode::values(
+        (0..rows as i64)
+            .map(|i| vec![i % 64, (i * 7) % 1_000, i % 13])
+            .collect(),
+    );
+    let dim = PlanNode::values((0..64).map(|g| vec![g, g * 100]).collect());
+    // Joined rows: [dim_g, dim_val, f_region, f_amount, f_disc] (5 cols).
+    dim.hash_join(fact, 0, 0)
+        .filter(3, CmpOp::Lt, 900)
+        .filter(4, CmpOp::Ne, 6)
+        .aggregate(Some(0), 3, AggFunc::Sum)
+        .sort(0)
+}
+
+fn main() {
+    const ROWS: usize = 400_000;
+    let plan = make_plan(ROWS);
+    let expected = execute_volcano(&plan);
+
+    header(
+        "fig5",
+        "join+filter+aggregate over 400k rows: execution time (ms, median of 3)",
+        &["engine", "batch", "ms", "speedup_vs_volcano"],
+    );
+    let volcano_ms = median_secs(3, || {
+        std::hint::black_box(execute_volcano(&plan));
+    }) * 1e3;
+    row(&["volcano".into(), "1".into(), format!("{volcano_ms:.1}"), "1.00x".into()]);
+
+    for batch in [1usize, 4, 16, 64, 256, 1_024, 8_192] {
+        let got = execute_staged(&plan, batch);
+        assert_eq!(got, expected, "engines must agree");
+        let ms = median_secs(3, || {
+            std::hint::black_box(execute_staged(&plan, batch));
+        }) * 1e3;
+        row(&[
+            "staged".into(),
+            batch.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.2}x", volcano_ms / ms),
+        ]);
+    }
+
+    let got = execute_staged_parallel(&plan, 1_024);
+    assert_eq!(got, expected);
+    let ms = median_secs(3, || {
+        std::hint::black_box(execute_staged_parallel(&plan, 1_024));
+    }) * 1e3;
+    row(&[
+        "staged-parallel".into(),
+        "1024".into(),
+        format!("{ms:.1}"),
+        format!("{:.2}x", volcano_ms / ms),
+    ]);
+
+    println!(
+        "\nexpected shape: staged with packet=1 pays the queue machinery and loses;\n\
+         throughput climbs steeply with packet size, beating Volcano once dispatch\n\
+         amortizes, then plateaus. (On a multi-core host the parallel deployment\n\
+         adds pipeline parallelism on top.)"
+    );
+}

@@ -1,0 +1,74 @@
+//! tab2_recovery — crash-recovery correctness and replay cost.
+//!
+//! Runs TPC-B, crashes with in-flight transactions (with and without dirty
+//! page steal), recovers, and reports the analysis/redo/undo work plus
+//! recovery wall time. Invariants (money conservation, loser rollback) are
+//! asserted, not just printed.
+
+use esdb_bench::{header, row};
+use esdb_core::{Database, EngineConfig};
+use esdb_workload::{tpcb, Tpcb};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "tab2",
+        "crash recovery after 4x2000 TPC-B txns + 4 in-flight losers",
+        &["steal", "log_records", "winners", "losers", "redo", "skipped", "undo", "recovery_ms", "invariants"],
+    );
+    for flush_pages in [false, true] {
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        let mut w = Tpcb::new(4, 77);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 4, 2_000);
+        assert_eq!(report.failed, 0);
+
+        // In-flight losers at crash time.
+        let mgr = db.txn_manager().clone();
+        for i in 0..4u64 {
+            let mut t = mgr.begin();
+            t.update(tpcb::BRANCHES, i % 4, &[123_456_789]).unwrap();
+            t.insert(tpcb::HISTORY, u64::MAX - i, &[0, 0, 0]).unwrap();
+            std::mem::forget(t);
+        }
+        db.wal().wait_durable(db.wal().current_lsn());
+
+        let records = db.wal().durable_records();
+        let analysis = esdb_wal::recovery::analyze(&records);
+
+        let t = Instant::now();
+        let (recovered, rep) = db.simulate_crash_with_report(flush_pages);
+        let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Invariants on the recovered instance.
+        let sum = |table: u32, col: usize| {
+            let t = recovered.table(table).unwrap();
+            let mut total = 0i64;
+            t.scan(|_, r| total += r[col]).unwrap();
+            total
+        };
+        let ok = sum(tpcb::ACCOUNTS, 1) == sum(tpcb::BRANCHES, 0)
+            && sum(tpcb::TELLERS, 1) == sum(tpcb::BRANCHES, 0)
+            && recovered.table(tpcb::HISTORY).unwrap().len() == 8_000
+            && recovered.read_committed(tpcb::HISTORY, u64::MAX).is_err();
+        assert!(ok, "recovery invariants violated (steal={flush_pages})");
+
+        row(&[
+            flush_pages.to_string(),
+            records.len().to_string(),
+            analysis.winners.len().to_string(),
+            analysis.losers.len().to_string(),
+            rep.redo_applied.to_string(),
+            rep.redo_skipped.to_string(),
+            rep.undo_applied.to_string(),
+            format!("{recovery_ms:.1}"),
+            "pass".into(),
+        ]);
+    }
+    println!(
+        "\nreading guide: without steal, redo does all the work and undo is nearly\n\
+         free (loser pages never hit the store); with steal, redo is mostly\n\
+         skipped via page LSNs and undo rolls the stolen loser pages back."
+    );
+}

@@ -1,0 +1,182 @@
+//! Engine configuration: every axis of the keynote's design space.
+
+use esdb_sync::LatchPolicy;
+use esdb_wal::LogPolicy;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How transactions are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// Thread-per-transaction with the centralized hierarchical lock
+    /// manager (the Shore/System-R design).
+    Conventional {
+        /// Lock-table shard count.
+        lock_partitions: usize,
+    },
+    /// Data-oriented execution: one executor thread per logical partition,
+    /// thread-local locking (the DORA design).
+    Dora {
+        /// Executor/partition count.
+        partitions: usize,
+    },
+}
+
+impl Default for ExecutionModel {
+    fn default() -> Self {
+        ExecutionModel::Conventional { lock_partitions: 64 }
+    }
+}
+
+/// Serializable stand-in for [`LogPolicy`] (kept in sync by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LogChoice {
+    /// Mutex across allocation and copy.
+    Serial,
+    /// Mutex for allocation only.
+    Decoupled,
+    /// Consolidation array.
+    #[default]
+    Consolidated,
+}
+
+impl From<LogChoice> for LogPolicy {
+    fn from(c: LogChoice) -> LogPolicy {
+        match c {
+            LogChoice::Serial => LogPolicy::Serial,
+            LogChoice::Decoupled => LogPolicy::Decoupled,
+            LogChoice::Consolidated => LogPolicy::Consolidated,
+        }
+    }
+}
+
+/// Serializable stand-in for [`LatchPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LatchChoice {
+    /// Pure spinning.
+    Spin,
+    /// Pure blocking.
+    Block,
+    /// Spin-then-park.
+    #[default]
+    Hybrid,
+}
+
+impl From<LatchChoice> for LatchPolicy {
+    fn from(c: LatchChoice) -> LatchPolicy {
+        match c {
+            LatchChoice::Spin => LatchPolicy::Spin,
+            LatchChoice::Block => LatchPolicy::Block,
+            LatchChoice::Hybrid => LatchPolicy::Hybrid,
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Execution model.
+    pub execution: ExecutionModel,
+    /// Log buffer design.
+    pub log: LogChoice,
+    /// Latch waiting policy (applies to the simulator bridge and reported in
+    /// configuration dumps; the native engine's latches are hybrid).
+    pub latch: LatchChoice,
+    /// Early lock release at commit.
+    pub elr: bool,
+    /// Simulated log-device flush latency (None = RAM-speed).
+    #[serde(skip)]
+    pub flush_latency: Option<Duration>,
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// Lock-wait timeout for the conventional path.
+    #[serde(skip)]
+    pub lock_timeout: Duration,
+    /// Retries for lock victims / wait-die deaths.
+    pub retries: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            execution: ExecutionModel::default(),
+            log: LogChoice::default(),
+            latch: LatchChoice::default(),
+            elr: false,
+            flush_latency: None,
+            buffer_frames: 8_192,
+            lock_timeout: Duration::from_millis(200),
+            retries: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Preset: the conventional baseline (serial log, centralized locking).
+    pub fn conventional_baseline() -> Self {
+        EngineConfig {
+            execution: ExecutionModel::Conventional { lock_partitions: 64 },
+            log: LogChoice::Serial,
+            elr: false,
+            ..Default::default()
+        }
+    }
+
+    /// Preset: the scalable configuration the keynote argues for — DORA
+    /// execution, consolidation-array logging, early lock release.
+    pub fn scalable(partitions: usize) -> Self {
+        EngineConfig {
+            execution: ExecutionModel::Dora { partitions },
+            log: LogChoice::Consolidated,
+            elr: true,
+            ..Default::default()
+        }
+    }
+
+    /// Short config label for benchmark tables.
+    pub fn label(&self) -> String {
+        let exec = match self.execution {
+            ExecutionModel::Conventional { .. } => "conv",
+            ExecutionModel::Dora { partitions } => return format!(
+                "dora{partitions}/{:?}{}",
+                self.log,
+                if self.elr { "+elr" } else { "" }
+            )
+            .to_lowercase(),
+        };
+        format!("{exec}/{:?}{}", self.log, if self.elr { "+elr" } else { "" }).to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choices_map_to_policies() {
+        assert_eq!(LogPolicy::from(LogChoice::Serial), LogPolicy::Serial);
+        assert_eq!(LogPolicy::from(LogChoice::Decoupled), LogPolicy::Decoupled);
+        assert_eq!(LogPolicy::from(LogChoice::Consolidated), LogPolicy::Consolidated);
+        assert_eq!(LatchPolicy::from(LatchChoice::Spin), LatchPolicy::Spin);
+        assert_eq!(LatchPolicy::from(LatchChoice::Block), LatchPolicy::Block);
+        assert_eq!(LatchPolicy::from(LatchChoice::Hybrid), LatchPolicy::Hybrid);
+    }
+
+    #[test]
+    fn labels_distinguish_configs() {
+        assert_ne!(
+            EngineConfig::conventional_baseline().label(),
+            EngineConfig::scalable(8).label()
+        );
+        assert!(EngineConfig::scalable(8).label().contains("elr"));
+    }
+
+    #[test]
+    fn presets_differ_on_every_claimed_axis() {
+        let base = EngineConfig::conventional_baseline();
+        let scalable = EngineConfig::scalable(16);
+        assert_ne!(base.execution, scalable.execution);
+        assert_ne!(base.log, scalable.log);
+        assert!(!base.elr && scalable.elr);
+    }
+}

@@ -1,0 +1,379 @@
+//! The `Database` facade.
+
+use crate::config::{EngineConfig, ExecutionModel};
+use crate::metrics::WorkloadReport;
+use crate::spec_exec::{self, SpecOutcome};
+use esdb_dora::DoraSystem;
+use esdb_lock::LockManager;
+use esdb_storage::heap::HeapFile;
+use esdb_storage::schema::{Schema, TableId};
+use esdb_storage::{BufferPool, InMemoryDisk, Table};
+use esdb_txn::{Txn, TxnManager, TxnResult};
+use esdb_wal::Wal;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A running esdb database instance.
+pub struct Database {
+    config: EngineConfig,
+    disk: Arc<InMemoryDisk>,
+    pool: Arc<BufferPool>,
+    txn_mgr: Arc<TxnManager>,
+    /// DORA executors, spawned lazily on first transaction so tables can be
+    /// created first.
+    dora: OnceLock<DoraSystem>,
+    /// Registered tables by id (also inside `txn_mgr`, kept here for DORA
+    /// startup and crash simulation).
+    tables: RwLock<HashMap<TableId, Arc<Table>>>,
+    next_table: AtomicU64,
+    /// DDL fence: once the DORA system started, table creation is frozen.
+    frozen: Mutex<bool>,
+}
+
+impl Database {
+    /// Opens a fresh in-memory database with `config`.
+    pub fn open(config: EngineConfig) -> Self {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(config.buffer_frames, disk.clone()));
+        let wal = Arc::new(Wal::new(config.log.into(), config.flush_latency));
+        Self::assemble(config, disk, pool, wal)
+    }
+
+    /// Wires the pieces together (shared by `open` and `simulate_crash`).
+    fn assemble(
+        config: EngineConfig,
+        disk: Arc<InMemoryDisk>,
+        pool: Arc<BufferPool>,
+        wal: Arc<Wal>,
+    ) -> Self {
+        let lock_partitions = match config.execution {
+            ExecutionModel::Conventional { lock_partitions } => lock_partitions,
+            ExecutionModel::Dora { .. } => 16,
+        };
+        let locks = Arc::new(LockManager::with_timeout(lock_partitions, config.lock_timeout));
+        let txn_mgr = Arc::new(TxnManager::new(locks, wal.clone(), config.elr));
+        // WAL rule: no dirty page reaches the store before its log records.
+        {
+            let wal = wal.clone();
+            pool.set_lsn_barrier(Box::new(move |lsn| wal.wait_durable(lsn)));
+        }
+        Database {
+            config,
+            disk,
+            pool,
+            txn_mgr,
+            dora: OnceLock::new(),
+            tables: RwLock::new(HashMap::new()),
+            next_table: AtomicU64::new(0),
+            frozen: Mutex::new(false),
+        }
+    }
+
+    /// The configuration this database runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Creates a table with `arity` value columns; returns its id.
+    ///
+    /// # Panics
+    /// Panics if called after the first transaction on a DORA-configured
+    /// database (executors capture the table set at startup).
+    pub fn create_table(&self, name: &str, arity: usize) -> TableId {
+        let frozen = self.frozen.lock();
+        assert!(!*frozen, "create_table after DORA executors started");
+        let id = self.next_table.fetch_add(1, Ordering::Relaxed) as TableId;
+        let table = Arc::new(Table::create(id, name, arity, self.pool.clone()));
+        self.txn_mgr.register_table(table.clone());
+        self.tables.write().insert(id, table);
+        id
+    }
+
+    /// Looks up a table handle.
+    pub fn table(&self, id: TableId) -> Option<Arc<Table>> {
+        self.tables.read().get(&id).cloned()
+    }
+
+    fn dora(&self) -> &DoraSystem {
+        self.dora.get_or_init(|| {
+            *self.frozen.lock() = true;
+            let partitions = match self.config.execution {
+                ExecutionModel::Dora { partitions } => partitions,
+                ExecutionModel::Conventional { .. } => {
+                    unreachable!("dora() only called for DORA configs")
+                }
+            };
+            DoraSystem::new(
+                partitions,
+                self.tables.read().clone(),
+                Arc::clone(self.txn_mgr.wal()),
+                self.config.elr,
+            )
+        })
+    }
+
+    /// Runs `f` as a transaction with commit-on-Ok / abort-on-Err and
+    /// automatic retry of lock victims. Only available on the conventional
+    /// execution model (DORA transactions are action lists — use
+    /// [`Database::run_spec`]).
+    pub fn execute<R>(&self, f: impl FnMut(&mut Txn) -> TxnResult<R>) -> TxnResult<R> {
+        assert!(
+            matches!(self.config.execution, ExecutionModel::Conventional { .. }),
+            "closure transactions require the conventional execution model; \
+             use run_spec on DORA databases"
+        );
+        self.txn_mgr.run(self.config.retries, f)
+    }
+
+    /// Executes one engine-agnostic transaction spec on whichever execution
+    /// model this database is configured with.
+    pub fn run_spec(&self, spec: &esdb_workload::TxnSpec) -> SpecOutcome {
+        match self.config.execution {
+            ExecutionModel::Conventional { .. } => {
+                spec_exec::run_conventional(&self.txn_mgr, self.config.retries, spec)
+            }
+            ExecutionModel::Dora { .. } => spec_exec::run_dora(self.dora(), spec),
+        }
+    }
+
+    /// Reads the latest committed row (a tiny read-only transaction on the
+    /// conventional path; a direct read on DORA, where readers go through
+    /// executors only for transactional reads).
+    pub fn read_committed(&self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
+        match self.config.execution {
+            ExecutionModel::Conventional { .. } => self.txn_mgr.run(self.config.retries, |t| t.read(table, key)),
+            ExecutionModel::Dora { .. } => {
+                let outcome = self.run_spec(&esdb_workload::TxnSpec {
+                    kind: "read",
+                    ops: vec![esdb_workload::WorkloadOp::Read { table, key }],
+                    may_fail: true,
+                });
+                match outcome {
+                    SpecOutcome::Committed { mut reads } => Ok(reads.remove(0).unwrap_or_default()),
+                    _ => Err(esdb_txn::TxnError::Storage(
+                        esdb_storage::StorageError::KeyNotFound(key),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Loads a workload's initial population (bulk, unlogged, pre-freeze).
+    pub fn load_population(&self, workload: &dyn esdb_workload::Workload) {
+        for def in workload.tables() {
+            let id = self.create_table(&def.name, def.arity);
+            debug_assert_eq!(id, def.id, "workload table ids must be dense from 0");
+        }
+        {
+            let tables = self.tables.read();
+            for (table, key, row) in workload.population() {
+                tables[&table]
+                    .insert(key, &row)
+                    .expect("population keys are unique");
+            }
+        }
+        // Checkpoint: population loads are unlogged bulk inserts, so their
+        // pages must be durable before any crash is survivable.
+        self.pool.flush_all().expect("population checkpoint");
+    }
+
+    /// Runs `threads` closed-loop workers, each executing `txns_per_thread`
+    /// transactions from forks of `workload`. Returns the aggregate report.
+    pub fn run_workload(
+        self: &Arc<Self>,
+        workload: &mut dyn esdb_workload::Workload,
+        threads: usize,
+        txns_per_thread: u64,
+    ) -> WorkloadReport {
+        // Warm the DORA system before timing (spawns executors).
+        if matches!(self.config.execution, ExecutionModel::Dora { .. }) {
+            let _ = self.dora();
+        }
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let mut gen = workload.fork();
+            let db = Arc::clone(self);
+            handles.push(std::thread::spawn(move || {
+                let mut report = WorkloadReport::default();
+                for _ in 0..txns_per_thread {
+                    let spec = gen.next_txn();
+                    let outcome = db.run_spec(&spec);
+                    report.record(spec.kind, spec.may_fail, &outcome);
+                }
+                report
+            }));
+        }
+        let mut report = WorkloadReport::default();
+        for h in handles {
+            report.merge(h.join().expect("worker"));
+        }
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// The WAL (metrics, crash simulation).
+    pub fn wal(&self) -> &Arc<Wal> {
+        self.txn_mgr.wal()
+    }
+
+    /// The transaction manager (metrics).
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.txn_mgr
+    }
+
+    /// The buffer pool (metrics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Simulates a crash: abandons all volatile state (buffer pool contents
+    /// beyond what was flushed, indexes, lock tables, executors) and brings
+    /// up a fresh instance from the page store + the *durable* log prefix,
+    /// running ARIES-style recovery. `flush_pages` controls whether dirty
+    /// pages were stolen to the store before the crash.
+    pub fn simulate_crash(&self, flush_pages: bool) -> Database {
+        self.simulate_crash_with_report(flush_pages).0
+    }
+
+    /// Like [`Database::simulate_crash`], also returning the recovery
+    /// report (analysis/redo/undo counters).
+    pub fn simulate_crash_with_report(
+        &self,
+        flush_pages: bool,
+    ) -> (Database, esdb_wal::recovery::RecoveryReport) {
+        if flush_pages {
+            self.pool.flush_all().expect("flush");
+        }
+        // What survives: the page store and the durable log prefix.
+        let disk = self.disk.clone();
+        let records = self.wal().durable_records();
+        let pool = Arc::new(BufferPool::new(self.config.buffer_frames, disk.clone()));
+        let mut tables = HashMap::new();
+        for (id, table) in self.tables.read().iter() {
+            let heap = HeapFile::from_pages(pool.clone(), table.heap().pages());
+            let schema = table.schema().clone();
+            tables.insert(
+                *id,
+                Arc::new(Table::from_heap(
+                    Schema::new(schema.id, schema.name.clone(), schema.arity),
+                    heap,
+                )),
+            );
+        }
+        let report = esdb_wal::recovery::recover(&records, &tables);
+        // The new log continues the old LSN stream far past every page LSN
+        // recovery may have stamped (undo LSNs run up to durable + ~1M).
+        let resume_lsn = self.wal().durable_lsn() + (1 << 24);
+        let wal = Arc::new(Wal::new_at(
+            resume_lsn,
+            self.config.log.into(),
+            self.config.flush_latency,
+        ));
+        let recovered = Database::assemble(self.config.clone(), disk, pool, wal);
+        for (id, table) in tables {
+            recovered.txn_mgr.register_table(table.clone());
+            recovered.tables.write().insert(id, table);
+        }
+        recovered
+            .next_table
+            .store(self.next_table.load(Ordering::Relaxed), Ordering::Relaxed);
+        (recovered, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esdb_workload::{TxnSpec, WorkloadOp};
+
+    #[test]
+    fn open_create_execute_read() {
+        let db = Database::open(EngineConfig::default());
+        let t = db.create_table("t", 1);
+        db.execute(|txn| txn.insert(t, 1, &[42])).unwrap();
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn spec_execution_on_both_models() {
+        for cfg in [EngineConfig::conventional_baseline(), EngineConfig::scalable(4)] {
+            let db = Database::open(cfg);
+            let t = db.create_table("t", 1);
+            let insert = TxnSpec {
+                kind: "ins",
+                ops: vec![WorkloadOp::Insert { table: t, key: 5, row: vec![7] }],
+                may_fail: false,
+            };
+            assert!(matches!(db.run_spec(&insert), SpecOutcome::Committed { .. }));
+            assert_eq!(db.read_committed(t, 5).unwrap(), vec![7]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "create_table after DORA")]
+    fn dora_freezes_ddl() {
+        let db = Database::open(EngineConfig::scalable(2));
+        let t = db.create_table("t", 1);
+        let _ = db.run_spec(&TxnSpec {
+            kind: "ins",
+            ops: vec![WorkloadOp::Insert { table: t, key: 1, row: vec![1] }],
+            may_fail: false,
+        });
+        db.create_table("too-late", 1);
+    }
+
+    #[test]
+    fn workload_runs_end_to_end_conventional() {
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        let mut w = esdb_workload::Ycsb::new(1_000, 50, 0.5, 2, 42);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 2, 200);
+        assert_eq!(report.attempts, 400);
+        assert_eq!(report.committed + report.failed + report.expected_failures, 400);
+        assert!(report.committed > 350, "{report:?}");
+    }
+
+    #[test]
+    fn workload_runs_end_to_end_dora() {
+        let db = Arc::new(Database::open(EngineConfig::scalable(4)));
+        let mut w = esdb_workload::Ycsb::new(1_000, 50, 0.5, 2, 42);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 2, 200);
+        assert_eq!(report.attempts, 400);
+        assert!(report.committed > 350, "{report:?}");
+    }
+
+    #[test]
+    fn crash_recovery_preserves_committed_state() {
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db.create_table("t", 1);
+        db.execute(|txn| {
+            txn.insert(t, 1, &[10])?;
+            txn.insert(t, 2, &[20])
+        })
+        .unwrap();
+        db.execute(|txn| txn.update(t, 1, &[11]).map(|_| ())).unwrap();
+
+        let recovered = db.simulate_crash(false);
+        assert_eq!(recovered.read_committed(t, 1).unwrap(), vec![11]);
+        assert_eq!(recovered.read_committed(t, 2).unwrap(), vec![20]);
+        // And the recovered database accepts new transactions.
+        recovered.execute(|txn| txn.insert(t, 3, &[30])).unwrap();
+        assert_eq!(recovered.read_committed(t, 3).unwrap(), vec![30]);
+    }
+
+    #[test]
+    fn tatp_smoke_on_scalable_config() {
+        let db = Arc::new(Database::open(EngineConfig::scalable(4)));
+        let mut w = esdb_workload::Tatp::new(200, 7);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 2, 300);
+        assert_eq!(report.attempts, 600);
+        assert_eq!(report.failed, 0, "only expected failures allowed: {report:?}");
+        assert!(report.committed > 300);
+    }
+}

@@ -1,0 +1,125 @@
+//! Workload run reports.
+
+use crate::spec_exec::SpecOutcome;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Aggregate outcome of a workload run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    /// Transactions attempted.
+    pub attempts: u64,
+    /// Committed.
+    pub committed: u64,
+    /// Logical failures on `may_fail` transaction types (benchmark-expected,
+    /// e.g. TATP insert-call-forwarding collisions).
+    pub expected_failures: u64,
+    /// Unexpected failures (logical failures on must-succeed types, or
+    /// exhausted conflict retries).
+    pub failed: u64,
+    /// Per-transaction-type (kind → (attempts, commits)).
+    pub by_kind: BTreeMap<&'static str, (u64, u64)>,
+    /// Wall-clock of the run (set by the driver).
+    pub elapsed: Duration,
+}
+
+impl WorkloadReport {
+    /// Records one outcome.
+    pub fn record(&mut self, kind: &'static str, may_fail: bool, outcome: &SpecOutcome) {
+        self.attempts += 1;
+        let entry = self.by_kind.entry(kind).or_insert((0, 0));
+        entry.0 += 1;
+        match outcome {
+            SpecOutcome::Committed { .. } => {
+                self.committed += 1;
+                entry.1 += 1;
+            }
+            SpecOutcome::LogicalFailure if may_fail => self.expected_failures += 1,
+            _ => self.failed += 1,
+        }
+    }
+
+    /// Merges another report (from a worker thread).
+    pub fn merge(&mut self, other: WorkloadReport) {
+        self.attempts += other.attempts;
+        self.committed += other.committed;
+        self.expected_failures += other.expected_failures;
+        self.failed += other.failed;
+        for (k, (a, c)) in other.by_kind {
+            let e = self.by_kind.entry(k).or_insert((0, 0));
+            e.0 += a;
+            e.1 += c;
+        }
+    }
+
+    /// Committed transactions per second (0 if untimed).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "attempts={} committed={} expected_failures={} failed={} elapsed={:?} tps={:.0}",
+            self.attempts,
+            self.committed,
+            self.expected_failures,
+            self.failed,
+            self.elapsed,
+            self.throughput()
+        )?;
+        for (kind, (a, c)) in &self.by_kind {
+            writeln!(f, "  {kind:<24} attempts={a:<8} commits={c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_outcomes() {
+        let mut r = WorkloadReport::default();
+        r.record("a", false, &SpecOutcome::Committed { reads: vec![] });
+        r.record("a", true, &SpecOutcome::LogicalFailure);
+        r.record("b", false, &SpecOutcome::LogicalFailure);
+        r.record("b", false, &SpecOutcome::ConflictFailure);
+        assert_eq!(r.attempts, 4);
+        assert_eq!(r.committed, 1);
+        assert_eq!(r.expected_failures, 1);
+        assert_eq!(r.failed, 2);
+        assert_eq!(r.by_kind["a"], (2, 1));
+        assert_eq!(r.by_kind["b"], (2, 0));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = WorkloadReport::default();
+        a.record("x", false, &SpecOutcome::Committed { reads: vec![] });
+        let mut b = WorkloadReport::default();
+        b.record("x", false, &SpecOutcome::Committed { reads: vec![] });
+        b.record("y", false, &SpecOutcome::ConflictFailure);
+        a.merge(b);
+        assert_eq!(a.attempts, 3);
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.by_kind["x"], (2, 2));
+    }
+
+    #[test]
+    fn display_contains_kinds() {
+        let mut r = WorkloadReport::default();
+        r.record("GetSubscriberData", false, &SpecOutcome::Committed { reads: vec![] });
+        let s = r.to_string();
+        assert!(s.contains("GetSubscriberData"));
+        assert!(s.contains("committed=1"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Bridging real workloads onto the CMP simulator.
+//!
+//! Converts `esdb-workload` transaction specs into `esdb-sim` transactions
+//! and engine configurations into simulator model configurations, so the
+//! scalability figures sweep hardware contexts far beyond the host machine
+//! while running the *same* request streams as the native engine.
+
+use crate::config::{EngineConfig, ExecutionModel, LatchChoice, LogChoice};
+use esdb_sim::dbmodel::{compile, DbModelConfig, EngineKind, LogKind, SimTxn};
+use esdb_sim::{ChipConfig, SimReport, Simulation, WaitPolicy};
+use esdb_workload::{Workload, WorkloadOp};
+
+/// Converts a workload spec into the simulator's read/write-set form.
+pub fn to_sim_txn(spec: &esdb_workload::TxnSpec) -> SimTxn {
+    let mut txn = SimTxn::default();
+    for op in &spec.ops {
+        match op {
+            WorkloadOp::Read { table, key } => txn.reads.push((*table, *key)),
+            WorkloadOp::Write { table, key, .. }
+            | WorkloadOp::Add { table, key, .. }
+            | WorkloadOp::Insert { table, key, .. }
+            | WorkloadOp::Delete { table, key } => txn.writes.push((*table, *key)),
+        }
+    }
+    txn
+}
+
+/// Maps an engine configuration onto the simulator's model knobs.
+pub fn sim_model_config(cfg: &EngineConfig) -> DbModelConfig {
+    DbModelConfig {
+        engine: match cfg.execution {
+            ExecutionModel::Conventional { lock_partitions } => EngineKind::Conventional {
+                lock_table_partitions: lock_partitions.max(1) as u64,
+            },
+            ExecutionModel::Dora { partitions } => EngineKind::Dora {
+                partitions: partitions.max(1) as u64,
+            },
+        },
+        log: match cfg.log {
+            LogChoice::Serial => LogKind::Serial,
+            LogChoice::Decoupled => LogKind::Decoupled,
+            LogChoice::Consolidated => LogKind::Consolidated,
+        },
+        elr: cfg.elr,
+        ..DbModelConfig::default()
+    }
+}
+
+/// Maps the latch choice to the simulator wait policy.
+pub fn sim_wait_policy(cfg: &EngineConfig) -> WaitPolicy {
+    match cfg.latch {
+        LatchChoice::Spin => WaitPolicy::Spin,
+        LatchChoice::Block => WaitPolicy::Block,
+        LatchChoice::Hybrid => WaitPolicy::DEFAULT_HYBRID,
+    }
+}
+
+/// Parameters for one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimRunConfig {
+    /// Chip to simulate.
+    pub chip: ChipConfig,
+    /// Closed-loop clients (defaults to one per context if 0).
+    pub clients: usize,
+    /// Simulated cycles.
+    pub horizon: u64,
+    /// Commit flush latency in cycles.
+    pub flush_latency: u64,
+}
+
+impl SimRunConfig {
+    /// Default run at `contexts` hardware contexts.
+    pub fn at_contexts(contexts: usize) -> Self {
+        SimRunConfig {
+            chip: ChipConfig::with_contexts(contexts),
+            clients: 0,
+            horizon: 3_000_000,
+            flush_latency: 0,
+        }
+    }
+}
+
+/// Runs `workload` on the simulator under `engine_cfg` and returns the
+/// report. Deterministic for a given workload seed.
+pub fn run_sim_workload(
+    workload: &mut dyn Workload,
+    engine_cfg: &EngineConfig,
+    run: &SimRunConfig,
+) -> SimReport {
+    let model = sim_model_config(engine_cfg);
+    let policy = sim_wait_policy(engine_cfg);
+    let clients = if run.clients == 0 {
+        run.chip.contexts
+    } else {
+        run.clients
+    };
+    let mut sim = Simulation::new(run.chip.clone(), policy, run.flush_latency);
+    for i in 0..clients {
+        let mut gen = workload.fork();
+        sim.add_task(move |n| {
+            let spec = gen.next_txn();
+            compile(&model, &to_sim_txn(&spec), n ^ (i as u64) << 32)
+        });
+    }
+    sim.run(run.horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esdb_workload::Tatp;
+
+    #[test]
+    fn spec_conversion_splits_reads_and_writes() {
+        let spec = esdb_workload::TxnSpec {
+            kind: "t",
+            ops: vec![
+                WorkloadOp::Read { table: 0, key: 1 },
+                WorkloadOp::Add { table: 1, key: 2, col: 0, delta: 1 },
+                WorkloadOp::Insert { table: 2, key: 3, row: vec![] },
+            ],
+            may_fail: false,
+        };
+        let txn = to_sim_txn(&spec);
+        assert_eq!(txn.reads, vec![(0, 1)]);
+        assert_eq!(txn.writes, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn config_mapping() {
+        let conv = sim_model_config(&EngineConfig::conventional_baseline());
+        assert!(matches!(conv.engine, EngineKind::Conventional { .. }));
+        assert_eq!(conv.log, LogKind::Serial);
+        let scal = sim_model_config(&EngineConfig::scalable(32));
+        assert!(matches!(scal.engine, EngineKind::Dora { partitions: 32 }));
+        assert!(scal.elr);
+    }
+
+    #[test]
+    fn simulated_tatp_scales_with_contexts_under_scalable_config() {
+        let cfg = EngineConfig::scalable(64);
+        let t4 = {
+            let mut w = Tatp::new(10_000, 3);
+            run_sim_workload(&mut w, &cfg, &SimRunConfig::at_contexts(4))
+        };
+        let t16 = {
+            let mut w = Tatp::new(10_000, 3);
+            run_sim_workload(&mut w, &cfg, &SimRunConfig::at_contexts(16))
+        };
+        assert!(
+            t16.tpmc() > t4.tpmc() * 2.5,
+            "16 ctx {:.0} vs 4 ctx {:.0}",
+            t16.tpmc(),
+            t4.tpmc()
+        );
+    }
+
+    #[test]
+    fn simulated_runs_are_deterministic() {
+        let cfg = EngineConfig::conventional_baseline();
+        let run = SimRunConfig::at_contexts(8);
+        let a = {
+            let mut w = Tatp::new(1_000, 9);
+            run_sim_workload(&mut w, &cfg, &run)
+        };
+        let b = {
+            let mut w = Tatp::new(1_000, 9);
+            run_sim_workload(&mut w, &cfg, &run)
+        };
+        assert_eq!(a, b);
+    }
+}

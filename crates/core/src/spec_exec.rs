@@ -1,0 +1,118 @@
+//! Executing engine-agnostic transaction specs on either execution model.
+
+use esdb_dora::{Action, ActionOp, DoraError, DoraSystem};
+use esdb_txn::{TxnError, TxnManager};
+use esdb_workload::{TxnSpec, WorkloadOp};
+use std::sync::Arc;
+
+/// Result of running one spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecOutcome {
+    /// Committed; `reads[i]` carries the row produced by op `i` (reads and
+    /// read-modify-writes), `None` for pure writes.
+    Committed {
+        /// Per-op results.
+        reads: Vec<Option<Vec<i64>>>,
+    },
+    /// Aborted on a logical error (missing/duplicate key).
+    LogicalFailure,
+    /// Aborted after exhausting conflict retries.
+    ConflictFailure,
+}
+
+impl SpecOutcome {
+    /// `true` for [`SpecOutcome::Committed`].
+    pub fn is_committed(&self) -> bool {
+        matches!(self, SpecOutcome::Committed { .. })
+    }
+}
+
+/// Runs `spec` as a conventional 2PL transaction.
+pub fn run_conventional(mgr: &Arc<TxnManager>, retries: usize, spec: &TxnSpec) -> SpecOutcome {
+    let result = mgr.run(retries, |txn| {
+        let mut reads: Vec<Option<Vec<i64>>> = Vec::with_capacity(spec.ops.len());
+        for op in &spec.ops {
+            match op {
+                WorkloadOp::Read { table, key } => {
+                    reads.push(Some(txn.read(*table, *key)?));
+                }
+                WorkloadOp::Write { table, key, row } => {
+                    txn.update(*table, *key, row)?;
+                    reads.push(None);
+                }
+                WorkloadOp::Add { table, key, col, delta } => {
+                    let before = txn.read_for_update(*table, *key)?;
+                    let mut after = before.clone();
+                    if *col >= after.len() {
+                        return Err(TxnError::Storage(
+                            esdb_storage::StorageError::ArityMismatch {
+                                expected: after.len(),
+                                got: *col + 1,
+                            },
+                        ));
+                    }
+                    after[*col] += delta;
+                    txn.update(*table, *key, &after)?;
+                    reads.push(Some(before));
+                }
+                WorkloadOp::Insert { table, key, row } => {
+                    txn.insert(*table, *key, row)?;
+                    reads.push(None);
+                }
+                WorkloadOp::Delete { table, key } => {
+                    reads.push(Some(txn.delete(*table, *key)?));
+                }
+            }
+        }
+        Ok(reads)
+    });
+    match result {
+        Ok(reads) => SpecOutcome::Committed { reads },
+        Err(TxnError::Lock(_)) => SpecOutcome::ConflictFailure,
+        Err(_) => SpecOutcome::LogicalFailure,
+    }
+}
+
+/// Translates one workload op into a DORA action.
+fn to_action(op: &WorkloadOp) -> Action {
+    match op {
+        WorkloadOp::Read { table, key } => Action::read(*table, *key),
+        WorkloadOp::Write { table, key, row } => Action::write(*table, *key, row.clone()),
+        WorkloadOp::Add { table, key, col, delta } => Action {
+            table: *table,
+            key: *key,
+            op: ActionOp::Add { col: *col, delta: *delta },
+        },
+        WorkloadOp::Insert { table, key, row } => Action::insert(*table, *key, row.clone()),
+        WorkloadOp::Delete { table, key } => Action::delete(*table, *key),
+    }
+}
+
+/// Runs `spec` through the DORA system.
+pub fn run_dora(dora: &DoraSystem, spec: &TxnSpec) -> SpecOutcome {
+    let actions: Vec<Action> = spec.ops.iter().map(to_action).collect();
+    match dora.execute(actions) {
+        Ok(reads) => SpecOutcome::Committed { reads },
+        Err(DoraError::Logical) => SpecOutcome::LogicalFailure,
+        Err(DoraError::TooManyRetries) => SpecOutcome::ConflictFailure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_translation() {
+        let a = to_action(&WorkloadOp::Add { table: 1, key: 2, col: 0, delta: -3 });
+        assert_eq!(a.table, 1);
+        assert_eq!(a.key, 2);
+        assert_eq!(a.op, ActionOp::Add { col: 0, delta: -3 });
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(SpecOutcome::Committed { reads: vec![] }.is_committed());
+        assert!(!SpecOutcome::LogicalFailure.is_committed());
+    }
+}

@@ -1,0 +1,86 @@
+//! The action vocabulary transactions are decomposed into.
+//!
+//! DORA systems describe each transaction type as a flow of actions over
+//! partitions. This vocabulary covers the OLTP benchmarks the keynote's line
+//! of work evaluates (TATP, TPC-B, TPC-C payment/new-order style logic):
+//! point reads, whole-row writes, column arithmetic, inserts, and deletes.
+
+use esdb_storage::schema::TableId;
+
+/// What an action does to its target row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionOp {
+    /// Read the row; its value is returned to the client.
+    Read,
+    /// Overwrite the row.
+    Write(Vec<i64>),
+    /// Read-modify-write: add `delta` to column `col`. Returns the *old* row.
+    Add {
+        /// Column index.
+        col: usize,
+        /// Signed increment.
+        delta: i64,
+    },
+    /// Insert a new row (fails the transaction on duplicate key).
+    Insert(Vec<i64>),
+    /// Delete the row (returns the old row).
+    Delete,
+}
+
+/// One action: an operation on one key of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// Target table.
+    pub table: TableId,
+    /// Target primary key (also the routing key).
+    pub key: u64,
+    /// Operation.
+    pub op: ActionOp,
+}
+
+impl Action {
+    /// Convenience constructor for a read.
+    pub fn read(table: TableId, key: u64) -> Self {
+        Action { table, key, op: ActionOp::Read }
+    }
+
+    /// Convenience constructor for a whole-row write.
+    pub fn write(table: TableId, key: u64, row: Vec<i64>) -> Self {
+        Action { table, key, op: ActionOp::Write(row) }
+    }
+
+    /// Convenience constructor for column arithmetic.
+    pub fn add(table: TableId, key: u64, col: usize, delta: i64) -> Self {
+        Action { table, key, op: ActionOp::Add { col, delta } }
+    }
+
+    /// Convenience constructor for an insert.
+    pub fn insert(table: TableId, key: u64, row: Vec<i64>) -> Self {
+        Action { table, key, op: ActionOp::Insert(row) }
+    }
+
+    /// Convenience constructor for a delete.
+    pub fn delete(table: TableId, key: u64) -> Self {
+        Action { table, key, op: ActionOp::Delete }
+    }
+
+    /// Returns `true` if the action only reads.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self.op, ActionOp::Read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let a = Action::add(3, 42, 1, -5);
+        assert_eq!(a.table, 3);
+        assert_eq!(a.key, 42);
+        assert_eq!(a.op, ActionOp::Add { col: 1, delta: -5 });
+        assert!(!a.is_read_only());
+        assert!(Action::read(0, 0).is_read_only());
+    }
+}

@@ -1,0 +1,346 @@
+//! The per-partition executor: a worker thread that owns its keys.
+//!
+//! Because at most one thread ever operates on a partition's keys, the
+//! "lock table" here is a plain single-threaded `HashMap` — the whole point
+//! of DORA. Cross-partition transactions still need transaction-duration
+//! ownership, so keys stay assigned to a transaction until the client
+//! broadcasts the global verdict (`Complete`), and conflicts between
+//! concurrent multi-partition transactions are resolved **wait-die** on the
+//! transaction's priority (its first-attempt id): an older requester parks
+//! behind the key, a younger one dies and retries. Young never waits on old,
+//! so waits-for cycles cannot form — no deadlock detection needed at all.
+
+use crate::action::{Action, ActionOp};
+use crate::rvp::{FailKind, Rvp};
+use crossbeam::channel::Receiver;
+use esdb_storage::schema::TableId;
+use esdb_storage::Table;
+use esdb_wal::{LogBody, Wal};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A transaction's actions destined for one partition.
+pub struct Package {
+    /// WAL/locking identity of this attempt.
+    pub txn: u64,
+    /// Wait-die priority: the id of the *first* attempt (smaller = older).
+    pub priority: u64,
+    /// Shared rendezvous point.
+    pub rvp: Arc<Rvp>,
+    /// `(global action index, action)` pairs.
+    pub actions: Vec<(usize, Action)>,
+}
+
+/// Messages an executor consumes.
+pub enum Msg {
+    /// Execute a transaction's actions for this partition.
+    Package(Package),
+    /// Global verdict: release the transaction's keys, undoing if `!commit`.
+    Complete {
+        /// Transaction (attempt) id.
+        txn: u64,
+        /// `true` to keep effects, `false` to roll back.
+        commit: bool,
+        /// Optional acknowledgment barrier: signalled once the verdict is
+        /// fully applied (aborts are acknowledged so the client's next
+        /// operation observes the rollback).
+        ack: Option<Arc<Rvp>>,
+    },
+    /// Shut the executor down.
+    Stop,
+}
+
+type Key = (TableId, u64);
+
+enum UndoOp {
+    Insert { table: TableId, key: u64 },
+    Update { table: TableId, key: u64, before: Vec<i64> },
+    Delete { table: TableId, key: u64, before: Vec<i64> },
+}
+
+/// Executor-internal counters, reported back through the system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExecutorStats {
+    /// Packages executed to completion.
+    pub executed: u64,
+    /// Packages parked at least once (older txn waiting).
+    pub parked: u64,
+    /// Packages killed by wait-die (younger txn).
+    pub died: u64,
+}
+
+pub(crate) struct Executor {
+    id: usize,
+    rx: Receiver<Msg>,
+    tables: HashMap<TableId, Arc<Table>>,
+    wal: Arc<Wal>,
+    /// key → (owner txn, owner priority).
+    locks: HashMap<Key, (u64, u64)>,
+    /// Parked packages, keyed by the key they block on.
+    waiters: HashMap<Key, Vec<Package>>,
+    /// Keys owned per transaction.
+    owned: HashMap<u64, Vec<Key>>,
+    /// Undo buffer per transaction.
+    undo: HashMap<u64, Vec<UndoOp>>,
+    pub(crate) stats: ExecutorStats,
+}
+
+impl Executor {
+    pub(crate) fn new(
+        id: usize,
+        rx: Receiver<Msg>,
+        tables: HashMap<TableId, Arc<Table>>,
+        wal: Arc<Wal>,
+    ) -> Self {
+        Executor {
+            id,
+            rx,
+            tables,
+            wal,
+            locks: HashMap::new(),
+            waiters: HashMap::new(),
+            owned: HashMap::new(),
+            undo: HashMap::new(),
+            stats: ExecutorStats::default(),
+        }
+    }
+
+    /// The executor main loop.
+    pub(crate) fn run(mut self) -> ExecutorStats {
+        let _ = self.id;
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                Msg::Package(pkg) => self.handle_package(pkg),
+                Msg::Complete { txn, commit, ack } => {
+                    self.handle_complete(txn, commit);
+                    if let Some(ack) = ack {
+                        ack.complete(Vec::new());
+                    }
+                }
+                Msg::Stop => break,
+            }
+        }
+        self.stats
+    }
+
+    fn handle_package(&mut self, pkg: Package) {
+        // Phase 1: acquire thread-local ownership of every key.
+        for (_, action) in &pkg.actions {
+            let k = (action.table, action.key);
+            match self.locks.get(&k) {
+                None => {
+                    self.locks.insert(k, (pkg.txn, pkg.priority));
+                    self.owned.entry(pkg.txn).or_default().push(k);
+                }
+                Some(&(owner, _)) if owner == pkg.txn => {}
+                Some(&(_, owner_prio)) => {
+                    if pkg.priority < owner_prio {
+                        // Older requester: park behind the key (keeps the
+                        // keys it already owns — wait-die makes this safe).
+                        self.stats.parked += 1;
+                        self.waiters.entry(k).or_default().push(pkg);
+                    } else {
+                        // Younger requester dies; the client retries with
+                        // the same priority.
+                        self.stats.died += 1;
+                        pkg.rvp.fail(FailKind::Conflict);
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Phase 2: execute. Effects are logged and buffered for undo.
+        let mut reads = Vec::new();
+        for (idx, action) in &pkg.actions {
+            match self.apply(pkg.txn, action) {
+                Ok(Some(row)) => reads.push((*idx, row)),
+                Ok(None) => {}
+                Err(()) => {
+                    pkg.rvp.fail(FailKind::Logical);
+                    return;
+                }
+            }
+        }
+        self.stats.executed += 1;
+        pkg.rvp.complete(reads);
+    }
+
+    /// Applies one action. `Ok(Some(row))` carries a result for the client.
+    fn apply(&mut self, txn: u64, action: &Action) -> Result<Option<Vec<i64>>, ()> {
+        let t = self.tables.get(&action.table).ok_or(())?.clone();
+        let table = action.table;
+        let key = action.key;
+        match &action.op {
+            ActionOp::Read => Ok(Some(t.get(key).map_err(|_| ())?)),
+            ActionOp::Write(row) => {
+                let rid = t.rid_of(key).map_err(|_| ())?;
+                let before = t.update_logged(key, row, 0).map_err(|_| ())?;
+                let lsn = self
+                    .wal
+                    .append(txn, 0, &LogBody::Update {
+                        table,
+                        key,
+                        rid,
+                        before: before.clone(),
+                        after: row.clone(),
+                    })
+                    .start;
+                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                self.undo
+                    .entry(txn)
+                    .or_default()
+                    .push(UndoOp::Update { table, key, before });
+                Ok(None)
+            }
+            ActionOp::Add { col, delta } => {
+                let before = t.get(key).map_err(|_| ())?;
+                if *col >= before.len() {
+                    return Err(());
+                }
+                let mut after = before.clone();
+                after[*col] += delta;
+                let rid = t.rid_of(key).map_err(|_| ())?;
+                t.update_logged(key, &after, 0).map_err(|_| ())?;
+                let lsn = self
+                    .wal
+                    .append(txn, 0, &LogBody::Update {
+                        table,
+                        key,
+                        rid,
+                        before: before.clone(),
+                        after,
+                    })
+                    .start;
+                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                self.undo.entry(txn).or_default().push(UndoOp::Update {
+                    table,
+                    key,
+                    before: before.clone(),
+                });
+                Ok(Some(before))
+            }
+            ActionOp::Insert(row) => {
+                let rid = t.insert_logged(key, row, 0).map_err(|_| ())?;
+                let lsn = self
+                    .wal
+                    .append(txn, 0, &LogBody::Insert {
+                        table,
+                        key,
+                        rid,
+                        row: row.clone(),
+                    })
+                    .start;
+                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                self.undo
+                    .entry(txn)
+                    .or_default()
+                    .push(UndoOp::Insert { table, key });
+                Ok(None)
+            }
+            ActionOp::Delete => {
+                let rid = t.rid_of(key).map_err(|_| ())?;
+                let before = t.delete_logged(key, 0).map_err(|_| ())?;
+                let lsn = self
+                    .wal
+                    .append(txn, 0, &LogBody::Delete {
+                        table,
+                        key,
+                        rid,
+                        before: before.clone(),
+                    })
+                    .start;
+                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                self.undo.entry(txn).or_default().push(UndoOp::Delete {
+                    table,
+                    key,
+                    before: before.clone(),
+                });
+                Ok(Some(before))
+            }
+        }
+    }
+
+    fn handle_complete(&mut self, txn: u64, commit: bool) {
+        if !commit {
+            // Undo in reverse, logging compensations (same convention as the
+            // conventional transaction manager: recovery repeats history).
+            if let Some(ops) = self.undo.remove(&txn) {
+                for op in ops.into_iter().rev() {
+                    self.apply_undo(txn, op);
+                }
+            }
+            // Drop parked packages of this transaction.
+            for v in self.waiters.values_mut() {
+                v.retain(|p| p.txn != txn);
+            }
+            self.waiters.retain(|_, v| !v.is_empty());
+        } else {
+            self.undo.remove(&txn);
+        }
+        // Release keys and retry parked packages.
+        if let Some(keys) = self.owned.remove(&txn) {
+            for k in keys {
+                self.locks.remove(&k);
+                if let Some(pkgs) = self.waiters.remove(&k) {
+                    for pkg in pkgs {
+                        self.handle_package(pkg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_undo(&mut self, txn: u64, op: UndoOp) {
+        match op {
+            UndoOp::Insert { table, key } => {
+                if let Some(t) = self.tables.get(&table).cloned() {
+                    if let Ok(rid) = t.rid_of(key) {
+                        if let Ok(before) = t.delete_logged(key, 0) {
+                            let lsn = self
+                                .wal
+                                .append(txn, 0, &LogBody::Delete { table, key, rid, before })
+                                .start;
+                            let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                        }
+                    }
+                }
+            }
+            UndoOp::Update { table, key, before } => {
+                if let Some(t) = self.tables.get(&table).cloned() {
+                    if let Ok(rid) = t.rid_of(key) {
+                        if let Ok(after) = t.update_logged(key, &before, 0) {
+                            let lsn = self
+                                .wal
+                                .append(txn, 0, &LogBody::Update {
+                                    table,
+                                    key,
+                                    rid,
+                                    before: after,
+                                    after: before,
+                                })
+                                .start;
+                            let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                        }
+                    }
+                }
+            }
+            UndoOp::Delete { table, key, before } => {
+                if let Some(t) = self.tables.get(&table).cloned() {
+                    if let Ok(rid) = t.insert_logged(key, &before, 0) {
+                        let lsn = self
+                            .wal
+                            .append(txn, 0, &LogBody::Insert {
+                                table,
+                                key,
+                                rid,
+                                row: before,
+                            })
+                            .start;
+                        let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                    }
+                }
+            }
+        }
+    }
+}

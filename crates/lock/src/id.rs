@@ -1,0 +1,88 @@
+//! Hierarchical lock identifiers: database → table → row.
+
+/// What a lock protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockId {
+    /// The whole database.
+    Database,
+    /// One table.
+    Table(u32),
+    /// One row (table, primary key).
+    Row(u32, u64),
+}
+
+impl LockId {
+    /// The parent granule, if any.
+    pub fn parent(self) -> Option<LockId> {
+        match self {
+            LockId::Database => None,
+            LockId::Table(_) => Some(LockId::Database),
+            LockId::Row(t, _) => Some(LockId::Table(t)),
+        }
+    }
+
+    /// Path from the root down to (and including) this granule.
+    pub fn path(self) -> Vec<LockId> {
+        let mut path = vec![self];
+        let mut cur = self;
+        while let Some(p) = cur.parent() {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Stable hash used for lock-table partitioning.
+    pub fn partition_hash(self) -> u64 {
+        let v = match self {
+            LockId::Database => 0u64,
+            LockId::Table(t) => 1 << 56 | t as u64,
+            LockId::Row(t, k) => {
+                (2u64 << 56) ^ ((t as u64) << 40) ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }
+        };
+        v.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+    }
+}
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockId::Database => write!(f, "db"),
+            LockId::Table(t) => write!(f, "table:{t}"),
+            LockId::Row(t, k) => write!(f, "row:{t}:{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_chain() {
+        let row = LockId::Row(3, 42);
+        assert_eq!(row.parent(), Some(LockId::Table(3)));
+        assert_eq!(LockId::Table(3).parent(), Some(LockId::Database));
+        assert_eq!(LockId::Database.parent(), None);
+    }
+
+    #[test]
+    fn path_is_root_first() {
+        assert_eq!(
+            LockId::Row(1, 2).path(),
+            vec![LockId::Database, LockId::Table(1), LockId::Row(1, 2)]
+        );
+        assert_eq!(LockId::Database.path(), vec![LockId::Database]);
+    }
+
+    #[test]
+    fn partition_hash_spreads_rows() {
+        use std::collections::HashSet;
+        let buckets: HashSet<u64> = (0..1_000u64)
+            .map(|k| LockId::Row(1, k).partition_hash() % 16)
+            .collect();
+        assert!(buckets.len() >= 12, "rows should spread over partitions");
+    }
+}

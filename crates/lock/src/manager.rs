@@ -1,0 +1,540 @@
+//! The lock table: partitioned, FIFO-fair, upgrade-aware, deadlock-checked.
+
+use crate::deadlock::WaitsForGraph;
+use crate::id::LockId;
+use crate::mode::LockMode;
+use crate::TxnId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Why a lock acquisition failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting the wait would have closed a waits-for cycle; the requester
+    /// was chosen as the victim and must abort.
+    Deadlock,
+    /// The wait exceeded the manager's timeout (backstop for cycles the
+    /// at-block detection could not see).
+    Timeout,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock => write!(f, "deadlock victim"),
+            LockError::Timeout => write!(f, "lock wait timeout"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum WaitState {
+    Waiting,
+    Granted,
+}
+
+struct WaitSlot {
+    state: StdMutex<WaitState>,
+    cv: Condvar,
+}
+
+struct Request {
+    txn: TxnId,
+    mode: LockMode,
+    /// `true` if `txn` already holds this lock in a weaker mode.
+    upgrade: bool,
+    slot: Arc<WaitSlot>,
+}
+
+#[derive(Default)]
+struct Entry {
+    granted: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<Request>,
+}
+
+impl Entry {
+    fn grantable(&self, req: &Request) -> bool {
+        self.granted
+            .iter()
+            .all(|&(t, m)| (req.upgrade && t == req.txn) || m.compatible(req.mode))
+    }
+
+    /// Grants the maximal FIFO prefix of the queue; returns granted slots to
+    /// signal after the partition latch drops.
+    fn grant_waiters(&mut self) -> Vec<Arc<WaitSlot>> {
+        let mut signals = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if !self.grantable(front) {
+                break;
+            }
+            let req = self.queue.pop_front().unwrap();
+            if req.upgrade {
+                let g = self
+                    .granted
+                    .iter_mut()
+                    .find(|(t, _)| *t == req.txn)
+                    .expect("upgrader must be in granted set");
+                g.1 = req.mode;
+            } else {
+                self.granted.push((req.txn, req.mode));
+            }
+            let mut st = req.slot.state.lock().unwrap();
+            *st = WaitState::Granted;
+            drop(st);
+            signals.push(req.slot);
+        }
+        signals
+    }
+}
+
+/// Cumulative lock-manager statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStatsSnapshot {
+    /// Total acquire calls.
+    pub acquisitions: u64,
+    /// Acquires satisfied without waiting.
+    pub immediate: u64,
+    /// Acquires that had to block.
+    pub waits: u64,
+    /// In-place or queued mode upgrades.
+    pub upgrades: u64,
+    /// Deadlock victims.
+    pub deadlocks: u64,
+    /// Timed-out waits.
+    pub timeouts: u64,
+    /// Total nanoseconds spent blocked.
+    pub wait_nanos: u64,
+}
+
+/// A centralized multi-granularity lock manager.
+pub struct LockManager {
+    partitions: Vec<Mutex<HashMap<LockId, Entry>>>,
+    held: Vec<Mutex<HashMap<TxnId, Vec<LockId>>>>,
+    graph: WaitsForGraph,
+    timeout: Duration,
+    acquisitions: AtomicU64,
+    immediate: AtomicU64,
+    waits: AtomicU64,
+    upgrades: AtomicU64,
+    deadlocks: AtomicU64,
+    timeouts: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl LockManager {
+    /// Default lock-wait timeout.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_millis(500);
+
+    /// Creates a manager with `partitions` lock-table shards.
+    pub fn new(partitions: usize) -> Self {
+        Self::with_timeout(partitions, Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Creates a manager with an explicit wait timeout.
+    pub fn with_timeout(partitions: usize, timeout: Duration) -> Self {
+        let n = partitions.max(1).next_power_of_two();
+        LockManager {
+            partitions: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            held: (0..64).map(|_| Mutex::new(HashMap::new())).collect(),
+            graph: WaitsForGraph::new(),
+            timeout,
+            acquisitions: AtomicU64::new(0),
+            immediate: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            wait_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn partition(&self, id: LockId) -> &Mutex<HashMap<LockId, Entry>> {
+        let h = id.partition_hash() as usize;
+        &self.partitions[h & (self.partitions.len() - 1)]
+    }
+
+    fn held_shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, Vec<LockId>>> {
+        &self.held[(txn % 64) as usize]
+    }
+
+    fn record_held(&self, txn: TxnId, id: LockId) {
+        self.held_shard(txn).lock().entry(txn).or_default().push(id);
+    }
+
+    /// Acquires `id` in `mode` for `txn`, blocking as needed. Re-acquiring a
+    /// covered mode is a no-op; a stronger mode upgrades.
+    pub fn acquire(&self, txn: TxnId, id: LockId, mode: LockMode) -> Result<(), LockError> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let slot;
+        let upgrade;
+        {
+            let mut part = self.partition(id).lock();
+            let entry = part.entry(id).or_default();
+
+            if let Some(pos) = entry.granted.iter().position(|&(t, _)| t == txn) {
+                let held_mode = entry.granted[pos].1;
+                if held_mode.covers(mode) {
+                    self.immediate.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                let want = held_mode.supremum(mode);
+                self.upgrades.fetch_add(1, Ordering::Relaxed);
+                if entry
+                    .granted
+                    .iter()
+                    .all(|&(t, m)| t == txn || m.compatible(want))
+                {
+                    entry.granted[pos].1 = want;
+                    self.immediate.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                // Queue the upgrade at the front (it blocks everyone anyway).
+                slot = Arc::new(WaitSlot {
+                    state: StdMutex::new(WaitState::Waiting),
+                    cv: Condvar::new(),
+                });
+                entry.queue.push_front(Request {
+                    txn,
+                    mode: want,
+                    upgrade: true,
+                    slot: Arc::clone(&slot),
+                });
+                upgrade = true;
+            } else {
+                let compatible_now = entry.queue.is_empty()
+                    && entry.granted.iter().all(|&(_, m)| m.compatible(mode));
+                if compatible_now {
+                    entry.granted.push((txn, mode));
+                    self.immediate.fetch_add(1, Ordering::Relaxed);
+                    drop(part);
+                    self.record_held(txn, id);
+                    return Ok(());
+                }
+                slot = Arc::new(WaitSlot {
+                    state: StdMutex::new(WaitState::Waiting),
+                    cv: Condvar::new(),
+                });
+                entry.queue.push_back(Request {
+                    txn,
+                    mode,
+                    upgrade: false,
+                    slot: Arc::clone(&slot),
+                });
+                upgrade = false;
+            }
+
+            // Register waits-for edges and check for a cycle while still
+            // holding the partition latch (so the blocker set is consistent).
+            let mut blockers: Vec<TxnId> = entry
+                .granted
+                .iter()
+                .filter(|&&(t, m)| t != txn && !m.compatible(mode))
+                .map(|&(t, _)| t)
+                .collect();
+            for r in &entry.queue {
+                if r.txn == txn {
+                    break;
+                }
+                if !r.mode.compatible(mode) {
+                    blockers.push(r.txn);
+                }
+            }
+            if self.graph.block_or_detect(txn, &blockers) {
+                // Victim: withdraw the request.
+                let entry = part.get_mut(&id).unwrap();
+                entry.queue.retain(|r| !Arc::ptr_eq(&r.slot, &slot));
+                self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                return Err(LockError::Deadlock);
+            }
+        }
+
+        // Blocked: wait for grant or timeout.
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        let mut st = slot.slot_state();
+        while *st == WaitState::Waiting {
+            let (guard, timed_out) = slot
+                .cv
+                .wait_timeout(st, self.timeout)
+                .expect("lock wait poisoned");
+            st = guard;
+            if timed_out.timed_out() && *st == WaitState::Waiting {
+                drop(st);
+                // Withdraw under the partition latch; we may have been
+                // granted in the meantime.
+                let mut part = self.partition(id).lock();
+                let granted_late = {
+                    let s = slot.state.lock().unwrap();
+                    *s == WaitState::Granted
+                };
+                if !granted_late {
+                    if let Some(entry) = part.get_mut(&id) {
+                        entry.queue.retain(|r| !Arc::ptr_eq(&r.slot, &slot));
+                        // Our departure may unblock the queue.
+                        let signals = entry.grant_waiters();
+                        drop(part);
+                        for s in signals {
+                            s.cv.notify_all();
+                        }
+                    }
+                    self.graph.clear(txn);
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.wait_nanos
+                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    return Err(LockError::Timeout);
+                }
+                drop(part);
+                st = slot.slot_state();
+            }
+        }
+        self.graph.clear(txn);
+        self.wait_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        drop(st);
+        if !upgrade {
+            self.record_held(txn, id);
+        }
+        Ok(())
+    }
+
+    /// Acquires a row lock with the proper intention locks on its ancestors.
+    pub fn lock_row(&self, txn: TxnId, table: u32, key: u64, mode: LockMode) -> Result<(), LockError> {
+        debug_assert!(!mode.is_intention(), "row locks are absolute");
+        self.acquire(txn, LockId::Database, mode.intention())?;
+        self.acquire(txn, LockId::Table(table), mode.intention())?;
+        self.acquire(txn, LockId::Row(table, key), mode)
+    }
+
+    /// Acquires a table lock with the intention lock on the database.
+    pub fn lock_table(&self, txn: TxnId, table: u32, mode: LockMode) -> Result<(), LockError> {
+        self.acquire(txn, LockId::Database, mode.intention())?;
+        self.acquire(txn, LockId::Table(table), mode)
+    }
+
+    /// Releases every lock held by `txn` (strict 2PL release point) and
+    /// wakes newly grantable waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let ids = self
+            .held_shard(txn)
+            .lock()
+            .remove(&txn)
+            .unwrap_or_default();
+        for id in ids {
+            let mut part = self.partition(id).lock();
+            if let Some(entry) = part.get_mut(&id) {
+                entry.granted.retain(|&(t, _)| t != txn);
+                let signals = entry.grant_waiters();
+                if entry.granted.is_empty() && entry.queue.is_empty() {
+                    part.remove(&id);
+                }
+                drop(part);
+                for s in signals {
+                    s.cv.notify_all();
+                }
+            }
+        }
+        self.graph.clear(txn);
+    }
+
+    /// Mode `txn` currently holds on `id`, if any (diagnostics).
+    pub fn held_mode(&self, txn: TxnId, id: LockId) -> Option<LockMode> {
+        let part = self.partition(id).lock();
+        part.get(&id)
+            .and_then(|e| e.granted.iter().find(|&&(t, _)| t == txn).map(|&(_, m)| m))
+    }
+
+    /// Number of lock-table shards.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            immediate: self.immediate.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl WaitSlot {
+    fn slot_state(&self) -> std::sync::MutexGuard<'_, WaitState> {
+        self.state.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn mgr() -> Arc<LockManager> {
+        Arc::new(LockManager::with_timeout(16, Duration::from_millis(200)))
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 5), LockMode::S).unwrap();
+        m.acquire(2, LockId::Row(1, 5), LockMode::S).unwrap();
+        assert_eq!(m.held_mode(1, LockId::Row(1, 5)), Some(LockMode::S));
+        assert_eq!(m.stats().waits, 0);
+    }
+
+    #[test]
+    fn reacquire_covered_is_noop() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 5), LockMode::X).unwrap();
+        m.acquire(1, LockId::Row(1, 5), LockMode::S).unwrap();
+        m.acquire(1, LockId::Row(1, 5), LockMode::X).unwrap();
+        assert_eq!(m.held_mode(1, LockId::Row(1, 5)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn exclusive_blocks_then_releases() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 1), LockMode::X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(2, LockId::Row(1, 1), LockMode::X));
+        std::thread::sleep(Duration::from_millis(30));
+        m.release_all(1);
+        assert_eq!(h.join().unwrap(), Ok(()));
+        assert_eq!(m.stats().waits, 1);
+    }
+
+    #[test]
+    fn sole_reader_upgrades_in_place() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 1), LockMode::S).unwrap();
+        m.acquire(1, LockId::Row(1, 1), LockMode::X).unwrap();
+        assert_eq!(m.held_mode(1, LockId::Row(1, 1)), Some(LockMode::X));
+        assert_eq!(m.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_reader() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 1), LockMode::S).unwrap();
+        m.acquire(2, LockId::Row(1, 1), LockMode::S).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(1, LockId::Row(1, 1), LockMode::X));
+        std::thread::sleep(Duration::from_millis(30));
+        m.release_all(2);
+        assert_eq!(h.join().unwrap(), Ok(()));
+        assert_eq!(m.held_mode(1, LockId::Row(1, 1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn deadlock_detected_and_victim_chosen() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 1), LockMode::X).unwrap();
+        m.acquire(2, LockId::Row(1, 2), LockMode::X).unwrap();
+        // txn 1 waits for row 2 (held by 2)...
+        let m1 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let r = m1.acquire(1, LockId::Row(1, 2), LockMode::X);
+            if r.is_err() {
+                m1.release_all(1);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // ...and txn 2 closing the cycle must be told immediately.
+        let r2 = m.acquire(2, LockId::Row(1, 1), LockMode::X);
+        if r2 == Err(LockError::Deadlock) {
+            // txn2 is the victim; release so txn1 proceeds.
+            m.release_all(2);
+            assert_eq!(h.join().unwrap(), Ok(()));
+        } else {
+            // txn1 must then be the victim (timing-dependent).
+            assert_eq!(h.join().unwrap(), Err(LockError::Deadlock));
+        }
+        assert!(m.stats().deadlocks >= 1);
+    }
+
+    #[test]
+    fn hierarchy_sets_intentions() {
+        let m = mgr();
+        m.lock_row(1, 3, 99, LockMode::X).unwrap();
+        assert_eq!(m.held_mode(1, LockId::Database), Some(LockMode::IX));
+        assert_eq!(m.held_mode(1, LockId::Table(3)), Some(LockMode::IX));
+        assert_eq!(m.held_mode(1, LockId::Row(3, 99)), Some(LockMode::X));
+        // A table scanner blocks on the table lock but not the database.
+        m.acquire(2, LockId::Database, LockMode::IS).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(2, LockId::Table(3), LockMode::S));
+        std::thread::sleep(Duration::from_millis(30));
+        m.release_all(1);
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn timeout_fires_without_release() {
+        let m = Arc::new(LockManager::with_timeout(4, Duration::from_millis(50)));
+        m.acquire(1, LockId::Row(1, 1), LockMode::X).unwrap();
+        let r = m.acquire(2, LockId::Row(1, 1), LockMode::S);
+        assert_eq!(r, Err(LockError::Timeout));
+        assert_eq!(m.stats().timeouts, 1);
+        // The holder is unaffected.
+        assert_eq!(m.held_mode(1, LockId::Row(1, 1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn fifo_no_starvation_of_writer() {
+        let m = mgr();
+        m.acquire(1, LockId::Row(1, 1), LockMode::S).unwrap();
+        // Writer queues...
+        let mw = Arc::clone(&m);
+        let writer = std::thread::spawn(move || {
+            
+            mw.acquire(2, LockId::Row(1, 1), LockMode::X)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // ...then a reader arrives: FIFO means it must queue behind the writer.
+        let mr = Arc::clone(&m);
+        let reader = std::thread::spawn(move || {
+            let r = mr.acquire(3, LockId::Row(1, 1), LockMode::S);
+            // Reader grants only after writer got and released the lock.
+            assert_eq!(mr.held_mode(2, LockId::Row(1, 1)), None);
+            r
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        m.release_all(1);
+        std::thread::sleep(Duration::from_millis(20));
+        m.release_all(2);
+        assert_eq!(writer.join().unwrap(), Ok(()));
+        assert_eq!(reader.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn stress_many_txns_disjoint_rows() {
+        let m = mgr();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..200u64 {
+                    m.lock_row(t + 1, 1, t * 1_000 + k, LockMode::X).unwrap();
+                }
+                m.release_all(t + 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.stats();
+        assert_eq!(s.deadlocks, 0);
+        assert_eq!(s.timeouts, 0);
+        assert!(s.acquisitions >= 8 * 200);
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-granularity lock modes and their algebra.
+
+/// The classic five multi-granularity modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared: descendant will be read.
+    IS,
+    /// Intention exclusive: descendant will be written.
+    IX,
+    /// Shared: this granule is read.
+    S,
+    /// Shared + intention exclusive: granule read, descendant written.
+    SIX,
+    /// Exclusive: this granule is written.
+    X,
+}
+
+impl LockMode {
+    /// All modes (matrix test order).
+    pub const ALL: [LockMode; 5] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+    ];
+
+    /// Standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
+                | (IX, IS) | (IX, IX)
+                | (S, IS) | (S, S)
+                | (SIX, IS)
+        )
+    }
+
+    /// Least upper bound in the mode lattice (the mode to hold after an
+    /// upgrade request): `IS < IX, IS < S`, `IX ⊔ S = SIX`, everything `< X`.
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (IX, S) | (S, IX) => SIX,
+            (IX, IS) | (IS, IX) => IX,
+            (S, IS) | (IS, S) => S,
+            _ => unreachable!("covered by the equality check"),
+        }
+    }
+
+    /// Returns `true` if holding `self` already implies the rights of
+    /// `wanted` (no lock-table work needed).
+    pub fn covers(self, wanted: LockMode) -> bool {
+        self.supremum(wanted) == self
+    }
+
+    /// The intention mode an ancestor granule needs for this mode on a
+    /// descendant.
+    pub fn intention(self) -> LockMode {
+        use LockMode::*;
+        match self {
+            IS | S => IS,
+            IX | X | SIX => IX,
+        }
+    }
+
+    /// Returns `true` for the intention (non-absolute) modes.
+    pub fn is_intention(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::IX)
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn compatibility_matrix_matches_textbook() {
+        let expected = [
+            // IS    IX     S      SIX    X
+            [true, true, true, true, false],   // IS
+            [true, true, false, false, false], // IX
+            [true, false, true, false, false], // S
+            [true, false, false, false, false],// SIX
+            [false, false, false, false, false],// X
+        ];
+        for (i, a) in LockMode::ALL.iter().enumerate() {
+            for (j, b) in LockMode::ALL.iter().enumerate() {
+                assert_eq!(a.compatible(*b), expected[i][j], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn supremum_laws() {
+        for a in LockMode::ALL {
+            assert_eq!(a.supremum(a), a);
+            assert_eq!(a.supremum(X), X);
+            for b in LockMode::ALL {
+                // Commutative and an upper bound of both.
+                assert_eq!(a.supremum(b), b.supremum(a));
+                assert!(a.supremum(b).covers(a));
+                assert!(a.supremum(b).covers(b));
+            }
+        }
+        assert_eq!(IX.supremum(S), SIX);
+        assert_eq!(IS.supremum(IX), IX);
+        assert_eq!(IS.supremum(S), S);
+    }
+
+    #[test]
+    fn intention_mapping() {
+        assert_eq!(S.intention(), IS);
+        assert_eq!(IS.intention(), IS);
+        assert_eq!(X.intention(), IX);
+        assert_eq!(IX.intention(), IX);
+        assert_eq!(SIX.intention(), IX);
+        assert!(IS.is_intention());
+        assert!(!SIX.is_intention());
+    }
+
+    #[test]
+    fn covers_examples() {
+        assert!(X.covers(S));
+        assert!(X.covers(IX));
+        assert!(SIX.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(!S.covers(IX));
+        assert!(!IX.covers(S));
+        assert!(S.covers(IS));
+    }
+}

@@ -1,0 +1,259 @@
+//! Cache hierarchy model: private L1s, shared or private L2, write-invalidate
+//! coherence accounting.
+//!
+//! Addresses are abstract 64-bit values; the simulator maps them to lines by
+//! the configured line size. The model charges:
+//!
+//! * L1 hit latency on an L1 hit;
+//! * L2 latency (size-dependent) on an L1 miss / L2 hit;
+//! * memory latency on a full miss;
+//! * a coherence penalty when a write hits a line cached by *other* contexts
+//!   (invalidation round) or a read hits a line last written elsewhere
+//!   (dirty transfer) — the "aggressively sharing data among processors is
+//!   often detrimental" mechanism.
+
+use crate::topology::ChipConfig;
+use std::collections::HashMap;
+
+/// 8-way set-associative LRU cache over line ids.
+struct SetAssoc {
+    sets: Vec<Vec<u64>>, // each set: LRU order, most recent last
+    ways: usize,
+    set_mask: u64,
+}
+
+impl SetAssoc {
+    fn new(kib: usize, line_bytes: u64) -> Self {
+        let ways = 8usize;
+        let lines = ((kib * 1024) as u64 / line_bytes).max(ways as u64);
+        let sets = (lines / ways as u64).next_power_of_two().max(1);
+        SetAssoc {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: sets - 1,
+        }
+    }
+
+    /// Accesses `line`; returns `true` on hit. Installs on miss (LRU evict).
+    fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+
+    /// Drops `line` if present (coherence invalidation).
+    fn invalidate(&mut self, line: u64) {
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        set.retain(|&t| t != line);
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (after L1 miss).
+    pub l2_hits: u64,
+    /// Full misses to memory.
+    pub mem_misses: u64,
+    /// Coherence events (invalidations / dirty transfers).
+    pub coherence: u64,
+}
+
+/// The full hierarchy for one chip.
+pub struct CacheModel {
+    l1: Vec<SetAssoc>,
+    l2: Vec<SetAssoc>, // len 1 if shared
+    l2_shared: bool,
+    l1_latency: u64,
+    l2_latency: u64,
+    mem_latency: u64,
+    /// Coherence penalty: a remote invalidation / transfer round.
+    coherence_latency: u64,
+    /// line → (sharer bitmask over contexts, last writer).
+    directory: HashMap<u64, (u128, usize)>,
+    stats: CacheStats,
+}
+
+impl CacheModel {
+    /// Builds the hierarchy for `chip`. Supports up to 128 contexts.
+    pub fn new(chip: &ChipConfig) -> Self {
+        assert!(chip.contexts <= 128, "directory bitmask supports 128 contexts");
+        let l2_count = if chip.l2_shared { 1 } else { chip.contexts };
+        CacheModel {
+            l1: (0..chip.contexts)
+                .map(|_| SetAssoc::new(chip.l1_kib, chip.line_bytes))
+                .collect(),
+            l2: (0..l2_count)
+                .map(|_| SetAssoc::new(chip.l2_kib, chip.line_bytes))
+                .collect(),
+            l2_shared: chip.l2_shared,
+            l1_latency: chip.l1_latency,
+            l2_latency: chip.l2_latency(),
+            mem_latency: chip.mem_latency,
+            coherence_latency: 2 * chip.l2_latency(),
+            directory: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn l2_of(&mut self, ctx: usize) -> &mut SetAssoc {
+        if self.l2_shared {
+            &mut self.l2[0]
+        } else {
+            &mut self.l2[ctx]
+        }
+    }
+
+    /// Performs an access by context `ctx`; returns the latency in cycles.
+    pub fn access(&mut self, ctx: usize, line: u64, write: bool) -> u64 {
+        self.stats.accesses += 1;
+        let entry = self.directory.entry(line).or_insert((0, usize::MAX));
+        let (sharers, last_writer) = *entry;
+        let me = 1u128 << ctx;
+
+        let mut latency;
+        let l1_hit = self.l1[ctx].access(line);
+        // An L1 "hit" is only valid if we are a current sharer (otherwise the
+        // copy was invalidated by a remote write and this is a stale tag).
+        let valid_l1 = l1_hit && (sharers & me) != 0;
+        if valid_l1 {
+            self.stats.l1_hits += 1;
+            latency = self.l1_latency;
+        } else if self.l2_of(ctx).access(line) && (self.l2_shared || (sharers & me) != 0) {
+            self.stats.l2_hits += 1;
+            latency = self.l2_latency;
+        } else {
+            self.stats.mem_misses += 1;
+            latency = self.mem_latency;
+        }
+
+        // Dirty-transfer penalty: reading a line another context wrote last.
+        if !write
+            && last_writer != usize::MAX
+            && last_writer != ctx
+            && (sharers & me) == 0
+            && sharers != 0
+        {
+            self.stats.coherence += 1;
+            latency += self.coherence_latency;
+        }
+
+        let entry = self.directory.get_mut(&line).unwrap();
+        if write {
+            // Invalidate all other sharers.
+            let others = entry.0 & !me;
+            if others != 0 {
+                self.stats.coherence += 1;
+                latency += self.coherence_latency;
+                let mut rest = others;
+                while rest != 0 {
+                    let victim = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    self.l1[victim].invalidate(line);
+                    if !self.l2_shared {
+                        self.l2[victim].invalidate(line);
+                    }
+                }
+            }
+            *entry = (me, ctx);
+        } else {
+            entry.0 |= me;
+        }
+        latency
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(contexts: usize) -> ChipConfig {
+        ChipConfig::with_contexts(contexts)
+    }
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut c = CacheModel::new(&chip(2));
+        let first = c.access(0, 42, false);
+        let second = c.access(0, 42, false);
+        assert!(first > second);
+        assert_eq!(second, 2); // l1 latency
+        assert_eq!(c.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn remote_write_invalidates_local_copy() {
+        let mut c = CacheModel::new(&chip(2));
+        c.access(0, 7, false); // ctx0 caches the line
+        c.access(0, 7, false); // L1 hit
+        let w = c.access(1, 7, true); // ctx1 writes → invalidates ctx0
+        assert!(w > 2);
+        let after = c.access(0, 7, false);
+        assert!(after > 2, "ctx0's copy must be stale, got {after}");
+        assert!(c.stats().coherence >= 1);
+    }
+
+    #[test]
+    fn ping_pong_writes_pay_coherence_every_time() {
+        let mut c = CacheModel::new(&chip(2));
+        c.access(0, 9, true);
+        let before = c.stats().coherence;
+        for i in 0..10 {
+            c.access(i % 2, 9, true);
+        }
+        assert!(c.stats().coherence >= before + 9);
+    }
+
+    #[test]
+    fn capacity_misses_on_large_working_set() {
+        let mut c = CacheModel::new(&ChipConfig {
+            contexts: 1,
+            l1_kib: 4,
+            l2_kib: 64,
+            ..Default::default()
+        });
+        // Touch far more lines than L2 holds, twice.
+        for round in 0..2 {
+            let _ = round;
+            for line in 0..10_000u64 {
+                c.access(0, line, false);
+            }
+        }
+        let s = c.stats();
+        assert!(
+            s.mem_misses > 10_000,
+            "second round should still miss: {s:?}"
+        );
+    }
+
+    #[test]
+    fn small_working_set_fits_after_warmup() {
+        let mut c = CacheModel::new(&chip(1));
+        for line in 0..100u64 {
+            c.access(0, line, false);
+        }
+        let warm = c.stats().mem_misses;
+        for line in 0..100u64 {
+            c.access(0, line, false);
+        }
+        assert_eq!(c.stats().mem_misses, warm, "all warm accesses hit");
+    }
+}

@@ -1,0 +1,628 @@
+//! The discrete-event simulation engine.
+//!
+//! Entities: **tasks** (closed-loop clients executing op programs) and
+//! **hardware contexts**. A context runs one task at a time; a task that
+//! blocks (lock wait under the block policy, commit-flush wait) releases its
+//! context to the next ready task at a context-switch cost — while a
+//! *spinning* task keeps its context busy. This is precisely the keynote's
+//! "spinning wastes cycles, blocking incurs high overhead" tradeoff, made
+//! measurable.
+
+use crate::cache::CacheModel;
+use crate::program::{Op, Program};
+use crate::stats::{CycleBreakdown, SimReport};
+use crate::topology::ChipConfig;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// How a task waits for a held lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Busy-wait on the owning context.
+    Spin,
+    /// Release the context immediately; re-dispatched when granted.
+    Block,
+    /// Spin for the given budget, then block.
+    Hybrid {
+        /// Cycles to spin before parking.
+        spin_cycles: u64,
+    },
+}
+
+impl WaitPolicy {
+    /// The engine-default hybrid budget.
+    pub const DEFAULT_HYBRID: WaitPolicy = WaitPolicy::Hybrid { spin_cycles: 5_000 };
+}
+
+/// Fixed micro-costs of the machine model.
+const LOCK_ACQ_COST: u64 = 12;
+const LOCK_HANDOFF_COST: u64 = 10;
+const LOCK_RELEASE_COST: u64 = 6;
+const MIN_FLUSH_COST: u64 = 60;
+
+type TaskId = usize;
+type CtxId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Ready,
+    Running,
+    /// Spinning on a lock, occupying its context.
+    Spinning(u64),
+    /// Parked on a lock queue, context released.
+    Blocked(u64),
+    /// Waiting for the flush port.
+    Flushing,
+}
+
+struct Task {
+    gen: Box<dyn FnMut(u64) -> Program>,
+    program: Program,
+    pc: usize,
+    state: TaskState,
+    ctx: Option<CtxId>,
+    txns: u64,
+    wait_start: u64,
+    /// Invalidates stale hybrid-timeout events.
+    wait_gen: u64,
+}
+
+#[derive(Default)]
+struct SimLock {
+    held_by: Option<TaskId>,
+    spinners: VecDeque<TaskId>,
+    blocked: VecDeque<TaskId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The context's current micro-op completes; advance its task.
+    CtxWake(CtxId),
+    /// A hybrid spinner's budget expired.
+    HybridTimeout(TaskId, u64),
+    /// The in-flight flush completed.
+    FlushDone,
+}
+
+/// The commit flush port: batches concurrent committers into one device
+/// write (group commit).
+#[derive(Default)]
+struct FlushPort {
+    in_progress: bool,
+    current: Vec<TaskId>,
+    next: Vec<TaskId>,
+    flushes: u64,
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    chip: ChipConfig,
+    policy: WaitPolicy,
+    /// Commit flush latency in cycles (0 = only the fixed port cost).
+    pub flush_latency: u64,
+    cache: CacheModel,
+    tasks: Vec<Task>,
+    locks: HashMap<u64, SimLock>,
+    ready: VecDeque<TaskId>,
+    idle_ctxs: Vec<CtxId>,
+    ctx_task: Vec<Option<TaskId>>,
+    events: BinaryHeap<Reverse<(u64, u64, EventKey)>>,
+    seq: u64,
+    now: u64,
+    breakdown: CycleBreakdown,
+    port: FlushPort,
+}
+
+/// Orderable event payload for the heap (events carry Copy data only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey(u8, usize, u64);
+
+impl EventKey {
+    fn from(e: Event) -> Self {
+        match e {
+            Event::CtxWake(c) => EventKey(0, c, 0),
+            Event::HybridTimeout(t, g) => EventKey(1, t, g),
+            Event::FlushDone => EventKey(2, 0, 0),
+        }
+    }
+
+    fn to_event(self) -> Event {
+        match self.0 {
+            0 => Event::CtxWake(self.1),
+            1 => Event::HybridTimeout(self.1, self.2),
+            _ => Event::FlushDone,
+        }
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of `chip` with the given lock-wait policy and
+    /// commit flush latency (cycles).
+    pub fn new(chip: ChipConfig, policy: WaitPolicy, flush_latency: u64) -> Self {
+        let cache = CacheModel::new(&chip);
+        let contexts = chip.contexts;
+        Simulation {
+            chip,
+            policy,
+            flush_latency,
+            cache,
+            tasks: Vec::new(),
+            locks: HashMap::new(),
+            ready: VecDeque::new(),
+            idle_ctxs: (0..contexts).rev().collect(),
+            ctx_task: vec![None; contexts],
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            breakdown: CycleBreakdown::default(),
+            port: FlushPort::default(),
+        }
+    }
+
+    /// Adds a closed-loop client; `gen(txn_index)` yields its next program.
+    pub fn add_task(&mut self, gen: impl FnMut(u64) -> Program + 'static) {
+        self.tasks.push(Task {
+            gen: Box::new(gen),
+            program: Program::new(),
+            pc: 0,
+            state: TaskState::Ready,
+            ctx: None,
+            txns: 0,
+            wait_start: 0,
+            wait_gen: 0,
+        });
+    }
+
+    /// Convenience: `n` identical clients built by `make`.
+    pub fn add_tasks(&mut self, n: usize, mut make: impl FnMut(usize) -> Box<dyn FnMut(u64) -> Program>) {
+        for i in 0..n {
+            let g = make(i);
+            self.tasks.push(Task {
+                gen: g,
+                program: Program::new(),
+                pc: 0,
+                state: TaskState::Ready,
+                ctx: None,
+                txns: 0,
+                wait_start: 0,
+                wait_gen: 0,
+            });
+        }
+    }
+
+    fn push_event(&mut self, time: u64, e: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, EventKey::from(e))));
+    }
+
+    /// Runs until `horizon` cycles and reports.
+    pub fn run(&mut self, horizon: u64) -> SimReport {
+        // Initial dispatch: fill contexts, queue the rest.
+        let ids: Vec<TaskId> = (0..self.tasks.len()).collect();
+        for t in ids {
+            self.tasks[t].program = (self.tasks[t].gen)(0);
+            self.ready.push_back(t);
+        }
+        let mut to_dispatch = Vec::new();
+        while let (Some(&_), true) = (self.idle_ctxs.last(), !self.ready.is_empty()) {
+            let ctx = self.idle_ctxs.pop().unwrap();
+            let t = self.ready.pop_front().unwrap();
+            to_dispatch.push((ctx, t));
+        }
+        for (ctx, t) in to_dispatch {
+            self.ctx_task[ctx] = Some(t);
+            self.tasks[t].ctx = Some(ctx);
+            self.tasks[t].state = TaskState::Running;
+            self.push_event(0, Event::CtxWake(ctx));
+        }
+
+        while let Some(Reverse((time, _, key))) = self.events.pop() {
+            if time > horizon {
+                break;
+            }
+            self.now = time;
+            match key.to_event() {
+                Event::CtxWake(ctx) => self.advance(ctx),
+                Event::HybridTimeout(task, generation) => self.hybrid_timeout(task, generation),
+                Event::FlushDone => self.flush_done(),
+            }
+        }
+
+        let txns: u64 = self.tasks.iter().map(|t| t.txns).sum();
+        let busy = self.breakdown.compute
+            + self.breakdown.mem_stall
+            + self.breakdown.spin
+            + self.breakdown.switch_overhead;
+        let capacity = horizon * self.chip.contexts as u64;
+        self.breakdown.idle = capacity.saturating_sub(busy);
+        SimReport {
+            horizon,
+            contexts: self.chip.contexts,
+            txns,
+            breakdown: self.breakdown,
+            cache: self.cache.stats(),
+            flushes: self.port.flushes,
+        }
+    }
+
+    /// Advances the task on `ctx` through ops until it waits or yields.
+    fn advance(&mut self, ctx: CtxId) {
+        let Some(task_id) = self.ctx_task[ctx] else {
+            return;
+        };
+        loop {
+            // Closed loop: a finished program immediately begets the next.
+            if self.tasks[task_id].pc >= self.tasks[task_id].program.len() {
+                self.tasks[task_id].txns += 1;
+                let n = self.tasks[task_id].txns;
+                let prog = (self.tasks[task_id].gen)(n);
+                assert!(!prog.is_empty(), "programs must contain at least one op");
+                self.tasks[task_id].program = prog;
+                self.tasks[task_id].pc = 0;
+                // Transaction boundary: yield the context if other clients
+                // are waiting for one (worker-pool request multiplexing).
+                if !self.ready.is_empty() {
+                    self.tasks[task_id].state = TaskState::Ready;
+                    self.ready.push_back(task_id);
+                    self.detach_and_dispatch(ctx, task_id);
+                    return;
+                }
+            }
+            let op = self.tasks[task_id].program.ops[self.tasks[task_id].pc].clone();
+            match op {
+                Op::Compute(c) => {
+                    let c = c.max(1);
+                    self.breakdown.compute += c;
+                    self.tasks[task_id].pc += 1;
+                    self.push_event(self.now + c, Event::CtxWake(ctx));
+                    return;
+                }
+                Op::Access { line, write } => {
+                    let lat = self.cache.access(ctx, line, write);
+                    if lat <= self.chip.l1_latency {
+                        self.breakdown.compute += lat;
+                    } else {
+                        self.breakdown.mem_stall += lat;
+                    }
+                    self.tasks[task_id].pc += 1;
+                    self.push_event(self.now + lat, Event::CtxWake(ctx));
+                    return;
+                }
+                Op::LockAcquire(l) => {
+                    let lock = self.locks.entry(l).or_default();
+                    match lock.held_by {
+                        None => {
+                            lock.held_by = Some(task_id);
+                            self.breakdown.compute += LOCK_ACQ_COST;
+                            self.tasks[task_id].pc += 1;
+                            self.push_event(self.now + LOCK_ACQ_COST, Event::CtxWake(ctx));
+                            return;
+                        }
+                        Some(owner) if owner == task_id => {
+                            // Re-entrant acquire: free.
+                            self.tasks[task_id].pc += 1;
+                            continue;
+                        }
+                        Some(_) => {
+                            self.tasks[task_id].wait_start = self.now;
+                            self.tasks[task_id].wait_gen += 1;
+                            match self.policy {
+                                WaitPolicy::Spin => {
+                                    self.tasks[task_id].state = TaskState::Spinning(l);
+                                    self.locks.get_mut(&l).unwrap().spinners.push_back(task_id);
+                                }
+                                WaitPolicy::Block => {
+                                    self.tasks[task_id].state = TaskState::Blocked(l);
+                                    self.locks.get_mut(&l).unwrap().blocked.push_back(task_id);
+                                    self.detach_and_dispatch(ctx, task_id);
+                                }
+                                WaitPolicy::Hybrid { spin_cycles } => {
+                                    self.tasks[task_id].state = TaskState::Spinning(l);
+                                    self.locks.get_mut(&l).unwrap().spinners.push_back(task_id);
+                                    let generation = self.tasks[task_id].wait_gen;
+                                    self.push_event(
+                                        self.now + spin_cycles,
+                                        Event::HybridTimeout(task_id, generation),
+                                    );
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
+                Op::LockRelease(l) => {
+                    self.release_lock(l, task_id);
+                    self.breakdown.compute += LOCK_RELEASE_COST;
+                    self.tasks[task_id].pc += 1;
+                    self.push_event(self.now + LOCK_RELEASE_COST, Event::CtxWake(ctx));
+                    return;
+                }
+                Op::Commit => {
+                    self.tasks[task_id].pc += 1;
+                    self.tasks[task_id].state = TaskState::Flushing;
+                    self.tasks[task_id].wait_start = self.now;
+                    if self.port.in_progress {
+                        self.port.next.push(task_id);
+                    } else {
+                        self.port.in_progress = true;
+                        self.port.current.push(task_id);
+                        self.port.flushes += 1;
+                        self.push_event(
+                            self.now + MIN_FLUSH_COST + self.flush_latency,
+                            Event::FlushDone,
+                        );
+                    }
+                    self.detach_and_dispatch(ctx, task_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Takes `task` off `ctx` (it blocked) and gives the context to the next
+    /// ready task, paying the switch cost.
+    fn detach_and_dispatch(&mut self, ctx: CtxId, task: TaskId) {
+        self.tasks[task].ctx = None;
+        self.ctx_task[ctx] = None;
+        if let Some(next) = self.ready.pop_front() {
+            self.ctx_task[ctx] = Some(next);
+            self.tasks[next].ctx = Some(ctx);
+            self.tasks[next].state = TaskState::Running;
+            self.breakdown.switch_overhead += self.chip.switch_cycles;
+            self.push_event(self.now + self.chip.switch_cycles, Event::CtxWake(ctx));
+        } else {
+            self.idle_ctxs.push(ctx);
+        }
+    }
+
+    /// Makes a waiting task runnable again (lock granted / flush done).
+    fn make_ready(&mut self, task: TaskId) {
+        self.tasks[task].state = TaskState::Ready;
+        if let Some(ctx) = self.idle_ctxs.pop() {
+            self.ctx_task[ctx] = Some(task);
+            self.tasks[task].ctx = Some(ctx);
+            self.tasks[task].state = TaskState::Running;
+            self.breakdown.switch_overhead += self.chip.switch_cycles;
+            self.push_event(self.now + self.chip.switch_cycles, Event::CtxWake(ctx));
+        } else {
+            self.ready.push_back(task);
+        }
+    }
+
+    fn release_lock(&mut self, l: u64, holder: TaskId) {
+        let lock = self.locks.get_mut(&l).expect("release of unknown lock");
+        debug_assert_eq!(lock.held_by, Some(holder), "release by non-holder");
+        lock.held_by = None;
+        // Spinners first: they are burning a context right now.
+        if let Some(next) = lock.spinners.pop_front() {
+            lock.held_by = Some(next);
+            let waited = self.now - self.tasks[next].wait_start;
+            self.breakdown.spin += waited;
+            self.tasks[next].wait_gen += 1; // cancel any hybrid timeout
+            self.tasks[next].state = TaskState::Running;
+            self.tasks[next].pc += 1; // the acquire op completes
+            let ctx = self.tasks[next].ctx.expect("spinner keeps its context");
+            self.push_event(self.now + LOCK_HANDOFF_COST, Event::CtxWake(ctx));
+            return;
+        }
+        if let Some(next) = lock.blocked.pop_front() {
+            lock.held_by = Some(next);
+            let waited = self.now - self.tasks[next].wait_start;
+            self.breakdown.lock_blocked += waited;
+            self.tasks[next].pc += 1;
+            self.make_ready(next);
+        }
+    }
+
+    fn hybrid_timeout(&mut self, task: TaskId, generation: u64) {
+        // Stale timeout? (Already granted or moved on.)
+        if self.tasks[task].wait_gen != generation {
+            return;
+        }
+        let TaskState::Spinning(l) = self.tasks[task].state else {
+            return;
+        };
+        // Convert the spin into a park.
+        let lock = self.locks.get_mut(&l).unwrap();
+        lock.spinners.retain(|&t| t != task);
+        lock.blocked.push_back(task);
+        self.breakdown.spin += self.now - self.tasks[task].wait_start;
+        self.tasks[task].wait_start = self.now;
+        self.tasks[task].state = TaskState::Blocked(l);
+        let ctx = self.tasks[task].ctx.expect("spinner had a context");
+        self.detach_and_dispatch(ctx, task);
+    }
+
+    fn flush_done(&mut self) {
+        let batch = std::mem::take(&mut self.port.current);
+        for task in batch {
+            self.breakdown.flush_wait += self.now - self.tasks[task].wait_start;
+            self.make_ready(task);
+        }
+        if self.port.next.is_empty() {
+            self.port.in_progress = false;
+        } else {
+            self.port.current = std::mem::take(&mut self.port.next);
+            self.port.flushes += 1;
+            self.push_event(
+                self.now + MIN_FLUSH_COST + self.flush_latency,
+                Event::FlushDone,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_only(cycles: u64) -> impl FnMut(u64) -> Program {
+        move |_| Program::new().compute(cycles)
+    }
+
+    #[test]
+    fn single_task_throughput_matches_arithmetic() {
+        let mut sim = Simulation::new(ChipConfig::with_contexts(1), WaitPolicy::Spin, 0);
+        sim.add_task(compute_only(1_000));
+        let r = sim.run(1_000_000);
+        // 1000 cycles per txn on 1M cycles → ~1000 txns.
+        assert!((990..=1_001).contains(&r.txns), "txns = {}", r.txns);
+        assert_eq!(r.breakdown.spin, 0);
+    }
+
+    #[test]
+    fn independent_tasks_scale_linearly() {
+        let mut t1 = {
+            let mut sim = Simulation::new(ChipConfig::with_contexts(1), WaitPolicy::Spin, 0);
+            sim.add_task(compute_only(500));
+            sim.run(1_000_000).txns
+        };
+        let t8 = {
+            let mut sim = Simulation::new(ChipConfig::with_contexts(8), WaitPolicy::Spin, 0);
+            for _ in 0..8 {
+                sim.add_task(compute_only(500));
+            }
+            sim.run(1_000_000).txns
+        };
+        t1 = t1.max(1);
+        let speedup = t8 as f64 / t1 as f64;
+        assert!((7.5..8.5).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn contended_lock_serializes_regardless_of_contexts() {
+        let make = |_: u64| Program::new().acquire(1).compute(1_000).release(1);
+        let mut sim1 = Simulation::new(ChipConfig::with_contexts(1), WaitPolicy::Spin, 0);
+        sim1.add_task(make);
+        let t1 = sim1.run(2_000_000).txns;
+
+        let mut sim8 = Simulation::new(ChipConfig::with_contexts(8), WaitPolicy::Spin, 0);
+        for _ in 0..8 {
+            sim8.add_task(make);
+        }
+        let r8 = sim8.run(2_000_000);
+        // Throughput cannot exceed the serial critical section rate.
+        assert!(
+            r8.txns <= t1 + t1 / 10,
+            "lock-bound: {} vs serial {}",
+            r8.txns,
+            t1
+        );
+        assert!(r8.breakdown.spin > 0, "waiters must have spun");
+    }
+
+    #[test]
+    fn block_policy_frees_contexts_for_other_work() {
+        // 1 context, 2 tasks: task A holds a lock through a long compute;
+        // task B (blocked policy) parks and lets... actually both tasks
+        // contend the same lock; with Block the context multiplexes, with
+        // Spin a waiter would deadlock the single context? No: the spinner
+        // only spins while the other task RUNS — impossible on one context.
+        // So: two tasks, one context, Block policy must still make progress.
+        let mut sim = Simulation::new(ChipConfig::with_contexts(1), WaitPolicy::Block, 0);
+        for _ in 0..2 {
+            sim.add_task(|_: u64| Program::new().acquire(9).compute(500).release(9));
+        }
+        let r = sim.run(1_000_000);
+        assert!(r.txns > 100, "blocked handoff must progress: {}", r.txns);
+        assert!(r.breakdown.switch_overhead > 0);
+    }
+
+    #[test]
+    fn spin_on_oversubscribed_single_context_cannot_progress_past_holder() {
+        // Pathological spin case: holder loses the context? In this model a
+        // spinner never releases its context, so with 1 context and 2 tasks
+        // the second task only runs after the first finishes its program
+        // (locks are released at program end). Progress continues because
+        // programs are finite.
+        let mut sim = Simulation::new(ChipConfig::with_contexts(1), WaitPolicy::Spin, 0);
+        for _ in 0..2 {
+            sim.add_task(|_: u64| Program::new().acquire(3).compute(200).release(3).compute(100));
+        }
+        // Txn-boundary yielding multiplexes the single context; each handoff
+        // costs a context switch, so throughput is switch-bound but nonzero.
+        let r = sim.run(1_000_000);
+        assert!(r.txns > 200, "txns = {}", r.txns);
+        assert!(r.breakdown.switch_overhead > 0);
+    }
+
+    #[test]
+    fn hybrid_converts_long_waits_to_parks() {
+        // Holder keeps the lock for far longer than the hybrid spin budget.
+        let mut sim = Simulation::new(
+            ChipConfig::with_contexts(2),
+            WaitPolicy::Hybrid { spin_cycles: 500 },
+            0,
+        );
+        sim.add_task(|_: u64| Program::new().acquire(5).compute(50_000).release(5));
+        sim.add_task(|_: u64| Program::new().acquire(5).compute(50_000).release(5));
+        let r = sim.run(1_000_000);
+        assert!(r.txns >= 10);
+        assert!(r.breakdown.spin > 0, "some spinning before parking");
+        assert!(r.breakdown.lock_blocked > 0, "then parked");
+    }
+
+    #[test]
+    fn group_commit_batches_flushes() {
+        let mut sim = Simulation::new(ChipConfig::with_contexts(8), WaitPolicy::Spin, 10_000);
+        for _ in 0..8 {
+            sim.add_task(|_: u64| Program::new().compute(100).commit());
+        }
+        let r = sim.run(1_000_000);
+        assert!(r.txns > 0);
+        // Without batching 8 closed-loop committers at 10k-cycle flushes
+        // would need txns flushes; batching must do strictly better.
+        assert!(
+            r.flushes < r.txns,
+            "flushes {} should be < txns {}",
+            r.flushes,
+            r.txns
+        );
+        assert!(r.breakdown.flush_wait > 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = Simulation::new(ChipConfig::with_contexts(4), WaitPolicy::DEFAULT_HYBRID, 500);
+            for i in 0..8u64 {
+                sim.add_task(move |n: u64| {
+                    Program::new()
+                        .acquire(i % 3)
+                        .read(1_000 + (n * 7 + i) % 512)
+                        .compute(200)
+                        .write(2_000 + (n + i) % 128)
+                        .release(i % 3)
+                        .commit()
+                });
+            }
+            let r = sim.run(500_000);
+            (r.txns, r.breakdown, r.cache, r.flushes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_write_line_costs_more_than_private() {
+        let run = |shared: bool| {
+            let mut sim = Simulation::new(ChipConfig::with_contexts(8), WaitPolicy::Spin, 0);
+            for i in 0..8u64 {
+                sim.add_task(move |_n: u64| {
+                    let line = if shared { 42 } else { 42 + i * 1_000 };
+                    let mut p = Program::new();
+                    for _ in 0..16 {
+                        p = p.write(line).compute(20);
+                    }
+                    p
+                });
+            }
+            sim.run(500_000).txns
+        };
+        let private = run(false);
+        let shared = run(true);
+        assert!(
+            shared < private * 8 / 10,
+            "coherence ping-pong must hurt: shared={shared} private={private}"
+        );
+    }
+}

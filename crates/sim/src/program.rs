@@ -1,0 +1,106 @@
+//! Op programs: the instruction-level workload representation.
+//!
+//! A program is what one transaction looks like to the hardware: compute
+//! bursts, memory accesses, critical-section enter/leave, and a commit
+//! (log-flush wait). The [`crate::dbmodel`] module compiles database
+//! transactions into programs; tests and microbenchmarks hand-build them.
+
+/// One simulated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Burn `cycles` of pure computation.
+    Compute(u64),
+    /// Touch cache line `line` (read or write) — latency from the cache
+    /// model, coherence effects included.
+    Access {
+        /// Line id.
+        line: u64,
+        /// `true` for a store.
+        write: bool,
+    },
+    /// Enter critical section `lock` (waiting per the simulation's policy).
+    LockAcquire(u64),
+    /// Leave critical section `lock`.
+    LockRelease(u64),
+    /// Wait for the commit flush (group commit through the flush port).
+    Commit,
+}
+
+/// A transaction's op sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Ops, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a compute burst.
+    pub fn compute(mut self, cycles: u64) -> Self {
+        self.ops.push(Op::Compute(cycles));
+        self
+    }
+
+    /// Appends a read of `line`.
+    pub fn read(mut self, line: u64) -> Self {
+        self.ops.push(Op::Access { line, write: false });
+        self
+    }
+
+    /// Appends a write of `line`.
+    pub fn write(mut self, line: u64) -> Self {
+        self.ops.push(Op::Access { line, write: true });
+        self
+    }
+
+    /// Appends a lock acquisition.
+    pub fn acquire(mut self, lock: u64) -> Self {
+        self.ops.push(Op::LockAcquire(lock));
+        self
+    }
+
+    /// Appends a lock release.
+    pub fn release(mut self, lock: u64) -> Self {
+        self.ops.push(Op::LockRelease(lock));
+        self
+    }
+
+    /// Appends a commit wait.
+    pub fn commit(mut self) -> Self {
+        self.ops.push(Op::Commit);
+        self
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_ops() {
+        let p = Program::new()
+            .acquire(1)
+            .read(100)
+            .compute(50)
+            .write(100)
+            .release(1)
+            .commit();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.ops[0], Op::LockAcquire(1));
+        assert_eq!(p.ops[5], Op::Commit);
+    }
+}

@@ -1,0 +1,145 @@
+//! Chip configuration and the transistor-area model.
+
+/// Configuration of the simulated chip multiprocessor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Number of hardware contexts (cores × SMT ways, flattened).
+    pub contexts: usize,
+    /// Private L1 data cache size in KiB (per context).
+    pub l1_kib: usize,
+    /// L2 size in KiB (total if shared, per context if private).
+    pub l2_kib: usize,
+    /// `true` = one L2 shared by all contexts; `false` = private slices.
+    pub l2_shared: bool,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// Base L2 hit latency in cycles; grows with ln(size) (wire delay).
+    pub l2_base_latency: u64,
+    /// Memory latency in cycles.
+    pub mem_latency: u64,
+    /// Cost of a context switch (park + unpark a task).
+    pub switch_cycles: u64,
+    /// Cache line size in bytes (for address → line mapping).
+    pub line_bytes: u64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig {
+            contexts: 8,
+            l1_kib: 32,
+            l2_kib: 4 * 1024,
+            l2_shared: true,
+            l1_latency: 2,
+            l2_base_latency: 12,
+            mem_latency: 200,
+            switch_cycles: 3_000,
+            line_bytes: 64,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// Convenience: default chip with `contexts` hardware contexts.
+    pub fn with_contexts(contexts: usize) -> Self {
+        ChipConfig {
+            contexts,
+            ..Default::default()
+        }
+    }
+
+    /// Effective L2 hit latency: larger arrays take longer to traverse
+    /// (≈ +4 cycles per doubling beyond 512 KiB) — the mechanism behind
+    /// "increasing on-chip cache size is often detrimental".
+    pub fn l2_latency(&self) -> u64 {
+        let doublings = (self.l2_kib.max(512) as f64 / 512.0).log2();
+        self.l2_base_latency + (4.0 * doublings) as u64
+    }
+}
+
+/// The fixed-transistor-budget model for the cores-vs-cache sweep: a chip
+/// has `area` units; a context costs [`AreaModel::CONTEXT_AREA`], a MiB of
+/// L2 costs [`AreaModel::L2_MIB_AREA`].
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    /// Total area budget in abstract units.
+    pub area: u64,
+}
+
+impl AreaModel {
+    /// Area units per hardware context.
+    pub const CONTEXT_AREA: u64 = 10;
+    /// Area units per MiB of L2.
+    pub const L2_MIB_AREA: u64 = 5;
+
+    /// Creates a budget.
+    pub fn new(area: u64) -> Self {
+        AreaModel { area }
+    }
+
+    /// Enumerates feasible `(contexts, l2_kib)` allocations spending the
+    /// whole budget, from cache-heavy to core-heavy. Always keeps at least
+    /// one context and 512 KiB of L2.
+    pub fn allocations(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut contexts = 1u64;
+        loop {
+            let core_area = contexts * Self::CONTEXT_AREA;
+            if core_area > self.area {
+                break;
+            }
+            let l2_mib = (self.area - core_area) / Self::L2_MIB_AREA;
+            let l2_kib = (l2_mib * 1024).max(512);
+            out.push((contexts as usize, l2_kib as usize));
+            contexts *= 2;
+        }
+        out
+    }
+
+    /// The chip for one allocation point.
+    pub fn chip(&self, contexts: usize, l2_kib: usize, l2_shared: bool) -> ChipConfig {
+        ChipConfig {
+            contexts,
+            l2_kib,
+            l2_shared,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_latency_grows_with_size() {
+        let small = ChipConfig {
+            l2_kib: 512,
+            ..Default::default()
+        };
+        let big = ChipConfig {
+            l2_kib: 16 * 1024,
+            ..Default::default()
+        };
+        assert!(big.l2_latency() > small.l2_latency());
+        assert_eq!(small.l2_latency(), small.l2_base_latency);
+    }
+
+    #[test]
+    fn allocations_trade_cores_for_cache() {
+        let m = AreaModel::new(640);
+        let allocs = m.allocations();
+        assert!(allocs.len() >= 4);
+        // More contexts ⇒ less cache.
+        for w in allocs.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 <= w[0].1);
+        }
+        // Budget respected.
+        for (c, l2) in allocs {
+            let used = c as u64 * AreaModel::CONTEXT_AREA
+                + (l2 as u64 / 1024) * AreaModel::L2_MIB_AREA;
+            assert!(used <= 640 + AreaModel::L2_MIB_AREA, "({c},{l2}) => {used}");
+        }
+    }
+}

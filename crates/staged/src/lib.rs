@@ -1,0 +1,31 @@
+//! # esdb-staged — staged (service-oriented) query execution
+//!
+//! The keynote: *"at the query processing level, service-oriented
+//! architectures provide an excellent framework to exploit available
+//! parallelism"* — the StagedDB/CMP line of work. A conventional Volcano
+//! engine interleaves every operator's code on one thread per query,
+//! thrashing the instruction cache and paying a virtual dispatch per row. A
+//! staged engine makes each operator a *service* with an input queue of row
+//! *packets*; work moves through the pipeline in batches, so each operator's
+//! code and state stay hot while it drains a packet, and independent stages
+//! can run on dedicated cores.
+//!
+//! This crate provides both engines over one logical plan representation:
+//!
+//! * [`plan`] — the shared query plan (scan, filter, project, hash join,
+//!   aggregate, sort).
+//! * [`volcano`] — the row-at-a-time pull baseline.
+//! * [`engine`] — the staged engine: single-threaded *batched* execution
+//!   (the locality effect in isolation) and multi-threaded *service*
+//!   execution with one worker per stage connected by packet queues.
+//!
+//! The two engines are semantically equivalent; the test suite checks them
+//! against each other, including with property-based random plans.
+
+pub mod engine;
+pub mod plan;
+pub mod volcano;
+
+pub use engine::{execute_staged, execute_staged_parallel, DEFAULT_BATCH};
+pub use plan::{AggFunc, CmpOp, PlanNode, Row};
+pub use volcano::execute_volcano;

@@ -1,0 +1,220 @@
+//! Logical query plans shared by the Volcano and staged engines.
+
+use esdb_storage::Table;
+use std::sync::Arc;
+
+/// A row: positional `i64` columns (the storage layer's tuple model).
+pub type Row = Vec<i64>;
+
+/// Comparison operators for filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs OP rhs`.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the aggregate column.
+    Sum,
+    /// Row count (aggregate column ignored).
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Folds `value` into `acc` (`None` = empty accumulator).
+    pub fn fold(self, acc: Option<i64>, value: i64) -> i64 {
+        match (self, acc) {
+            (AggFunc::Sum, None) => value,
+            (AggFunc::Sum, Some(a)) => a + value,
+            (AggFunc::Count, None) => 1,
+            (AggFunc::Count, Some(a)) => a + 1,
+            (AggFunc::Min, None) => value,
+            (AggFunc::Min, Some(a)) => a.min(value),
+            (AggFunc::Max, None) => value,
+            (AggFunc::Max, Some(a)) => a.max(value),
+        }
+    }
+}
+
+/// A logical query plan node.
+#[derive(Clone)]
+pub enum PlanNode {
+    /// Full scan of a stored table; rows are `[key, col0, col1, ...]`.
+    Scan(Arc<Table>),
+    /// Literal row source (tests, intermediate results).
+    Values(Arc<Vec<Row>>),
+    /// Keep rows where `row[col] OP value`.
+    Filter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Column tested.
+        col: usize,
+        /// Comparison.
+        op: CmpOp,
+        /// Constant operand.
+        value: i64,
+    },
+    /// Keep only the listed columns, in order.
+    Project {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Column indices to keep.
+        cols: Vec<usize>,
+    },
+    /// Equi hash join; output rows are `left ++ right`.
+    HashJoin {
+        /// Build side.
+        left: Box<PlanNode>,
+        /// Probe side.
+        right: Box<PlanNode>,
+        /// Join column on the left.
+        left_col: usize,
+        /// Join column on the right.
+        right_col: usize,
+    },
+    /// Group-by aggregate. Output: `[group, agg]` (or `[agg]` if no group).
+    Aggregate {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Optional grouping column.
+        group_col: Option<usize>,
+        /// Aggregated column.
+        agg_col: usize,
+        /// Function.
+        func: AggFunc,
+    },
+    /// Sort ascending by column.
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Sort column.
+        col: usize,
+    },
+}
+
+impl PlanNode {
+    /// Scan helper.
+    pub fn scan(table: Arc<Table>) -> Self {
+        PlanNode::Scan(table)
+    }
+
+    /// Values helper.
+    pub fn values(rows: Vec<Row>) -> Self {
+        PlanNode::Values(Arc::new(rows))
+    }
+
+    /// Filter helper.
+    pub fn filter(self, col: usize, op: CmpOp, value: i64) -> Self {
+        PlanNode::Filter {
+            input: Box::new(self),
+            col,
+            op,
+            value,
+        }
+    }
+
+    /// Project helper.
+    pub fn project(self, cols: Vec<usize>) -> Self {
+        PlanNode::Project {
+            input: Box::new(self),
+            cols,
+        }
+    }
+
+    /// Hash-join helper (self is the build side).
+    pub fn hash_join(self, right: PlanNode, left_col: usize, right_col: usize) -> Self {
+        PlanNode::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col,
+            right_col,
+        }
+    }
+
+    /// Aggregate helper.
+    pub fn aggregate(self, group_col: Option<usize>, agg_col: usize, func: AggFunc) -> Self {
+        PlanNode::Aggregate {
+            input: Box::new(self),
+            group_col,
+            agg_col,
+            func,
+        }
+    }
+
+    /// Sort helper.
+    pub fn sort(self, col: usize) -> Self {
+        PlanNode::Sort {
+            input: Box::new(self),
+            col,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Gt.eval(4, 4));
+    }
+
+    #[test]
+    fn agg_folds() {
+        assert_eq!(AggFunc::Sum.fold(None, 5), 5);
+        assert_eq!(AggFunc::Sum.fold(Some(5), 7), 12);
+        assert_eq!(AggFunc::Count.fold(None, 99), 1);
+        assert_eq!(AggFunc::Count.fold(Some(3), 99), 4);
+        assert_eq!(AggFunc::Min.fold(Some(3), 1), 1);
+        assert_eq!(AggFunc::Max.fold(Some(3), 9), 9);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = PlanNode::values(vec![vec![1, 2], vec![3, 4]])
+            .filter(0, CmpOp::Gt, 1)
+            .project(vec![1])
+            .sort(0);
+        match plan {
+            PlanNode::Sort { .. } => {}
+            _ => panic!("expected sort on top"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Storage-layer error type.
+
+use crate::rid::{PageId, Rid};
+
+/// Errors surfaced by the storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested page does not exist on the page store.
+    PageNotFound(PageId),
+    /// A record id pointed at a missing or deleted slot.
+    RecordNotFound(Rid),
+    /// The tuple is larger than a page can hold.
+    TupleTooLarge {
+        /// Requested payload size in bytes.
+        size: usize,
+        /// Maximum payload a page accepts.
+        max: usize,
+    },
+    /// The buffer pool could not find an evictable frame (all pinned).
+    PoolExhausted,
+    /// A primary-key lookup missed.
+    KeyNotFound(u64),
+    /// An insert collided with an existing primary key.
+    DuplicateKey(u64),
+    /// A tuple had the wrong arity for its table.
+    ArityMismatch {
+        /// Columns the table declares.
+        expected: usize,
+        /// Columns the caller supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::PageNotFound(p) => write!(f, "page {p} not found"),
+            StorageError::RecordNotFound(r) => write!(f, "record {r} not found"),
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: every frame is pinned"),
+            StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: table has {expected} columns, tuple has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::TupleTooLarge { size: 10_000, max: 8_000 };
+        assert!(e.to_string().contains("10000"));
+        let e = StorageError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Partitioned hash index.
+//!
+//! A flat `u64 → u64` map split into many independently latched partitions.
+//! This is the index shape DORA uses for its thread-local structures, and it
+//! doubles as an experiment substrate: with one partition it behaves like a
+//! centralized, globally latched structure; with many, contention vanishes —
+//! a miniature of the keynote's centralized-vs-distributed argument.
+
+use esdb_sync::RwLatch;
+use std::collections::HashMap;
+
+/// Fibonacci-style multiplicative hash spreading sequential keys.
+#[inline]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+struct Partition {
+    latch: RwLatch,
+    map: std::cell::UnsafeCell<HashMap<u64, u64>>,
+}
+
+unsafe impl Send for Partition {}
+unsafe impl Sync for Partition {}
+
+/// A hash map partitioned across independently latched shards.
+pub struct HashIndex {
+    partitions: Vec<Partition>,
+    mask: u64,
+}
+
+impl HashIndex {
+    /// Creates an index with `partitions` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(partitions: usize) -> Self {
+        let n = partitions.max(1).next_power_of_two();
+        HashIndex {
+            partitions: (0..n)
+                .map(|_| Partition {
+                    latch: RwLatch::new(),
+                    map: std::cell::UnsafeCell::new(HashMap::new()),
+                })
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn shard(&self, key: u64) -> &Partition {
+        &self.partitions[(spread(key) & self.mask) as usize]
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        let p = self.shard(key);
+        p.latch.lock_exclusive();
+        let old = unsafe { &mut *p.map.get() }.insert(key, value);
+        p.latch.unlock_exclusive();
+        old
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let p = self.shard(key);
+        p.latch.lock_shared();
+        let v = unsafe { &*p.map.get() }.get(&key).copied();
+        p.latch.unlock_shared();
+        v
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let p = self.shard(key);
+        p.latch.lock_exclusive();
+        let v = unsafe { &mut *p.map.get() }.remove(&key);
+        p.latch.unlock_exclusive();
+        v
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.latch.lock_shared();
+                let n = unsafe { &*p.map.get() }.len();
+                p.latch.unlock_shared();
+                n
+            })
+            .sum()
+    }
+
+    /// Returns `true` if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_crud() {
+        let idx = HashIndex::new(8);
+        assert_eq!(idx.insert(1, 10), None);
+        assert_eq!(idx.insert(1, 11), Some(10));
+        assert_eq!(idx.get(1), Some(11));
+        assert_eq!(idx.remove(1), Some(11));
+        assert_eq!(idx.get(1), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn partition_count_rounds_to_power_of_two() {
+        assert_eq!(HashIndex::new(0).partition_count(), 1);
+        assert_eq!(HashIndex::new(3).partition_count(), 4);
+        assert_eq!(HashIndex::new(16).partition_count(), 16);
+    }
+
+    #[test]
+    fn keys_distribute_across_partitions() {
+        let idx = HashIndex::new(16);
+        for k in 0..1_000 {
+            idx.insert(k, k);
+        }
+        assert_eq!(idx.len(), 1_000);
+        // Sequential keys must not all land in one shard.
+        let occupied = idx
+            .partitions
+            .iter()
+            .filter(|p| {
+                p.latch.lock_shared();
+                let n = unsafe { &*p.map.get() }.len();
+                p.latch.unlock_shared();
+                n > 0
+            })
+            .count();
+        assert!(occupied >= 12, "only {occupied}/16 shards used");
+    }
+
+    #[test]
+    fn concurrent_inserts_land() {
+        let idx = Arc::new(HashIndex::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..1_000u64 {
+                    idx.insert(t * 10_000 + k, k);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 4_000);
+        assert_eq!(idx.get(30_500), Some(500));
+    }
+}

@@ -1,0 +1,327 @@
+//! Heap files: unordered collections of tuples in slotted pages.
+//!
+//! A heap file owns a list of page ids in the buffer pool's store and keeps a
+//! cursor to the page most likely to have free space, so inserts are O(1) in
+//! the common case. All mutating operations take the LSN of the log record
+//! describing them and stamp it into the page header, which is what makes
+//! redo idempotent during recovery.
+
+use crate::buffer::BufferPool;
+use crate::rid::{PageId, Rid};
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Monotone page-LSN stamp: never regresses an already-higher LSN.
+fn stamp(page: &mut crate::page::Page, lsn: u64) {
+    if lsn > page.lsn() {
+        page.set_lsn(lsn);
+    }
+}
+
+/// An unordered tuple container over the buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    state: Mutex<HeapState>,
+}
+
+struct HeapState {
+    pages: Vec<PageId>,
+    /// Index into `pages` of the current insertion target.
+    cursor: usize,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file with one initial page.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let id = {
+            let (id, _pin) = pool.new_page()?;
+            id
+        };
+        Ok(HeapFile {
+            pool,
+            state: Mutex::new(HeapState {
+                pages: vec![id],
+                cursor: 0,
+            }),
+        })
+    }
+
+    /// Reconstructs a heap file from a known page list (used by recovery).
+    pub fn from_pages(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Self {
+        assert!(!pages.is_empty(), "a heap file has at least one page");
+        HeapFile {
+            pool,
+            state: Mutex::new(HeapState { cursor: pages.len() - 1, pages }),
+        }
+    }
+
+    /// Page ids of this file, in order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.state.lock().pages.clone()
+    }
+
+    /// Inserts `data`, stamping `lsn`, and returns its record id.
+    pub fn insert(&self, data: &[u8], lsn: u64) -> Result<Rid> {
+        if data.len() > crate::page::MAX_TUPLE {
+            return Err(StorageError::TupleTooLarge {
+                size: data.len(),
+                max: crate::page::MAX_TUPLE,
+            });
+        }
+        loop {
+            // Snapshot the target page, then operate on it without holding
+            // the heap mutex so unrelated inserts only collide on page latch.
+            let (page_id, cursor, npages) = {
+                let st = self.state.lock();
+                (st.pages[st.cursor], st.cursor, st.pages.len())
+            };
+            let pin = self.pool.pin(page_id)?;
+            {
+                let mut page = pin.write();
+                if let Some(slot) = page.insert(data) {
+                    stamp(&mut page, lsn);
+                    return Ok(Rid::new(page_id, slot));
+                }
+            }
+            drop(pin);
+            // The target was full: advance the cursor or grow the file.
+            let mut st = self.state.lock();
+            if st.cursor == cursor && st.pages.len() == npages {
+                if st.cursor + 1 < st.pages.len() {
+                    st.cursor += 1;
+                } else {
+                    let (new_id, _pin) = self.pool.new_page()?;
+                    st.pages.push(new_id);
+                    st.cursor = st.pages.len() - 1;
+                }
+            }
+            // Else another thread already advanced/grew; just retry.
+        }
+    }
+
+    /// Inserts `data` at a specific rid (recovery redo of an insert). The
+    /// target page must be part of this file. Returns `true` if the insert
+    /// was applied, `false` if the page already reflected it (page LSN, or
+    /// an identical live tuple in the slot).
+    pub fn insert_at(&self, rid: Rid, data: &[u8], lsn: u64) -> Result<bool> {
+        let pin = self.pool.pin(rid.page)?;
+        let mut page = pin.write();
+        // Redo only applies if the page has not already seen this change.
+        if page.lsn() >= lsn || page.get(rid.slot) == Some(data) {
+            return Ok(false);
+        }
+        // Slot-exact placement: concurrent pre-crash histories can replay
+        // in LSN order that differs from original slot-assignment order.
+        if page.insert_at_slot(rid.slot, data) {
+            stamp(&mut page, lsn);
+            Ok(true)
+        } else {
+            Err(StorageError::RecordNotFound(rid))
+        }
+    }
+
+    /// Reads the tuple at `rid`.
+    pub fn get(&self, rid: Rid) -> Result<Vec<u8>> {
+        let pin = self.pool.pin(rid.page)?;
+        let page = pin.read();
+        page.get(rid.slot)
+            .map(|d| d.to_vec())
+            .ok_or(StorageError::RecordNotFound(rid))
+    }
+
+    /// Overwrites the tuple at `rid`, returning the before-image.
+    pub fn update(&self, rid: Rid, data: &[u8], lsn: u64) -> Result<Vec<u8>> {
+        let pin = self.pool.pin(rid.page)?;
+        let mut page = pin.write();
+        let old = page
+            .get(rid.slot)
+            .map(|d| d.to_vec())
+            .ok_or(StorageError::RecordNotFound(rid))?;
+        if !page.update(rid.slot, data) {
+            return Err(StorageError::TupleTooLarge {
+                size: data.len(),
+                max: page.free_space() + old.len(),
+            });
+        }
+        stamp(&mut page, lsn);
+        Ok(old)
+    }
+
+    /// Idempotent update used by recovery redo: skipped if the page LSN shows
+    /// the change already applied. Returns `true` if applied.
+    pub fn update_if_newer(&self, rid: Rid, data: &[u8], lsn: u64) -> Result<bool> {
+        let pin = self.pool.pin(rid.page)?;
+        let mut page = pin.write();
+        if page.lsn() >= lsn {
+            return Ok(false);
+        }
+        if !page.update(rid.slot, data) {
+            return Err(StorageError::RecordNotFound(rid));
+        }
+        stamp(&mut page, lsn);
+        Ok(true)
+    }
+
+    /// Deletes the tuple at `rid`, returning the before-image.
+    pub fn delete(&self, rid: Rid, lsn: u64) -> Result<Vec<u8>> {
+        let pin = self.pool.pin(rid.page)?;
+        let mut page = pin.write();
+        let old = page
+            .delete(rid.slot)
+            .ok_or(StorageError::RecordNotFound(rid))?;
+        stamp(&mut page, lsn);
+        Ok(old)
+    }
+
+    /// Idempotent delete for recovery redo. Returns `true` if applied.
+    pub fn delete_if_newer(&self, rid: Rid, lsn: u64) -> Result<bool> {
+        let pin = self.pool.pin(rid.page)?;
+        let mut page = pin.write();
+        if page.lsn() >= lsn {
+            return Ok(false);
+        }
+        let applied = page.delete(rid.slot).is_some();
+        stamp(&mut page, lsn);
+        Ok(applied)
+    }
+
+    /// Raises the page LSN of `page_id` to at least `lsn`. The transaction
+    /// layer calls this after appending the log record that describes a
+    /// mutation it performed with a provisional LSN; the monotone (max)
+    /// stamp makes the narrow race with a concurrent flush harmless (redo is
+    /// idempotent for every record type).
+    pub fn stamp_page_lsn(&self, page_id: PageId, lsn: u64) -> Result<()> {
+        let pin = self.pool.pin(page_id)?;
+        let mut page = pin.write();
+        stamp(&mut page, lsn);
+        Ok(())
+    }
+
+    /// Full scan: invokes `f` for every live tuple. Pages are latched shared
+    /// one at a time, so the scan interleaves with concurrent updates.
+    pub fn scan(&self, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
+        let pages = self.pages();
+        for page_id in pages {
+            let pin = self.pool.pin(page_id)?;
+            let page = pin.read();
+            for (slot, data) in page.live_slots() {
+                f(Rid::new(page_id, slot), data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live tuples (scans the file).
+    pub fn count(&self) -> Result<usize> {
+        let mut n = 0;
+        self.scan(|_, _| n += 1)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn heap() -> HeapFile {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(64, disk));
+        HeapFile::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap();
+        let rid = h.insert(b"tuple-1", 1).unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"tuple-1");
+    }
+
+    #[test]
+    fn update_returns_before_image() {
+        let h = heap();
+        let rid = h.insert(b"old", 1).unwrap();
+        let before = h.update(rid, b"new", 2).unwrap();
+        assert_eq!(before, b"old");
+        assert_eq!(h.get(rid).unwrap(), b"new");
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let h = heap();
+        let rid = h.insert(b"gone", 1).unwrap();
+        assert_eq!(h.delete(rid, 2).unwrap(), b"gone");
+        assert_eq!(h.get(rid).unwrap_err(), StorageError::RecordNotFound(rid));
+    }
+
+    #[test]
+    fn file_grows_across_pages() {
+        let h = heap();
+        let tuple = [9u8; 512];
+        let mut rids = Vec::new();
+        for _ in 0..100 {
+            rids.push(h.insert(&tuple, 1).unwrap());
+        }
+        assert!(h.pages().len() > 1, "100 x 512B tuples should span pages");
+        for rid in &rids {
+            assert_eq!(h.get(*rid).unwrap(), tuple);
+        }
+        assert_eq!(h.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn scan_sees_all_live_tuples() {
+        let h = heap();
+        let a = h.insert(b"a", 1).unwrap();
+        let b = h.insert(b"b", 2).unwrap();
+        h.delete(a, 3).unwrap();
+        let mut seen = Vec::new();
+        h.scan(|rid, data| seen.push((rid, data.to_vec()))).unwrap();
+        assert_eq!(seen, vec![(b, b"b".to_vec())]);
+    }
+
+    #[test]
+    fn update_if_newer_is_idempotent() {
+        let h = heap();
+        let rid = h.insert(b"v1", 5).unwrap();
+        h.update_if_newer(rid, b"v2", 10).unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"v2");
+        // Replaying an older change is a no-op.
+        h.update_if_newer(rid, b"v0", 7).unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_stored() {
+        let h = Arc::new(heap());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                let mut rids = Vec::new();
+                for i in 0..200u32 {
+                    let payload = [t; 64];
+                    let _ = i;
+                    rids.push(h.insert(&payload, 1).unwrap());
+                }
+                rids
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 800, "rids must be unique");
+        assert_eq!(h.count().unwrap(), 800);
+    }
+
+    #[test]
+    fn oversized_insert_rejected() {
+        let h = heap();
+        let e = h.insert(&vec![0u8; crate::page::MAX_TUPLE + 1], 1).unwrap_err();
+        assert!(matches!(e, StorageError::TupleTooLarge { .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! # esdb-storage — Shore-MT-style storage manager substrate
+//!
+//! The keynote's subject is "transform[ing] a database storage manager from a
+//! single-threaded Atlas into a multi-threaded Lernaean Hydra". This crate is
+//! that storage manager: the layer every other subsystem (locking, logging,
+//! transactions, DORA, staged queries) is built on.
+//!
+//! Components:
+//!
+//! * [`page`] — 8 KiB slotted pages with per-page LSNs.
+//! * [`disk`] — a page store abstraction with an in-memory implementation
+//!   (optionally with injected latency) standing in for a disk array.
+//! * [`buffer`] — a fixed-size buffer pool with clock eviction, frame pinning,
+//!   and per-frame reader–writer latches.
+//! * [`heap`] — heap files of slotted pages addressed by [`rid::Rid`].
+//! * [`btree`] — an in-memory B+tree with per-node latches and latch
+//!   crabbing, mapping `u64` keys to values.
+//! * [`hashindex`] — a partitioned hash index (used for DORA-local indexes).
+//! * [`schema`] — minimal catalog types. Tuples are fixed-arity `i64` rows;
+//!   this is sufficient for the TATP/TPC-C-style workloads the keynote's
+//!   experiments use and keeps tuple (de)serialization trivial.
+//! * [`table`] — the composition: heap file + primary B+tree index.
+//!
+//! ```
+//! use esdb_storage::{buffer::BufferPool, disk::InMemoryDisk, table::Table};
+//! use std::sync::Arc;
+//!
+//! let disk = Arc::new(InMemoryDisk::new());
+//! let pool = Arc::new(BufferPool::new(64, disk));
+//! let table = Table::create(0, "accounts", 2, pool);
+//! table.insert(7, &[100, 1]).unwrap();
+//! assert_eq!(table.get(7).unwrap(), vec![100, 1]);
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod hashindex;
+pub mod heap;
+pub mod page;
+pub mod rid;
+pub mod schema;
+pub mod table;
+
+pub use buffer::BufferPool;
+pub use disk::InMemoryDisk;
+pub use error::StorageError;
+pub use rid::{PageId, Rid};
+pub use table::Table;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

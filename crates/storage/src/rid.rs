@@ -1,0 +1,63 @@
+//! Page and record identifiers.
+
+/// Identifier of a page within the page store.
+pub type PageId = u64;
+
+/// A record identifier: page + slot, the physical address of a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page holding the tuple.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Creates a record id.
+    pub const fn new(page: PageId, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+
+    /// Packs the rid into a single `u64` (for storing rids as index values).
+    ///
+    /// The page id is truncated to 48 bits, which bounds the database at
+    /// 2^48 pages (2 exabytes at 8 KiB pages) — comfortably beyond any
+    /// workload this crate will see.
+    pub fn to_u64(self) -> u64 {
+        debug_assert!(self.page < (1 << 48), "page id exceeds 48 bits");
+        (self.page << 16) | self.slot as u64
+    }
+
+    /// Inverse of [`Rid::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        Rid {
+            page: v >> 16,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for Rid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for (page, slot) in [(0u64, 0u16), (1, 5), (123_456, u16::MAX), ((1 << 48) - 1, 7)] {
+            let rid = Rid::new(page, slot);
+            assert_eq!(Rid::from_u64(rid.to_u64()), rid);
+        }
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(Rid::new(1, 9) < Rid::new(2, 0));
+        assert!(Rid::new(1, 0) < Rid::new(1, 1));
+    }
+}

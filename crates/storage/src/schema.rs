@@ -1,0 +1,102 @@
+//! Minimal schema/catalog types and tuple encoding.
+//!
+//! Tuples are fixed-arity rows of `i64` columns. This deliberately spartan
+//! model covers the OLTP benchmarks the keynote's line of work evaluates on
+//! (TATP, TPC-C-style mixes reduce to integer keys, counters, and balances)
+//! while keeping the tuple codec a trivially fast, fixed-width copy — the
+//! storage manager, not the codec, should be what experiments measure.
+
+/// Identifier of a table in the catalog.
+pub type TableId = u32;
+
+/// Description of one table: a name and a column count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Table id.
+    pub id: TableId,
+    /// Human-readable table name.
+    pub name: String,
+    /// Number of `i64` columns (excluding the primary key).
+    pub arity: usize,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(id: TableId, name: impl Into<String>, arity: usize) -> Self {
+        Schema {
+            id,
+            name: name.into(),
+            arity,
+        }
+    }
+
+    /// Encoded byte width of one row: 8-byte key + 8 bytes per column.
+    pub fn row_width(&self) -> usize {
+        8 + 8 * self.arity
+    }
+}
+
+/// Encodes `key` and `row` into the on-page byte representation.
+pub fn encode_row(key: u64, row: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 * row.len());
+    out.extend_from_slice(&key.to_le_bytes());
+    for v in row {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a row produced by [`encode_row`]. Returns `(key, columns)`.
+///
+/// # Panics
+/// Panics if `bytes` is not a multiple of 8 at least 8 long — on-page rows
+/// are only ever written by [`encode_row`], so a violation is corruption.
+pub fn decode_row(bytes: &[u8]) -> (u64, Vec<i64>) {
+    assert!(bytes.len() >= 8 && bytes.len().is_multiple_of(8), "corrupt row of {} bytes", bytes.len());
+    let key = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let row = bytes[8..]
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    (key, row)
+}
+
+/// Decodes only the key of an encoded row.
+pub fn decode_key(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let row = vec![1, -2, i64::MAX, i64::MIN];
+        let bytes = encode_row(42, &row);
+        assert_eq!(bytes.len(), 8 + 32);
+        let (key, decoded) = decode_row(&bytes);
+        assert_eq!(key, 42);
+        assert_eq!(decoded, row);
+        assert_eq!(decode_key(&bytes), 42);
+    }
+
+    #[test]
+    fn empty_row_is_just_a_key() {
+        let bytes = encode_row(7, &[]);
+        assert_eq!(decode_row(&bytes), (7, vec![]));
+    }
+
+    #[test]
+    fn schema_row_width() {
+        let s = Schema::new(1, "t", 3);
+        assert_eq!(s.row_width(), 32);
+        assert_eq!(s.name, "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt row")]
+    fn decode_rejects_garbage() {
+        decode_row(&[1, 2, 3]);
+    }
+}

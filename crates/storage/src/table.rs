@@ -1,0 +1,283 @@
+//! Tables: heap file + primary B+tree index + schema.
+//!
+//! `Table` is the storage-level object the transaction layer manipulates.
+//! All methods are physically safe under concurrency (page latches, index
+//! crabbing) but provide **no transactional isolation** — that is the job of
+//! the lock manager and transaction manager layered above. Mutating methods
+//! accept an LSN to stamp pages for recovery; un-logged callers pass 0.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::heap::HeapFile;
+use crate::rid::Rid;
+use crate::schema::{decode_row, encode_row, Schema, TableId};
+use crate::{Result, StorageError};
+use std::sync::Arc;
+
+/// A keyed table of fixed-arity `i64` rows.
+pub struct Table {
+    schema: Schema,
+    heap: HeapFile,
+    index: BTree,
+}
+
+impl Table {
+    /// Creates an empty table with `arity` value columns.
+    pub fn create(id: TableId, name: impl Into<String>, arity: usize, pool: Arc<BufferPool>) -> Self {
+        Table {
+            schema: Schema::new(id, name, arity),
+            heap: HeapFile::create(pool).expect("allocating first heap page"),
+            index: BTree::new(),
+        }
+    }
+
+    /// Reconstructs a table around an existing heap (crash recovery: the
+    /// heap pages survive on the page store, the in-memory index does not).
+    /// The primary index starts empty; call [`Table::rebuild_index`] after
+    /// redo/undo have restored the heap.
+    pub fn from_heap(schema: Schema, heap: HeapFile) -> Self {
+        Table {
+            schema,
+            heap,
+            index: BTree::new(),
+        }
+    }
+
+    /// Rebuilds the primary index from a full heap scan.
+    pub fn rebuild_index(&self) -> Result<()> {
+        self.heap.scan(|rid, bytes| {
+            self.index
+                .insert(crate::schema::decode_key(bytes), rid.to_u64());
+        })
+    }
+
+    /// This table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Table id shorthand.
+    pub fn id(&self) -> TableId {
+        self.schema.id
+    }
+
+    fn check_arity(&self, row: &[i64]) -> Result<()> {
+        if row.len() != self.schema.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity,
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Inserts `key → row`. Fails with [`StorageError::DuplicateKey`] if the
+    /// key exists.
+    pub fn insert(&self, key: u64, row: &[i64]) -> Result<Rid> {
+        self.insert_logged(key, row, 0)
+    }
+
+    /// Insert stamping `lsn` on the touched page.
+    pub fn insert_logged(&self, key: u64, row: &[i64], lsn: u64) -> Result<Rid> {
+        self.check_arity(row)?;
+        if self.index.contains(key) {
+            return Err(StorageError::DuplicateKey(key));
+        }
+        let rid = self.heap.insert(&encode_row(key, row), lsn)?;
+        if self.index.insert(key, rid.to_u64()).is_some() {
+            // Lost the race with a concurrent insert of the same key: undo
+            // our heap insert and report the duplicate.
+            // (The racing winner's rid is now in the index; restore it.)
+            let _ = self.heap.delete(rid, lsn);
+            return Err(StorageError::DuplicateKey(key));
+        }
+        Ok(rid)
+    }
+
+    /// Reads the row for `key`.
+    pub fn get(&self, key: u64) -> Result<Vec<i64>> {
+        let rid = self.rid_of(key)?;
+        let bytes = self.heap.get(rid)?;
+        Ok(decode_row(&bytes).1)
+    }
+
+    /// Physical address of `key`.
+    pub fn rid_of(&self, key: u64) -> Result<Rid> {
+        self.index
+            .get(key)
+            .map(Rid::from_u64)
+            .ok_or(StorageError::KeyNotFound(key))
+    }
+
+    /// Overwrites the row for `key`, returning the before-image.
+    pub fn update(&self, key: u64, row: &[i64]) -> Result<Vec<i64>> {
+        self.update_logged(key, row, 0)
+    }
+
+    /// Update stamping `lsn` on the touched page.
+    pub fn update_logged(&self, key: u64, row: &[i64], lsn: u64) -> Result<Vec<i64>> {
+        self.check_arity(row)?;
+        let rid = self.rid_of(key)?;
+        let old = self.heap.update(rid, &encode_row(key, row), lsn)?;
+        Ok(decode_row(&old).1)
+    }
+
+    /// Deletes `key`, returning the before-image.
+    pub fn delete(&self, key: u64) -> Result<Vec<i64>> {
+        self.delete_logged(key, 0)
+    }
+
+    /// Delete stamping `lsn` on the touched page.
+    pub fn delete_logged(&self, key: u64, lsn: u64) -> Result<Vec<i64>> {
+        let rid = self.rid_of(key)?;
+        let old = self.heap.delete(rid, lsn)?;
+        self.index.remove(key);
+        Ok(decode_row(&old).1)
+    }
+
+    /// Inclusive primary-key range scan, returning `(key, row)` pairs in key
+    /// order.
+    pub fn range(&self, start: u64, end: u64) -> Result<Vec<(u64, Vec<i64>)>> {
+        let mut out = Vec::new();
+        for (key, packed) in self.index.range(start, end) {
+            let bytes = self.heap.get(Rid::from_u64(packed))?;
+            out.push((key, decode_row(&bytes).1));
+        }
+        Ok(out)
+    }
+
+    /// Full scan in heap (physical) order; faster than [`Table::range`] for
+    /// whole-table reads because it avoids index traversal per tuple.
+    pub fn scan(&self, mut f: impl FnMut(u64, &[i64])) -> Result<()> {
+        self.heap.scan(|_rid, bytes| {
+            let (key, row) = decode_row(bytes);
+            f(key, &row);
+        })
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> u64 {
+        self.index.len()
+    }
+
+    /// Returns `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct access to the underlying heap (recovery only).
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// Direct access to the primary index (recovery only).
+    pub fn index(&self) -> &BTree {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn table(arity: usize) -> Table {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(128, disk));
+        Table::create(1, "t", arity, pool)
+    }
+
+    #[test]
+    fn crud_cycle() {
+        let t = table(2);
+        t.insert(1, &[10, 20]).unwrap();
+        assert_eq!(t.get(1).unwrap(), vec![10, 20]);
+        assert_eq!(t.update(1, &[11, 21]).unwrap(), vec![10, 20]);
+        assert_eq!(t.get(1).unwrap(), vec![11, 21]);
+        assert_eq!(t.delete(1).unwrap(), vec![11, 21]);
+        assert_eq!(t.get(1).unwrap_err(), StorageError::KeyNotFound(1));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let t = table(1);
+        t.insert(5, &[1]).unwrap();
+        assert_eq!(t.insert(5, &[2]).unwrap_err(), StorageError::DuplicateKey(5));
+        assert_eq!(t.get(5).unwrap(), vec![1]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let t = table(2);
+        assert!(matches!(
+            t.insert(1, &[1]).unwrap_err(),
+            StorageError::ArityMismatch { expected: 2, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn range_scan_in_key_order() {
+        let t = table(1);
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, &[k as i64 * 10]).unwrap();
+        }
+        let r = t.range(2, 8).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+        assert_eq!(r[1].1, vec![50]);
+    }
+
+    #[test]
+    fn scan_visits_every_row() {
+        let t = table(1);
+        for k in 0..500u64 {
+            t.insert(k, &[k as i64]).unwrap();
+        }
+        let mut sum = 0i64;
+        let mut n = 0;
+        t.scan(|_, row| {
+            sum += row[0];
+            n += 1;
+        })
+        .unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(sum, (0..500).sum());
+    }
+
+    #[test]
+    fn update_missing_key_fails() {
+        let t = table(1);
+        assert_eq!(t.update(99, &[1]).unwrap_err(), StorageError::KeyNotFound(99));
+        assert_eq!(t.delete(99).unwrap_err(), StorageError::KeyNotFound(99));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_corrupt() {
+        let t = Arc::new(table(1));
+        for k in 0..16u64 {
+            t.insert(k, &[0]).unwrap();
+        }
+        let mut handles = Vec::new();
+        for id in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let k = (id + i) % 16;
+                    // Read-modify-write without transactions: values may race,
+                    // but structure must stay intact.
+                    if let Ok(row) = t.get(k) {
+                        let _ = t.update(k, &[row[0] + 1]);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 16);
+        for k in 0..16u64 {
+            assert_eq!(t.get(k).unwrap().len(), 1);
+        }
+    }
+}

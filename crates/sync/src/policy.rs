@@ -1,0 +1,144 @@
+//! Runtime-selectable latch policy.
+//!
+//! The engine is configured with a [`LatchPolicy`] and every internal latch is
+//! a [`PolicyLock`], so the spin/block/hybrid tradeoff can be swept by the
+//! benchmark harness without recompiling.
+
+use crate::{BlockLock, HybridLock, RawLock, TatasLock};
+use std::str::FromStr;
+
+/// Which critical-section primitive the engine's latches should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum LatchPolicy {
+    /// Pure spinning (test-and-test-and-set with backoff).
+    Spin,
+    /// Pure blocking (park immediately on contention).
+    Block,
+    /// Bounded spinning, then park. The engine default.
+    #[default]
+    Hybrid,
+}
+
+
+impl std::fmt::Display for LatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LatchPolicy::Spin => "spin",
+            LatchPolicy::Block => "block",
+            LatchPolicy::Hybrid => "hybrid",
+        })
+    }
+}
+
+impl FromStr for LatchPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spin" => Ok(LatchPolicy::Spin),
+            "block" => Ok(LatchPolicy::Block),
+            "hybrid" => Ok(LatchPolicy::Hybrid),
+            other => Err(format!("unknown latch policy {other:?} (expected spin|block|hybrid)")),
+        }
+    }
+}
+
+impl LatchPolicy {
+    /// All policies, in benchmark sweep order.
+    pub const ALL: [LatchPolicy; 3] = [LatchPolicy::Spin, LatchPolicy::Block, LatchPolicy::Hybrid];
+}
+
+/// A lock whose primitive is chosen at construction time.
+#[derive(Debug)]
+pub enum PolicyLock {
+    /// Spinning variant.
+    Spin(TatasLock),
+    /// Blocking variant.
+    Block(BlockLock),
+    /// Hybrid variant.
+    Hybrid(HybridLock),
+}
+
+impl PolicyLock {
+    /// Creates an unlocked lock using `policy`.
+    pub fn new(policy: LatchPolicy) -> Self {
+        match policy {
+            LatchPolicy::Spin => PolicyLock::Spin(TatasLock::new()),
+            LatchPolicy::Block => PolicyLock::Block(BlockLock::new()),
+            LatchPolicy::Hybrid => PolicyLock::Hybrid(HybridLock::new()),
+        }
+    }
+
+    /// The policy this lock was built with.
+    pub fn policy(&self) -> LatchPolicy {
+        match self {
+            PolicyLock::Spin(_) => LatchPolicy::Spin,
+            PolicyLock::Block(_) => LatchPolicy::Block,
+            PolicyLock::Hybrid(_) => LatchPolicy::Hybrid,
+        }
+    }
+}
+
+impl RawLock for PolicyLock {
+    #[inline]
+    fn lock(&self) {
+        match self {
+            PolicyLock::Spin(l) => l.lock(),
+            PolicyLock::Block(l) => l.lock(),
+            PolicyLock::Hybrid(l) => l.lock(),
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        match self {
+            PolicyLock::Spin(l) => l.try_lock(),
+            PolicyLock::Block(l) => l.try_lock(),
+            PolicyLock::Hybrid(l) => l.try_lock(),
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        match self {
+            PolicyLock::Spin(l) => l.unlock(),
+            PolicyLock::Block(l) => l.unlock(),
+            PolicyLock::Hybrid(l) => l.unlock(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyLock::Spin(l) => l.name(),
+            PolicyLock::Block(l) => l.name(),
+            PolicyLock::Hybrid(l) => l.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_roundtrip_via_fromstr() {
+        for p in LatchPolicy::ALL {
+            let parsed: LatchPolicy = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("futex".parse::<LatchPolicy>().is_err());
+    }
+
+    #[test]
+    fn policy_lock_reports_policy() {
+        for p in LatchPolicy::ALL {
+            assert_eq!(PolicyLock::new(p).policy(), p);
+        }
+    }
+
+    #[test]
+    fn default_policy_is_hybrid() {
+        assert_eq!(LatchPolicy::default(), LatchPolicy::Hybrid);
+    }
+}

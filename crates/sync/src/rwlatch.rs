@@ -1,0 +1,259 @@
+//! Reader–writer spin latch with writer preference.
+//!
+//! Pages, index nodes, and catalog entries are read far more often than they
+//! are written; a reader-writer latch lets readers proceed in parallel while
+//! still giving writers a bounded wait (incoming readers stand aside once a
+//! writer announces itself). The latch exposes both RAII guards and raw
+//! acquire/release calls — the B+tree's latch-crabbing needs the latter.
+
+use crate::Backoff;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Writer-held marker in the reader-count word.
+const WRITER: u32 = u32::MAX;
+
+/// A spinning reader–writer latch.
+#[derive(Debug, Default)]
+pub struct RwLatch {
+    /// Number of readers, or [`WRITER`] when write-held.
+    state: AtomicU32,
+    /// Writers currently waiting; readers defer to them.
+    writers_waiting: AtomicU32,
+}
+
+impl RwLatch {
+    /// Creates an unlatched latch.
+    pub const fn new() -> Self {
+        RwLatch {
+            state: AtomicU32::new(0),
+            writers_waiting: AtomicU32::new(0),
+        }
+    }
+
+    /// Acquires in shared mode.
+    pub fn lock_shared(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.try_lock_shared() {
+                return;
+            }
+            backoff.pause();
+        }
+    }
+
+    /// Attempts shared acquisition; fails if write-held or a writer waits.
+    pub fn try_lock_shared(&self) -> bool {
+        if self.writers_waiting.load(Ordering::Relaxed) > 0 {
+            return false;
+        }
+        let s = self.state.load(Ordering::Relaxed);
+        if s == WRITER || s == WRITER - 1 {
+            return false;
+        }
+        self.state
+            .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases one shared holder.
+    pub fn unlock_shared(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev != 0 && prev != WRITER, "unlock_shared without shared hold");
+    }
+
+    /// Acquires in exclusive mode.
+    pub fn lock_exclusive(&self) {
+        self.writers_waiting.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        while self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.pause();
+        }
+        self.writers_waiting.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Attempts exclusive acquisition without waiting.
+    pub fn try_lock_exclusive(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the exclusive holder.
+    pub fn unlock_exclusive(&self) {
+        let prev = self.state.swap(0, Ordering::Release);
+        debug_assert_eq!(prev, WRITER, "unlock_exclusive without exclusive hold");
+    }
+
+    /// Attempts to upgrade a single shared hold to exclusive. Fails (keeping
+    /// the shared hold) if other readers are present.
+    pub fn try_upgrade(&self) -> bool {
+        self.state
+            .compare_exchange(1, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Downgrades an exclusive hold to shared without releasing.
+    pub fn downgrade(&self) {
+        let prev = self.state.swap(1, Ordering::Release);
+        debug_assert_eq!(prev, WRITER, "downgrade without exclusive hold");
+    }
+
+    /// Returns `true` if currently write-held (racy; diagnostics only).
+    pub fn is_write_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == WRITER
+    }
+
+    /// Current reader count (racy; diagnostics only). Zero when write-held.
+    pub fn reader_count(&self) -> u32 {
+        let s = self.state.load(Ordering::Relaxed);
+        if s == WRITER {
+            0
+        } else {
+            s
+        }
+    }
+
+    /// RAII shared acquisition.
+    pub fn read(&self) -> RwReadGuard<'_> {
+        self.lock_shared();
+        RwReadGuard { latch: self }
+    }
+
+    /// RAII exclusive acquisition.
+    pub fn write(&self) -> RwWriteGuard<'_> {
+        self.lock_exclusive();
+        RwWriteGuard { latch: self }
+    }
+}
+
+/// RAII guard for a shared hold.
+pub struct RwReadGuard<'a> {
+    latch: &'a RwLatch,
+}
+
+impl Drop for RwReadGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.unlock_shared();
+    }
+}
+
+/// RAII guard for an exclusive hold.
+pub struct RwWriteGuard<'a> {
+    latch: &'a RwLatch,
+}
+
+impl Drop for RwWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.unlock_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn multiple_readers_coexist() {
+        let l = RwLatch::new();
+        l.lock_shared();
+        l.lock_shared();
+        assert_eq!(l.reader_count(), 2);
+        assert!(!l.try_lock_exclusive());
+        l.unlock_shared();
+        l.unlock_shared();
+        assert!(l.try_lock_exclusive());
+        l.unlock_exclusive();
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let l = RwLatch::new();
+        l.lock_exclusive();
+        assert!(l.is_write_locked());
+        assert!(!l.try_lock_shared());
+        l.unlock_exclusive();
+        assert!(l.try_lock_shared());
+        l.unlock_shared();
+    }
+
+    #[test]
+    fn upgrade_succeeds_only_as_sole_reader() {
+        let l = RwLatch::new();
+        l.lock_shared();
+        assert!(l.try_upgrade());
+        assert!(l.is_write_locked());
+        l.unlock_exclusive();
+
+        l.lock_shared();
+        l.lock_shared();
+        assert!(!l.try_upgrade());
+        l.unlock_shared();
+        l.unlock_shared();
+    }
+
+    #[test]
+    fn downgrade_keeps_shared_hold() {
+        let l = RwLatch::new();
+        l.lock_exclusive();
+        l.downgrade();
+        assert_eq!(l.reader_count(), 1);
+        // Another reader may now join.
+        assert!(l.try_lock_shared());
+        l.unlock_shared();
+        l.unlock_shared();
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let l = RwLatch::new();
+        {
+            let _r = l.read();
+            assert_eq!(l.reader_count(), 1);
+        }
+        assert_eq!(l.reader_count(), 0);
+        {
+            let _w = l.write();
+            assert!(l.is_write_locked());
+        }
+        assert!(!l.is_write_locked());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_preserve_invariant() {
+        // Writers increment a plain counter twice; readers must never observe
+        // an odd value (which would mean they ran during a write).
+        use std::sync::atomic::AtomicU64;
+        let latch = Arc::new(RwLatch::new());
+        let value = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let latch = Arc::clone(&latch);
+            let value = Arc::clone(&value);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    if t % 2 == 0 {
+                        latch.lock_exclusive();
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                        latch.unlock_exclusive();
+                    } else {
+                        latch.lock_shared();
+                        assert_eq!(value.load(Ordering::Relaxed) % 2, 0);
+                        latch.unlock_shared();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(value.load(Ordering::Relaxed), 2_000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Pure spinning locks: test-and-set, test-and-test-and-set, and ticket.
+//!
+//! These primitives never sleep. Under low contention they acquire in a
+//! handful of cycles — far cheaper than any OS-assisted lock — but every
+//! waiting thread burns a hardware context, which is exactly the "spinning
+//! wastes cycles" half of the keynote's tradeoff.
+
+use crate::{Backoff, RawLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Naive test-and-set spinlock.
+///
+/// Every acquisition attempt is an atomic swap, so under contention all
+/// waiters keep pulling the lock's cache line into modified state. Kept as
+/// the pedagogical worst case for the sync-primitive benchmarks.
+#[derive(Debug, Default)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        TasLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl RawLock for TasLock {
+    #[inline]
+    fn lock(&self) {
+        while self.locked.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "tas"
+    }
+}
+
+/// Test-and-test-and-set spinlock with exponential backoff.
+///
+/// Waiters first spin on a plain load (shared cache line state, no coherence
+/// traffic) and only attempt the swap when the lock looks free, with
+/// exponential backoff between failed attempts.
+#[derive(Debug, Default)]
+pub struct TatasLock {
+    locked: AtomicBool,
+}
+
+impl TatasLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        TatasLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl RawLock for TatasLock {
+    #[inline]
+    fn lock(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            // Wait until the lock at least looks free before swapping again.
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.pause();
+            }
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "tatas"
+    }
+}
+
+/// FIFO ticket lock.
+///
+/// `next` hands out tickets; `serving` announces whose turn it is. Fair, and
+/// each waiter performs read-only polling, but all waiters still share one
+/// cache line — the scalability ceiling the MCS lock removes.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: AtomicU32,
+    serving: AtomicU32,
+}
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        TicketLock {
+            next: AtomicU32::new(0),
+            serving: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of threads currently waiting or holding (approximate).
+    pub fn queue_depth(&self) -> u32 {
+        self.next
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.serving.load(Ordering::Relaxed))
+    }
+}
+
+impl RawLock for TicketLock {
+    #[inline]
+    fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        while self.serving.load(Ordering::Acquire) != ticket {
+            backoff.pause();
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        let serving = self.serving.load(Ordering::Acquire);
+        // Only take a ticket if it would be served immediately.
+        self.next
+            .compare_exchange(serving, serving.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        let current = self.serving.load(Ordering::Relaxed);
+        self.serving.store(current.wrapping_add(1), Ordering::Release);
+    }
+
+    fn name(&self) -> &'static str {
+        "ticket"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_queue_depth_tracks_holders() {
+        let l = TicketLock::new();
+        assert_eq!(l.queue_depth(), 0);
+        l.lock();
+        assert_eq!(l.queue_depth(), 1);
+        l.unlock();
+        assert_eq!(l.queue_depth(), 0);
+    }
+
+    #[test]
+    fn ticket_try_lock_only_when_free() {
+        let l = TicketLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn tas_reentrancy_is_not_allowed() {
+        // A second try_lock by the same thread must fail: these are latches,
+        // not re-entrant mutexes.
+        let l = TasLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn tatas_sequential_lock_unlock() {
+        let l = TatasLock::new();
+        for _ in 0..100 {
+            l.lock();
+            l.unlock();
+        }
+        assert!(l.try_lock());
+        l.unlock();
+    }
+}

@@ -1,0 +1,203 @@
+//! Contention accounting.
+//!
+//! The spin-vs-block figures need to attribute *where cycles went*: useful
+//! work, spinning, or parking. [`LockStats`] is a cheap atomic counter bundle;
+//! [`Instrumented`] wraps any [`RawLock`] and feeds one.
+
+use crate::RawLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the contention behaviour of one lock (or one class of
+/// locks — several locks may share a `LockStats` by reference).
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    hold_nanos: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+/// Immutable snapshot of a [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Total nanoseconds the lock was held (instrumented paths only).
+    pub hold_nanos: u64,
+    /// Total nanoseconds spent waiting to acquire.
+    pub wait_nanos: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of acquisitions that were contended, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+impl LockStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one acquisition; `contended` if the caller had to wait.
+    #[inline]
+    pub fn record_acquire(&self, contended: bool) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds to the total wait time.
+    #[inline]
+    pub fn record_wait(&self, nanos: u64) {
+        self.wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds to the total hold time.
+    #[inline]
+    pub fn record_hold(&self, nanos: u64) {
+        self.hold_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            hold_nanos: self.hold_nanos.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.hold_nanos.store(0, Ordering::Relaxed);
+        self.wait_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`RawLock`] wrapper that records acquisition counts, contention, and
+/// wait times into an embedded [`LockStats`].
+#[derive(Debug, Default)]
+pub struct Instrumented<L: RawLock> {
+    inner: L,
+    stats: LockStats,
+}
+
+impl<L: RawLock> Instrumented<L> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: L) -> Self {
+        Instrumented {
+            inner,
+            stats: LockStats::new(),
+        }
+    }
+
+    /// Access to the recorded statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: RawLock> RawLock for Instrumented<L> {
+    fn lock(&self) {
+        if self.inner.try_lock() {
+            self.stats.record_acquire(false);
+            return;
+        }
+        let start = std::time::Instant::now();
+        self.inner.lock();
+        self.stats.record_acquire(true);
+        self.stats.record_wait(start.elapsed().as_nanos() as u64);
+    }
+
+    fn try_lock(&self) -> bool {
+        let ok = self.inner.try_lock();
+        if ok {
+            self.stats.record_acquire(false);
+        }
+        ok
+    }
+
+    fn unlock(&self) {
+        self.inner.unlock();
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TatasLock;
+
+    #[test]
+    fn uncontended_acquires_counted() {
+        let l = Instrumented::new(TatasLock::new());
+        for _ in 0..10 {
+            l.lock();
+            l.unlock();
+        }
+        let s = l.stats().snapshot();
+        assert_eq!(s.acquisitions, 10);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn contended_acquire_counted() {
+        use std::sync::Arc;
+        let l = Arc::new(Instrumented::new(TatasLock::new()));
+        l.lock();
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            l2.unlock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        l.unlock();
+        h.join().unwrap();
+        let s = l.stats().snapshot();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.contended, 1);
+        assert!(s.wait_nanos > 0);
+        assert!(s.contention_ratio() > 0.4 && s.contention_ratio() < 0.6);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let stats = LockStats::new();
+        stats.record_acquire(true);
+        stats.record_wait(100);
+        stats.record_hold(50);
+        stats.reset();
+        let s = stats.snapshot();
+        assert_eq!(s.acquisitions, 0);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.wait_nanos, 0);
+        assert_eq!(s.hold_nanos, 0);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(LockStats::new().snapshot().contention_ratio(), 0.0);
+    }
+}

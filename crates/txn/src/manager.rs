@@ -1,0 +1,614 @@
+//! Transaction manager and transaction handles.
+
+use esdb_lock::{LockError, LockManager, LockMode};
+use esdb_storage::schema::TableId;
+use esdb_storage::{StorageError, Table};
+use esdb_wal::{LogBody, Lsn, Wal, NULL_LSN};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced to transaction code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Lock acquisition failed; the transaction must abort and may retry.
+    Lock(LockError),
+    /// Storage-level failure (missing key, duplicate key, ...).
+    Storage(StorageError),
+    /// Operation on a table id that was never registered.
+    UnknownTable(TableId),
+}
+
+impl From<LockError> for TxnError {
+    fn from(e: LockError) -> Self {
+        TxnError::Lock(e)
+    }
+}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Lock(e) => write!(f, "lock: {e}"),
+            TxnError::Storage(e) => write!(f, "storage: {e}"),
+            TxnError::UnknownTable(t) => write!(f, "unknown table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Result alias for transaction operations.
+pub type TxnResult<T> = Result<T, TxnError>;
+
+/// Returns `true` if the error is transient (deadlock/timeout victim) and the
+/// transaction is worth retrying.
+pub fn is_retryable(e: &TxnError) -> bool {
+    matches!(e, TxnError::Lock(_))
+}
+
+/// Cumulative transaction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (user aborts + lock victims).
+    pub aborts: u64,
+}
+
+/// One logged, locked mutation — kept for rollback.
+enum UndoOp {
+    Insert { table: TableId, key: u64 },
+    Update { table: TableId, key: u64, before: Vec<i64> },
+    Delete { table: TableId, key: u64, before: Vec<i64> },
+}
+
+/// The transaction manager: owns the table registry, the lock manager, and
+/// the WAL. Cheap to share (`Arc`).
+pub struct TxnManager {
+    locks: Arc<LockManager>,
+    wal: Arc<Wal>,
+    tables: RwLock<HashMap<TableId, Arc<Table>>>,
+    next_txn: AtomicU64,
+    elr: bool,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl TxnManager {
+    /// Creates a manager. `elr` enables early lock release at commit.
+    pub fn new(locks: Arc<LockManager>, wal: Arc<Wal>, elr: bool) -> Self {
+        TxnManager {
+            locks,
+            wal,
+            tables: RwLock::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            elr,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a table for transactional access.
+    pub fn register_table(&self, table: Arc<Table>) {
+        self.tables.write().insert(table.id(), table);
+    }
+
+    /// Looks up a registered table.
+    pub fn table(&self, id: TableId) -> TxnResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(TxnError::UnknownTable(id))
+    }
+
+    /// All registered tables (recovery needs the full map).
+    pub fn tables(&self) -> HashMap<TableId, Arc<Table>> {
+        self.tables.read().clone()
+    }
+
+    /// The WAL beneath this manager.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// The lock manager beneath this manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// Whether early lock release is enabled.
+    pub fn elr(&self) -> bool {
+        self.elr
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(self: &Arc<Self>) -> Txn {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        Txn {
+            mgr: Arc::clone(self),
+            id,
+            last_lsn: NULL_LSN,
+            undo: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Runs `f` in a transaction, committing on `Ok` and aborting on `Err`.
+    /// Lock victims (deadlock/timeout) are retried up to `retries` times.
+    pub fn run<R>(
+        self: &Arc<Self>,
+        retries: usize,
+        mut f: impl FnMut(&mut Txn) -> TxnResult<R>,
+    ) -> TxnResult<R> {
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.begin();
+            match f(&mut txn) {
+                Ok(r) => {
+                    txn.commit();
+                    return Ok(r);
+                }
+                Err(e) => {
+                    txn.abort();
+                    if is_retryable(&e) && attempt < retries {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TxnStats {
+        TxnStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An open transaction. Dropping without commit aborts.
+pub struct Txn {
+    mgr: Arc<TxnManager>,
+    id: u64,
+    last_lsn: Lsn,
+    undo: Vec<UndoOp>,
+    finished: bool,
+}
+
+impl Txn {
+    /// This transaction's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn log(&mut self, body: LogBody) -> Lsn {
+        let prev = if self.last_lsn == NULL_LSN {
+            // First record: write Begin implicitly.
+            let b = self.mgr.wal.append(self.id, NULL_LSN, &LogBody::Begin);
+            b.start
+        } else {
+            self.last_lsn
+        };
+        let r = self.mgr.wal.append(self.id, prev, &body);
+        self.last_lsn = r.start;
+        r.start
+    }
+
+    /// Reads the row for `key` under a shared lock.
+    pub fn read(&mut self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_row(self.id, table, key, LockMode::S)?;
+        Ok(t.get(key)?)
+    }
+
+    /// Reads the row for `key` under an exclusive lock (read-for-update;
+    /// avoids the S→X upgrade deadlocks of read-then-write patterns).
+    pub fn read_for_update(&mut self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_row(self.id, table, key, LockMode::X)?;
+        Ok(t.get(key)?)
+    }
+
+    /// Inserts `key → row`.
+    pub fn insert(&mut self, table: TableId, key: u64, row: &[i64]) -> TxnResult<()> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_row(self.id, table, key, LockMode::X)?;
+        let rid = t.insert_logged(key, row, 0)?;
+        let lsn = self.log(LogBody::Insert {
+            table,
+            key,
+            rid,
+            row: row.to_vec(),
+        });
+        let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+        self.undo.push(UndoOp::Insert { table, key });
+        Ok(())
+    }
+
+    /// Updates the row for `key`, returning the before-image.
+    pub fn update(&mut self, table: TableId, key: u64, row: &[i64]) -> TxnResult<Vec<i64>> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_row(self.id, table, key, LockMode::X)?;
+        let rid = t.rid_of(key)?;
+        let before = t.update_logged(key, row, 0)?;
+        let lsn = self.log(LogBody::Update {
+            table,
+            key,
+            rid,
+            before: before.clone(),
+            after: row.to_vec(),
+        });
+        let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+        self.undo.push(UndoOp::Update {
+            table,
+            key,
+            before: before.clone(),
+        });
+        Ok(before)
+    }
+
+    /// Deletes the row for `key`, returning the before-image.
+    pub fn delete(&mut self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_row(self.id, table, key, LockMode::X)?;
+        let rid = t.rid_of(key)?;
+        let before = t.delete_logged(key, 0)?;
+        let lsn = self.log(LogBody::Delete {
+            table,
+            key,
+            rid,
+            before: before.clone(),
+        });
+        let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+        self.undo.push(UndoOp::Delete {
+            table,
+            key,
+            before: before.clone(),
+        });
+        Ok(before)
+    }
+
+    /// Inclusive key-range scan under a table-level S lock (phantom-free).
+    pub fn range(&mut self, table: TableId, start: u64, end: u64) -> TxnResult<Vec<(u64, Vec<i64>)>> {
+        let t = self.mgr.table(table)?;
+        self.mgr.locks.lock_table(self.id, table, LockMode::S)?;
+        Ok(t.range(start, end)?)
+    }
+
+    /// Commits. Read-only transactions skip the log entirely.
+    pub fn commit(mut self) {
+        self.finished = true;
+        self.mgr.commits.fetch_add(1, Ordering::Relaxed);
+        if self.last_lsn == NULL_LSN {
+            self.mgr.locks.release_all(self.id);
+            return;
+        }
+        if self.mgr.elr {
+            // Early lock release: commit record in the buffer, locks out,
+            // *then* wait for durability.
+            let range = self.mgr.wal.commit_no_flush(self.id, self.last_lsn);
+            self.mgr.locks.release_all(self.id);
+            self.mgr.wal.wait_durable(range.end);
+        } else {
+            self.mgr.wal.commit(self.id, self.last_lsn);
+            self.mgr.locks.release_all(self.id);
+        }
+    }
+
+    /// Aborts: replays the undo chain (logging compensations), writes the
+    /// abort record, releases locks.
+    pub fn abort(mut self) {
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        self.finished = true;
+        self.mgr.aborts.fetch_add(1, Ordering::Relaxed);
+        // Undo in reverse order. Compensations are logged as ordinary
+        // records so recovery can repeat history through a crashed abort.
+        let undo = std::mem::take(&mut self.undo);
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, key } => {
+                    if let Ok(t) = self.mgr.table(table) {
+                        if let Ok(rid) = t.rid_of(key) {
+                            if let Ok(before) = t.delete_logged(key, 0) {
+                                let lsn = self.log(LogBody::Delete { table, key, rid, before });
+                                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                            }
+                        }
+                    }
+                }
+                UndoOp::Update { table, key, before } => {
+                    if let Ok(t) = self.mgr.table(table) {
+                        if let Ok(rid) = t.rid_of(key) {
+                            if let Ok(after_img) = t.update_logged(key, &before, 0) {
+                                let lsn = self.log(LogBody::Update {
+                                    table,
+                                    key,
+                                    rid,
+                                    before: after_img,
+                                    after: before,
+                                });
+                                let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                            }
+                        }
+                    }
+                }
+                UndoOp::Delete { table, key, before } => {
+                    if let Ok(t) = self.mgr.table(table) {
+                        if let Ok(rid) = t.insert_logged(key, &before, 0) {
+                            let lsn = self.log(LogBody::Insert {
+                                table,
+                                key,
+                                rid,
+                                row: before,
+                            });
+                            let _ = t.heap().stamp_page_lsn(rid.page, lsn);
+                        }
+                    }
+                }
+            }
+        }
+        if self.last_lsn != NULL_LSN {
+            self.mgr.wal.append(self.id, self.last_lsn, &LogBody::Abort);
+        }
+        self.mgr.locks.release_all(self.id);
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esdb_storage::{BufferPool, InMemoryDisk};
+    use esdb_wal::LogPolicy;
+
+    fn setup(elr: bool) -> (Arc<TxnManager>, Arc<Table>) {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(256, disk));
+        let table = Arc::new(Table::create(1, "accounts", 2, pool));
+        let locks = Arc::new(LockManager::with_timeout(
+            16,
+            std::time::Duration::from_millis(150),
+        ));
+        let wal = Arc::new(Wal::new(LogPolicy::Consolidated, None));
+        let mgr = Arc::new(TxnManager::new(locks, wal, elr));
+        mgr.register_table(table.clone());
+        (mgr, table)
+    }
+
+    #[test]
+    fn commit_makes_changes_visible_and_durable() {
+        let (mgr, table) = setup(false);
+        let mut t = mgr.begin();
+        t.insert(1, 7, &[100, 0]).unwrap();
+        t.commit();
+        assert_eq!(table.get(7).unwrap(), vec![100, 0]);
+        // Log contains Begin, Insert, Commit — durable.
+        let records = mgr.wal().durable_records();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[2].body, LogBody::Commit));
+        assert_eq!(mgr.stats().commits, 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[10, 0])).unwrap();
+
+        let mut t = mgr.begin();
+        t.update(1, 1, &[11, 0]).unwrap();
+        t.insert(1, 2, &[20, 0]).unwrap();
+        t.delete(1, 1).unwrap();
+        t.abort();
+
+        assert_eq!(table.get(1).unwrap(), vec![10, 0], "update+delete undone");
+        assert!(table.get(2).is_err(), "insert undone");
+        assert_eq!(mgr.stats().aborts, 1);
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let (mgr, table) = setup(false);
+        {
+            let mut t = mgr.begin();
+            t.insert(1, 5, &[1, 2]).unwrap();
+            // dropped here
+        }
+        assert!(table.get(5).is_err());
+        assert_eq!(mgr.stats().aborts, 1);
+    }
+
+    #[test]
+    fn lost_update_prevented_by_2pl() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[0, 0])).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mgr = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    mgr.run(10, |t| {
+                        let v = t.read_for_update(1, 1)?;
+                        t.update(1, 1, &[v[0] + 1, v[1]])?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(table.get(1).unwrap()[0], 400);
+    }
+
+    #[test]
+    fn transfer_invariant_under_concurrency() {
+        let (mgr, table) = setup(false);
+        const ACCOUNTS: u64 = 8;
+        for k in 0..ACCOUNTS {
+            mgr.run(0, |t| t.insert(1, k, &[1_000, 0])).unwrap();
+        }
+        let mut handles = Vec::new();
+        for tid in 0..4u64 {
+            let mgr = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = tid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..150 {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (rng >> 33) % ACCOUNTS;
+                    let to = (from + 1 + (rng >> 17) % (ACCOUNTS - 1)) % ACCOUNTS;
+                    // Lock in key order to avoid deadlock storms; retries
+                    // handle the rest.
+                    let (a, b) = (from.min(to), from.max(to));
+                    let _ = mgr.run(20, |t| {
+                        let va = t.read_for_update(1, a)?;
+                        let vb = t.read_for_update(1, b)?;
+                        t.update(1, a, &[va[0] - 10, va[1]])?;
+                        t.update(1, b, &[vb[0] + 10, vb[1]])?;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        table.scan(|_, row| total += row[0]).unwrap();
+        assert_eq!(total, (ACCOUNTS * 1_000) as i64, "money conserved");
+    }
+
+    #[test]
+    fn elr_commit_is_still_durable() {
+        let (mgr, _table) = setup(true);
+        mgr.run(0, |t| t.insert(1, 9, &[9, 9])).unwrap();
+        let records = mgr.wal().durable_records();
+        assert!(records.iter().any(|r| matches!(r.body, LogBody::Commit)));
+    }
+
+    #[test]
+    fn readonly_txn_writes_no_log() {
+        let (mgr, _table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[5, 5])).unwrap();
+        let before = mgr.wal().current_lsn();
+        mgr.run(0, |t| t.read(1, 1).map(|_| ())).unwrap();
+        assert_eq!(mgr.wal().current_lsn(), before);
+    }
+
+    #[test]
+    fn range_scan_is_transactional() {
+        let (mgr, _table) = setup(false);
+        for k in 0..10u64 {
+            mgr.run(0, |t| t.insert(1, k, &[k as i64, 0])).unwrap();
+        }
+        let rows = mgr.run(0, |t| t.range(1, 3, 6)).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].0, 3);
+    }
+
+    #[test]
+    fn deadlock_victim_gets_error_and_retry_succeeds() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[0, 0])).unwrap();
+        mgr.run(0, |t| t.insert(1, 2, &[0, 0])).unwrap();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for (a, b) in [(1u64, 2u64), (2, 1)] {
+            let mgr = Arc::clone(&mgr);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                // The barrier synchronizes only the *first* attempt; retries
+                // after a deadlock must not wait for a partner that has
+                // already moved on.
+                let mut first_attempt = true;
+                mgr.run(50, |t| {
+                    let va = t.read_for_update(1, a)?;
+                    if first_attempt {
+                        first_attempt = false;
+                        barrier.wait();
+                    }
+                    let vb = t.read_for_update(1, b)?;
+                    t.update(1, a, &[va[0] + 1, 0])?;
+                    t.update(1, b, &[vb[0] + 1, 0])?;
+                    Ok(())
+                })
+            }));
+        }
+        // Barrier synchronizes the conflicting acquisition order; one side
+        // must be chosen victim and then retried to success.
+        let mut oks = 0;
+        for h in handles {
+            if h.join().unwrap().is_ok() {
+                oks += 1;
+            }
+        }
+        assert_eq!(oks, 2, "retries must resolve the deadlock");
+        assert_eq!(table.get(1).unwrap()[0], 2);
+        assert_eq!(table.get(2).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn crash_recovery_roundtrip_with_txn_layer() {
+        use esdb_storage::heap::HeapFile;
+        use esdb_storage::schema::Schema;
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(256, disk.clone()));
+        let table = Arc::new(Table::create(1, "t", 1, pool.clone()));
+        let locks = Arc::new(LockManager::new(16));
+        let wal = Arc::new(Wal::new(LogPolicy::Serial, None));
+        let mgr = Arc::new(TxnManager::new(locks, wal, false));
+        mgr.register_table(table.clone());
+
+        // Committed work.
+        mgr.run(0, |t| {
+            t.insert(1, 1, &[10])?;
+            t.insert(1, 2, &[20])
+        })
+        .unwrap();
+        mgr.run(0, |t| t.update(1, 1, &[11]).map(|_| ())).unwrap();
+        // In-flight loser at crash time.
+        let mut loser = mgr.begin();
+        loser.update(1, 2, &[99]).unwrap();
+        loser.insert(1, 3, &[30]).unwrap();
+        // Simulate dirty-page steal then crash (loser never commits). The
+        // WAL rule (log before page) is the storage layer's caller contract;
+        // here we satisfy it explicitly, as Database's LSN barrier does.
+        mgr.wal().wait_durable(mgr.wal().current_lsn());
+        pool.flush_all().unwrap();
+        std::mem::forget(loser); // suppress the rollback — the "crash"
+
+        // Recover into fresh volatile state.
+        let pool2 = Arc::new(BufferPool::new(256, disk));
+        let heap = HeapFile::from_pages(pool2, table.heap().pages());
+        let recovered = Arc::new(Table::from_heap(Schema::new(1, "t", 1), heap));
+        let mut tables = HashMap::new();
+        tables.insert(1u32, recovered.clone());
+        let report = esdb_wal::recovery::recover(&mgr.wal().durable_records(), &tables);
+
+        assert_eq!(report.losers.len(), 1);
+        assert_eq!(recovered.get(1).unwrap(), vec![11], "committed update kept");
+        assert_eq!(recovered.get(2).unwrap(), vec![20], "loser update undone");
+        assert!(recovered.get(3).is_err(), "loser insert undone");
+    }
+}

@@ -1,0 +1,281 @@
+//! Log record types and their wire format.
+//!
+//! Records are framed as `[len: u32][txn_id: u64][prev_lsn: u64][tag: u8]
+//! [body…]`; a record's LSN is its byte offset in the log stream, so the
+//! stream parses back into records without any side index. `prev_lsn` chains
+//! each transaction's records for rollback and undo.
+
+use crate::{Lsn, NULL_LSN};
+use bytes::{Buf, BufMut};
+use esdb_storage::rid::Rid;
+use esdb_storage::schema::TableId;
+
+/// The payload of a log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogBody {
+    /// Transaction start.
+    Begin,
+    /// A tuple insert.
+    Insert {
+        /// Table the tuple belongs to.
+        table: TableId,
+        /// Primary key.
+        key: u64,
+        /// Physical address assigned.
+        rid: Rid,
+        /// The inserted row.
+        row: Vec<i64>,
+    },
+    /// A tuple update (carries both images for redo and undo).
+    Update {
+        /// Table the tuple belongs to.
+        table: TableId,
+        /// Primary key.
+        key: u64,
+        /// Physical address.
+        rid: Rid,
+        /// Before-image (undo).
+        before: Vec<i64>,
+        /// After-image (redo).
+        after: Vec<i64>,
+    },
+    /// A tuple delete (before-image for undo).
+    Delete {
+        /// Table the tuple belonged to.
+        table: TableId,
+        /// Primary key.
+        key: u64,
+        /// Physical address.
+        rid: Rid,
+        /// Deleted row.
+        before: Vec<i64>,
+    },
+    /// Transaction commit point.
+    Commit,
+    /// Transaction abort (rollback already applied by the undo chain).
+    Abort,
+    /// Fuzzy checkpoint marker.
+    Checkpoint,
+}
+
+impl LogBody {
+    fn tag(&self) -> u8 {
+        match self {
+            LogBody::Begin => 0,
+            LogBody::Insert { .. } => 1,
+            LogBody::Update { .. } => 2,
+            LogBody::Delete { .. } => 3,
+            LogBody::Commit => 4,
+            LogBody::Abort => 5,
+            LogBody::Checkpoint => 6,
+        }
+    }
+}
+
+/// A fully decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Byte offset of this record in the log stream.
+    pub lsn: Lsn,
+    /// Owning transaction (0 for system records such as checkpoints).
+    pub txn_id: u64,
+    /// Previous record of the same transaction ([`NULL_LSN`] if none).
+    pub prev_lsn: Lsn,
+    /// Payload.
+    pub body: LogBody,
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[i64]) {
+    out.put_u16_le(row.len() as u16);
+    for v in row {
+        out.put_i64_le(*v);
+    }
+}
+
+fn get_row(buf: &mut &[u8]) -> Vec<i64> {
+    let n = buf.get_u16_le() as usize;
+    (0..n).map(|_| buf.get_i64_le()).collect()
+}
+
+/// Serializes a record body into its framed wire form.
+pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.put_u32_le(0); // length patched below
+    out.put_u64_le(txn_id);
+    out.put_u64_le(prev_lsn);
+    out.put_u8(body.tag());
+    match body {
+        LogBody::Begin | LogBody::Commit | LogBody::Abort | LogBody::Checkpoint => {}
+        LogBody::Insert { table, key, rid, row } => {
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u64_le(rid.to_u64());
+            put_row(&mut out, row);
+        }
+        LogBody::Update {
+            table,
+            key,
+            rid,
+            before,
+            after,
+        } => {
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u64_le(rid.to_u64());
+            put_row(&mut out, before);
+            put_row(&mut out, after);
+        }
+        LogBody::Delete { table, key, rid, before } => {
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u64_le(rid.to_u64());
+            put_row(&mut out, before);
+        }
+    }
+    let len = out.len() as u32;
+    out[0..4].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Parses every record in `bytes`, which must start at stream offset
+/// `base_lsn`. Ignores a trailing partial record (torn final write).
+pub fn decode_stream(bytes: &[u8], base_lsn: Lsn) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + 4 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if len < 21 || off + len > bytes.len() {
+            break; // torn tail
+        }
+        let mut buf = &bytes[off + 4..off + len];
+        let txn_id = buf.get_u64_le();
+        let prev_lsn = buf.get_u64_le();
+        let tag = buf.get_u8();
+        let body = match tag {
+            0 => LogBody::Begin,
+            1 => {
+                let table = buf.get_u32_le();
+                let key = buf.get_u64_le();
+                let rid = Rid::from_u64(buf.get_u64_le());
+                let row = get_row(&mut buf);
+                LogBody::Insert { table, key, rid, row }
+            }
+            2 => {
+                let table = buf.get_u32_le();
+                let key = buf.get_u64_le();
+                let rid = Rid::from_u64(buf.get_u64_le());
+                let before = get_row(&mut buf);
+                let after = get_row(&mut buf);
+                LogBody::Update {
+                    table,
+                    key,
+                    rid,
+                    before,
+                    after,
+                }
+            }
+            3 => {
+                let table = buf.get_u32_le();
+                let key = buf.get_u64_le();
+                let rid = Rid::from_u64(buf.get_u64_le());
+                let before = get_row(&mut buf);
+                LogBody::Delete { table, key, rid, before }
+            }
+            4 => LogBody::Commit,
+            5 => LogBody::Abort,
+            6 => LogBody::Checkpoint,
+            other => panic!("corrupt log: unknown record tag {other}"),
+        };
+        out.push(LogRecord {
+            lsn: base_lsn + off as u64,
+            txn_id,
+            prev_lsn,
+            body,
+        });
+        off += len;
+    }
+    out
+}
+
+/// Convenience: `prev_lsn == NULL_LSN` means first record of its transaction.
+pub fn is_first_of_txn(r: &LogRecord) -> bool {
+    r.prev_lsn == NULL_LSN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bodies: Vec<(u64, Lsn, LogBody)>) {
+        let mut stream = Vec::new();
+        let mut offsets = Vec::new();
+        for (txn, prev, body) in &bodies {
+            offsets.push(stream.len() as u64);
+            stream.extend_from_slice(&encode(*txn, *prev, body));
+        }
+        let decoded = decode_stream(&stream, 100);
+        assert_eq!(decoded.len(), bodies.len());
+        for (i, rec) in decoded.iter().enumerate() {
+            assert_eq!(rec.lsn, 100 + offsets[i]);
+            assert_eq!(rec.txn_id, bodies[i].0);
+            assert_eq!(rec.prev_lsn, bodies[i].1);
+            assert_eq!(rec.body, bodies[i].2);
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(vec![
+            (1, NULL_LSN, LogBody::Begin),
+            (
+                1,
+                100,
+                LogBody::Insert {
+                    table: 3,
+                    key: 42,
+                    rid: Rid::new(7, 2),
+                    row: vec![1, -5, i64::MAX],
+                },
+            ),
+            (
+                1,
+                121,
+                LogBody::Update {
+                    table: 3,
+                    key: 42,
+                    rid: Rid::new(7, 2),
+                    before: vec![1],
+                    after: vec![2],
+                },
+            ),
+            (
+                2,
+                NULL_LSN,
+                LogBody::Delete {
+                    table: 9,
+                    key: 0,
+                    rid: Rid::new(0, 0),
+                    before: vec![],
+                },
+            ),
+            (1, 160, LogBody::Commit),
+            (2, 140, LogBody::Abort),
+            (0, NULL_LSN, LogBody::Checkpoint),
+        ]);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let mut stream = encode(1, NULL_LSN, &LogBody::Begin);
+        let full = encode(1, 8, &LogBody::Commit);
+        stream.extend_from_slice(&full[..full.len() - 3]); // torn
+        let decoded = decode_stream(&stream, 8);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].body, LogBody::Begin);
+    }
+
+    #[test]
+    fn empty_stream_decodes_empty() {
+        assert!(decode_stream(&[], 8).is_empty());
+    }
+}

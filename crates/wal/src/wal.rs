@@ -1,0 +1,236 @@
+//! The write-ahead log facade: framing + policy selection + commit flushes.
+
+use crate::buffer::{LogBuffer, LsnRange, LOG_START};
+use crate::consolidated::ConsolidatedLogBuffer;
+use crate::decoupled::DecoupledLogBuffer;
+use crate::record::{self, LogBody, LogRecord};
+use crate::serial::SerialLogBuffer;
+use crate::Lsn;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Which log buffer implementation the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogPolicy {
+    /// Mutex across allocation and copy (baseline).
+    Serial,
+    /// Mutex across allocation only; parallel fill.
+    Decoupled,
+    /// Consolidation array + decoupled fill. The engine default.
+    #[default]
+    Consolidated,
+}
+
+impl LogPolicy {
+    /// All policies in sweep order.
+    pub const ALL: [LogPolicy; 3] = [LogPolicy::Serial, LogPolicy::Decoupled, LogPolicy::Consolidated];
+}
+
+impl std::fmt::Display for LogPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LogPolicy::Serial => "serial",
+            LogPolicy::Decoupled => "decoupled",
+            LogPolicy::Consolidated => "consolidated",
+        })
+    }
+}
+
+impl FromStr for LogPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(LogPolicy::Serial),
+            "decoupled" => Ok(LogPolicy::Decoupled),
+            "consolidated" => Ok(LogPolicy::Consolidated),
+            other => Err(format!(
+                "unknown log policy {other:?} (expected serial|decoupled|consolidated)"
+            )),
+        }
+    }
+}
+
+/// The engine-facing write-ahead log.
+pub struct Wal {
+    buffer: Box<dyn LogBuffer>,
+}
+
+impl Wal {
+    /// Creates a WAL with the given buffer policy and log-device latency.
+    pub fn new(policy: LogPolicy, flush_latency: Option<Duration>) -> Self {
+        Self::new_at(LOG_START, policy, flush_latency)
+    }
+
+    /// Creates a WAL whose first LSN is `base` — a post-crash continuation
+    /// of an earlier log, so surviving page LSNs stay in the past.
+    pub fn new_at(base: crate::Lsn, policy: LogPolicy, flush_latency: Option<Duration>) -> Self {
+        let buffer: Box<dyn LogBuffer> = match policy {
+            LogPolicy::Serial => Box::new(SerialLogBuffer::new_at(base, flush_latency)),
+            LogPolicy::Decoupled => Box::new(DecoupledLogBuffer::with_capacity_at(
+                base,
+                crate::decoupled::DEFAULT_CAPACITY,
+                flush_latency,
+            )),
+            LogPolicy::Consolidated => Box::new(ConsolidatedLogBuffer::with_config_at(
+                base,
+                crate::decoupled::DEFAULT_CAPACITY,
+                ConsolidatedLogBuffer::DEFAULT_SLOTS,
+                flush_latency,
+            )),
+        };
+        Wal { buffer }
+    }
+
+    /// Wraps an explicit buffer implementation (used by benchmarks).
+    pub fn with_buffer(buffer: Box<dyn LogBuffer>) -> Self {
+        Wal { buffer }
+    }
+
+    /// Appends one record. Returns its LSN range; the record is not durable
+    /// until a flush covers `range.end`.
+    pub fn append(&self, txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> LsnRange {
+        let bytes = record::encode(txn_id, prev_lsn, body);
+        self.buffer.insert(&bytes)
+    }
+
+    /// Appends a commit record and makes it durable (group commit: one
+    /// physical flush may cover many concurrent committers).
+    pub fn commit(&self, txn_id: u64, prev_lsn: Lsn) -> Lsn {
+        let range = self.append(txn_id, prev_lsn, &LogBody::Commit);
+        self.buffer.flush(range.end);
+        range.start
+    }
+
+    /// Appends a commit record *without* waiting for durability — the early
+    /// lock release path. The caller later waits via [`Wal::wait_durable`].
+    pub fn commit_no_flush(&self, txn_id: u64, prev_lsn: Lsn) -> LsnRange {
+        self.append(txn_id, prev_lsn, &LogBody::Commit)
+    }
+
+    /// Blocks until everything up to `lsn` is durable.
+    pub fn wait_durable(&self, lsn: Lsn) {
+        self.buffer.flush(lsn);
+    }
+
+    /// Highest durable LSN.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.buffer.durable_lsn()
+    }
+
+    /// End of the allocated log.
+    pub fn current_lsn(&self) -> Lsn {
+        self.buffer.current_lsn()
+    }
+
+    /// Buffer implementation name.
+    pub fn buffer_name(&self) -> &'static str {
+        self.buffer.name()
+    }
+
+    /// Flushes everything and decodes the full durable log (recovery entry
+    /// point and test oracle).
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.buffer.flush(self.buffer.current_lsn());
+        let base = self.buffer.start_lsn();
+        record::decode_stream(&self.buffer.read_durable(base), base)
+    }
+
+    /// Decodes only the durable prefix of the log *without* forcing a flush —
+    /// what recovery would actually see after a crash.
+    pub fn durable_records(&self) -> Vec<LogRecord> {
+        let base = self.buffer.start_lsn();
+        record::decode_stream(&self.buffer.read_durable(base), base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NULL_LSN;
+
+    #[test]
+    fn policy_roundtrip() {
+        for p in LogPolicy::ALL {
+            assert_eq!(p.to_string().parse::<LogPolicy>().unwrap(), p);
+        }
+        assert!("raft".parse::<LogPolicy>().is_err());
+    }
+
+    #[test]
+    fn append_and_replay_across_policies() {
+        for policy in LogPolicy::ALL {
+            let wal = Wal::new(policy, None);
+            let b = wal.append(1, NULL_LSN, &LogBody::Begin);
+            let u = wal.append(
+                1,
+                b.start,
+                &LogBody::Update {
+                    table: 1,
+                    key: 9,
+                    rid: esdb_storage::Rid::new(0, 0),
+                    before: vec![1],
+                    after: vec![2],
+                },
+            );
+            wal.commit(1, u.start);
+            let records = wal.records();
+            assert_eq!(records.len(), 3, "policy {policy}");
+            assert_eq!(records[0].body, LogBody::Begin);
+            assert_eq!(records[2].body, LogBody::Commit);
+            assert_eq!(records[1].prev_lsn, records[0].lsn);
+            assert!(wal.durable_lsn() >= records[2].lsn);
+        }
+    }
+
+    #[test]
+    fn commit_no_flush_leaves_log_volatile() {
+        let wal = Wal::new(LogPolicy::Consolidated, None);
+        let b = wal.append(7, NULL_LSN, &LogBody::Begin);
+        let c = wal.commit_no_flush(7, b.start);
+        // Not yet durable...
+        assert!(wal.durable_lsn() < c.end);
+        assert!(wal.durable_records().is_empty());
+        // ...until explicitly waited on.
+        wal.wait_durable(c.end);
+        assert_eq!(wal.durable_records().len(), 2);
+    }
+
+    #[test]
+    fn txn_chain_walks_backwards() {
+        let wal = Wal::new(LogPolicy::Serial, None);
+        let b = wal.append(3, NULL_LSN, &LogBody::Begin);
+        let u1 = wal.append(
+            3,
+            b.start,
+            &LogBody::Insert {
+                table: 0,
+                key: 1,
+                rid: esdb_storage::Rid::new(0, 0),
+                row: vec![],
+            },
+        );
+        let u2 = wal.append(
+            3,
+            u1.start,
+            &LogBody::Insert {
+                table: 0,
+                key: 2,
+                rid: esdb_storage::Rid::new(0, 1),
+                row: vec![],
+            },
+        );
+        let records = wal.records();
+        let by_lsn: std::collections::HashMap<_, _> =
+            records.iter().map(|r| (r.lsn, r)).collect();
+        // Walk the chain from the last record back to Begin.
+        let mut cur = u2.start;
+        let mut seen = Vec::new();
+        while cur != NULL_LSN {
+            let r = by_lsn[&cur];
+            seen.push(r.lsn);
+            cur = r.prev_lsn;
+        }
+        assert_eq!(seen, vec![u2.start, u1.start, b.start]);
+    }
+}

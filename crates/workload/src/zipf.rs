@@ -1,0 +1,141 @@
+//! Zipfian key distribution (Gray et al.'s analytic method).
+//!
+//! Used by the YCSB-style workload and by skew sweeps in the experiments:
+//! `theta = 0` is uniform, `theta → 1` concentrates almost all accesses on a
+//! handful of hot keys — exactly the regime where centralized locking and
+//! naive log buffers collapse.
+
+use crate::rng::Rng;
+
+/// Zipf(θ) sampler over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta ∈ [0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, integral approximation beyond — the error is
+        // far below the noise floor of any experiment here.
+        const EXACT: u64 = 10_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-θ dx from EXACT to n
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.below(self.n);
+        }
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = Rng::new(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "non-uniform: {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = Rng::new(2);
+        let mut top10 = 0;
+        const DRAWS: usize = 50_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        let frac = top10 as f64 / DRAWS as f64;
+        // Theory: H_10(0.9)/H_10000(0.9) ~= 0.20; uniform would give 0.001.
+        assert!((0.15..0.30).contains(&frac), "theta=0.9 top-10 mass {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        for theta in [0.0, 0.5, 0.99] {
+            let z = Zipf::new(37, theta);
+            let mut rng = Rng::new(3);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_skew() {
+        // Higher theta → larger share for rank 0.
+        let mut shares = Vec::new();
+        for theta in [0.0, 0.5, 0.9] {
+            let z = Zipf::new(1_000, theta);
+            let mut rng = Rng::new(4);
+            let hits = (0..20_000).filter(|_| z.sample(&mut rng) == 0).count();
+            shares.push(hits);
+        }
+        assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+    }
+
+    #[test]
+    fn large_domain_works() {
+        let z = Zipf::new(10_000_000, 0.8);
+        let mut rng = Rng::new(5);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Conventional 2PL vs DORA on identical TATP and TPC-B request streams.
+//!
+//! Runs the same deterministic workload against both execution models and
+//! prints per-transaction-type reports plus engine statistics. (On a
+//! single-core host the absolute throughputs are close; the scalability gap
+//! is what `cargo run -p esdb-bench --bin fig1_scaling` shows on the
+//! simulator.)
+//!
+//! ```text
+//! cargo run --release --example oltp_showdown
+//! ```
+
+use esdb::core::{Database, EngineConfig};
+use esdb::workload::{Tatp, Tpcb, Workload};
+use std::sync::Arc;
+
+fn run(name: &str, cfg: EngineConfig, workload: &mut dyn Workload, threads: usize, txns: u64) {
+    let db = Arc::new(Database::open(cfg));
+    db.load_population(workload);
+    let report = db.run_workload(workload, threads, txns);
+    println!("--- {name} [{}] ---", db.config().label());
+    print!("{report}");
+    let wal = db.wal();
+    println!(
+        "  wal: buffer={} durable_bytes={}",
+        wal.buffer_name(),
+        wal.durable_lsn()
+    );
+    if let Some((commits, aborts)) = match db.config().execution {
+        esdb::core::ExecutionModel::Conventional { .. } => {
+            let s = db.txn_manager().stats();
+            Some((s.commits, s.aborts))
+        }
+        _ => None,
+    } {
+        let locks = db.txn_manager().locks().stats();
+        println!(
+            "  txn: commits={commits} aborts={aborts}; locks: acq={} waits={} deadlocks={}",
+            locks.acquisitions, locks.waits, locks.deadlocks
+        );
+    }
+    println!();
+}
+
+fn main() {
+    const THREADS: usize = 4;
+    const TXNS: u64 = 2_000;
+
+    println!("== TATP (read-mostly telecom mix, 10k subscribers) ==\n");
+    run(
+        "TATP / conventional",
+        EngineConfig::conventional_baseline(),
+        &mut Tatp::new(10_000, 42),
+        THREADS,
+        TXNS,
+    );
+    run(
+        "TATP / DORA",
+        EngineConfig::scalable(4),
+        &mut Tatp::new(10_000, 42),
+        THREADS,
+        TXNS,
+    );
+
+    println!("== TPC-B (update-heavy debit/credit, hot branch rows) ==\n");
+    run(
+        "TPC-B / conventional",
+        EngineConfig::conventional_baseline(),
+        &mut Tpcb::new(4, 42),
+        THREADS,
+        TXNS,
+    );
+    run(
+        "TPC-B / DORA",
+        EngineConfig::scalable(4),
+        &mut Tpcb::new(4, 42),
+        THREADS,
+        TXNS,
+    );
+}

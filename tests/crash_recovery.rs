@@ -1,0 +1,97 @@
+//! Integration: crash recovery after concurrent workloads, with randomized
+//! in-flight transactions at the crash point.
+
+use esdb::core::{Database, EngineConfig};
+use esdb::workload::Tpcb;
+use std::sync::Arc;
+
+#[test]
+fn recovery_after_concurrent_tpcb_conserves_money() {
+    for flush_pages in [false, true] {
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        let mut w = Tpcb::new(2, 17);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 3, 120);
+        assert_eq!(report.failed, 0);
+
+        // Leave two transactions in flight at the crash.
+        let mgr = db.txn_manager().clone();
+        let mut t1 = mgr.begin();
+        t1.update(esdb::workload::tpcb::BRANCHES, 0, &[999_999]).unwrap();
+        let mut t2 = mgr.begin();
+        t2.insert(esdb::workload::tpcb::HISTORY, u64::MAX - 1, &[1, 2, 3])
+            .unwrap();
+        db.wal().wait_durable(db.wal().current_lsn());
+        std::mem::forget(t1);
+        std::mem::forget(t2);
+
+        let recovered = db.simulate_crash(flush_pages);
+
+        // Losers rolled back.
+        assert!(recovered
+            .read_committed(esdb::workload::tpcb::HISTORY, u64::MAX - 1)
+            .is_err());
+        // Conservation across all three levels.
+        let sum = |table: u32, col: usize| {
+            let t = recovered.table(table).unwrap();
+            let mut total = 0i64;
+            t.scan(|_, row| total += row[col]).unwrap();
+            total
+        };
+        let accounts = sum(esdb::workload::tpcb::ACCOUNTS, 1);
+        let branches = sum(esdb::workload::tpcb::BRANCHES, 0);
+        assert_eq!(accounts, branches, "flush_pages={flush_pages}");
+        // One history row per committed transaction.
+        assert_eq!(
+            recovered.table(esdb::workload::tpcb::HISTORY).unwrap().len(),
+            360,
+            "flush_pages={flush_pages}"
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_are_stable() {
+    // Crash, recover, run more work, crash again: state must stay exact.
+    let db = Database::open(EngineConfig::conventional_baseline());
+    let t = db.create_table("t", 1);
+    db.execute(|txn| txn.insert(t, 1, &[100])).unwrap();
+
+    let db2 = db.simulate_crash(false);
+    db2.execute(|txn| txn.update(t, 1, &[200]).map(|_| ())).unwrap();
+    db2.execute(|txn| txn.insert(t, 2, &[50])).unwrap();
+
+    let db3 = db2.simulate_crash(true);
+    assert_eq!(db3.read_committed(t, 1).unwrap(), vec![200]);
+    assert_eq!(db3.read_committed(t, 2).unwrap(), vec![50]);
+
+    let db4 = db3.simulate_crash(false);
+    assert_eq!(db4.read_committed(t, 1).unwrap(), vec![200]);
+    assert_eq!(db4.read_committed(t, 2).unwrap(), vec![50]);
+}
+
+#[test]
+fn dora_work_is_recoverable_too() {
+    // DORA executors write the same WAL; recovery is engine-agnostic.
+    let db = Arc::new(Database::open(EngineConfig::scalable(3)));
+    let mut w = Tpcb::new(1, 23);
+    db.load_population(&w);
+    let report = db.run_workload(&mut w, 2, 100);
+    assert_eq!(report.failed, 0);
+
+    let recovered = db.simulate_crash(false);
+    let sum = |table: u32, col: usize| {
+        let t = recovered.table(table).unwrap();
+        let mut total = 0i64;
+        t.scan(|_, row| total += row[col]).unwrap();
+        total
+    };
+    assert_eq!(
+        sum(esdb::workload::tpcb::ACCOUNTS, 1),
+        sum(esdb::workload::tpcb::BRANCHES, 0)
+    );
+    assert_eq!(
+        recovered.table(esdb::workload::tpcb::HISTORY).unwrap().len(),
+        200
+    );
+}

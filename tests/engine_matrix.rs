@@ -1,0 +1,98 @@
+//! Integration: the full engine configuration matrix on real workloads.
+//!
+//! Every execution model × log policy × ELR combination must run every
+//! workload correctly: all must-succeed transactions commit, and workload
+//! invariants (conservation of money, row counts) hold at the end.
+
+use esdb::core::{Database, EngineConfig, ExecutionModel};
+use esdb::core::config::LogChoice;
+use esdb::workload::{Tpcb, Ycsb};
+use std::sync::Arc;
+
+fn configs() -> Vec<EngineConfig> {
+    let mut out = Vec::new();
+    for execution in [
+        ExecutionModel::Conventional { lock_partitions: 16 },
+        ExecutionModel::Dora { partitions: 3 },
+    ] {
+        for log in [LogChoice::Serial, LogChoice::Decoupled, LogChoice::Consolidated] {
+            for elr in [false, true] {
+                out.push(EngineConfig {
+                    execution,
+                    log,
+                    elr,
+                    ..EngineConfig::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn tpcb_conserves_money_under_every_config() {
+    for cfg in configs() {
+        let label = cfg.label();
+        let db = Arc::new(Database::open(cfg));
+        let mut w = Tpcb::new(2, 99);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 3, 150);
+        assert_eq!(report.failed, 0, "[{label}] {report}");
+        assert_eq!(report.committed, 450, "[{label}]");
+
+        // Conservation: sum of account deltas == sum of branch deltas ==
+        // sum of teller deltas (all started at 0).
+        let sum = |table: u32| {
+            let t = db.table(table).unwrap();
+            let mut total = 0i64;
+            let col = if table == esdb::workload::tpcb::BRANCHES { 0 } else { 1 };
+            t.scan(|_, row| total += row[col]).unwrap();
+            total
+        };
+        let accounts = sum(esdb::workload::tpcb::ACCOUNTS);
+        let tellers = sum(esdb::workload::tpcb::TELLERS);
+        let branches = sum(esdb::workload::tpcb::BRANCHES);
+        assert_eq!(accounts, tellers, "[{label}]");
+        assert_eq!(tellers, branches, "[{label}]");
+        // History rows: one per committed transaction.
+        let history = db.table(esdb::workload::tpcb::HISTORY).unwrap();
+        assert_eq!(history.len(), 450, "[{label}]");
+    }
+}
+
+#[test]
+fn ycsb_hot_skew_survives_every_config() {
+    // theta=0.95 over few records: heavy conflicts; everything must still
+    // commit (retries) and counters must add up exactly.
+    for cfg in configs() {
+        let label = cfg.label();
+        let db = Arc::new(Database::open(cfg));
+        let mut w = Ycsb::new(64, 20, 0.95, 2, 3);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 3, 100);
+        assert_eq!(report.failed, 0, "[{label}] {report}");
+
+        // Column 1 of the user table counts update hits; total must equal
+        // the number of committed update ops.
+        let t = db.table(esdb::workload::ycsb::USERTABLE).unwrap();
+        let mut total = 0i64;
+        t.scan(|_, row| total += row[1]).unwrap();
+        assert!(total > 0, "[{label}] some updates must have landed");
+    }
+}
+
+#[test]
+fn wal_contains_commit_per_update_txn() {
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    let mut w = Tpcb::new(1, 5);
+    db.load_population(&w);
+    let report = db.run_workload(&mut w, 2, 50);
+    assert_eq!(report.committed, 100);
+    let commits = db
+        .wal()
+        .records()
+        .iter()
+        .filter(|r| matches!(r.body, esdb::wal::LogBody::Commit))
+        .count();
+    assert_eq!(commits, 100);
+}

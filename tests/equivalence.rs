@@ -1,0 +1,117 @@
+//! Integration: semantic equivalence across engine implementations.
+//!
+//! * Conventional 2PL and DORA must produce identical final database states
+//!   when fed the same deterministic single-threaded request stream.
+//! * Staged and Volcano query engines must agree on randomized plans
+//!   (property-based).
+
+use esdb::core::{Database, EngineConfig};
+use esdb::staged::{execute_staged, execute_staged_parallel, execute_volcano, AggFunc, CmpOp, PlanNode};
+use esdb::workload::{Tatp, Workload};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Materializes every table into a sorted map for comparison.
+fn snapshot(db: &Database, tables: &[u32]) -> BTreeMap<(u32, u64), Vec<i64>> {
+    let mut out = BTreeMap::new();
+    for &tid in tables {
+        let t = db.table(tid).unwrap();
+        t.scan(|key, row| {
+            out.insert((tid, key), row.to_vec());
+        })
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn conventional_and_dora_reach_identical_states() {
+    let table_ids: Vec<u32> = Tatp::new(1, 0).tables().iter().map(|t| t.id).collect();
+    let run = |cfg: EngineConfig| {
+        let db = Database::open(cfg);
+        let mut w = Tatp::new(500, 1234);
+        db.load_population(&w);
+        let mut outcomes = Vec::new();
+        // Single-threaded stream: both engines see the exact same requests
+        // in the exact same order, so states must match exactly.
+        for _ in 0..2_000 {
+            let spec = w.next_txn();
+            outcomes.push(db.run_spec(&spec).is_committed());
+        }
+        (snapshot(&db, &table_ids), outcomes)
+    };
+    let (conv_state, conv_outcomes) = run(EngineConfig::conventional_baseline());
+    let (dora_state, dora_outcomes) = run(EngineConfig::scalable(3));
+    assert_eq!(conv_outcomes, dora_outcomes, "same commit/abort decisions");
+    assert_eq!(conv_state, dora_state, "same final state");
+}
+
+// --- Property-based query-engine equivalence ------------------------------
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(-50i64..50, 3), 0..120)
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Sum),
+        Just(AggFunc::Count),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn staged_equals_volcano_on_random_plans(
+        rows in arb_rows(),
+        dim_rows in arb_rows(),
+        op in arb_cmp(),
+        value in -50i64..50,
+        filter_col in 0usize..3,
+        join_col in 0usize..3,
+        agg in arb_agg(),
+        group in proptest::bool::ANY,
+        batch in 1usize..300,
+    ) {
+        let plan = PlanNode::values(dim_rows)
+            .hash_join(PlanNode::values(rows), join_col, join_col)
+            .filter(filter_col, op, value)
+            // Joined rows have 6 columns; aggregate over column 4.
+            .aggregate(if group { Some(0) } else { None }, 4, agg)
+            .sort(0);
+        let volcano = execute_volcano(&plan);
+        let staged = execute_staged(&plan, batch);
+        prop_assert_eq!(&staged, &volcano);
+        let parallel = execute_staged_parallel(&plan, batch);
+        prop_assert_eq!(&parallel, &volcano);
+    }
+
+    #[test]
+    fn filter_project_pipeline_equivalence(
+        rows in arb_rows(),
+        a in -50i64..50,
+        b in -50i64..50,
+        batch in 1usize..64,
+    ) {
+        let plan = PlanNode::values(rows)
+            .filter(0, CmpOp::Ge, a)
+            .filter(1, CmpOp::Lt, b)
+            .project(vec![2, 0])
+            .sort(0);
+        prop_assert_eq!(execute_staged(&plan, batch), execute_volcano(&plan));
+    }
+}

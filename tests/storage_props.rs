@@ -1,0 +1,158 @@
+//! Property-based tests of the storage substrates against model oracles.
+
+use esdb::storage::btree::BTree;
+use esdb::storage::hashindex::HashIndex;
+use esdb::storage::page::Page;
+use esdb::storage::schema::{decode_row, encode_row};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn arb_map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u64..500, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0u64..500).prop_map(MapOp::Remove),
+        (0u64..500).prop_map(MapOp::Get),
+        (0u64..500, 0u64..500).prop_map(|(a, b)| MapOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The concurrent B+tree agrees with `BTreeMap` on arbitrary op tapes.
+    #[test]
+    fn btree_matches_btreemap(ops in prop::collection::vec(arb_map_op(), 1..400)) {
+        let tree = BTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(&k).copied());
+                }
+                MapOp::Range(a, b) => {
+                    let got = tree.range(a, b);
+                    let want: Vec<(u64, u64)> =
+                        model.range(a..=b).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len() as usize, model.len());
+        }
+    }
+
+    /// The partitioned hash index agrees with a plain map.
+    #[test]
+    fn hashindex_matches_model(ops in prop::collection::vec(arb_map_op(), 1..300)) {
+        let idx = HashIndex::new(8);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(idx.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(idx.remove(k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(idx.get(k), model.get(&k).copied());
+                }
+                MapOp::Range(..) => {} // unordered structure
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len());
+    }
+
+    /// Slotted pages never lose or corrupt live tuples under arbitrary
+    /// insert/update/delete sequences.
+    #[test]
+    fn page_preserves_live_tuples(
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(any::<u8>(), 1..64)),
+            1..150,
+        )
+    ) {
+        let mut page = Page::new();
+        let mut model: Vec<(u16, Vec<u8>)> = Vec::new();
+        for (kind, data) in ops {
+            match kind {
+                0 => {
+                    if let Some(slot) = page.insert(&data) {
+                        model.retain(|(s, _)| *s != slot);
+                        model.push((slot, data));
+                    }
+                }
+                1 => {
+                    if let Some(&(slot, _)) = model.first() {
+                        if page.update(slot, &data) {
+                            model[0].1 = data;
+                        }
+                    }
+                }
+                _ => {
+                    if let Some((slot, want)) = model.pop() {
+                        let got = page.delete(slot);
+                        prop_assert_eq!(got, Some(want));
+                    }
+                }
+            }
+            for (slot, want) in &model {
+                prop_assert_eq!(page.get(*slot), Some(want.as_slice()));
+            }
+        }
+    }
+
+    /// Row codec roundtrips arbitrary rows.
+    #[test]
+    fn row_codec_roundtrips(key in any::<u64>(), row in prop::collection::vec(any::<i64>(), 0..32)) {
+        let bytes = encode_row(key, &row);
+        let (k, r) = decode_row(&bytes);
+        prop_assert_eq!(k, key);
+        prop_assert_eq!(r, row);
+    }
+
+    /// Log records roundtrip through the wire format.
+    #[test]
+    fn log_record_roundtrips(
+        txn in 1u64..1000,
+        prev in 0u64..10_000,
+        key in any::<u64>(),
+        table in 0u32..64,
+        page in 0u64..(1 << 20),
+        slot in any::<u16>(),
+        before in prop::collection::vec(any::<i64>(), 0..8),
+        after in prop::collection::vec(any::<i64>(), 0..8),
+    ) {
+        use esdb::wal::record::{decode_stream, encode};
+        use esdb::wal::LogBody;
+        let rid = esdb::storage::Rid::new(page, slot);
+        for body in [
+            LogBody::Begin,
+            LogBody::Insert { table, key, rid, row: after.clone() },
+            LogBody::Update { table, key, rid, before: before.clone(), after: after.clone() },
+            LogBody::Delete { table, key, rid, before: before.clone() },
+            LogBody::Commit,
+            LogBody::Abort,
+        ] {
+            let bytes = encode(txn, prev, &body);
+            let decoded = decode_stream(&bytes, 8);
+            prop_assert_eq!(decoded.len(), 1);
+            prop_assert_eq!(&decoded[0].body, &body);
+            prop_assert_eq!(decoded[0].txn_id, txn);
+            prop_assert_eq!(decoded[0].prev_lsn, prev);
+        }
+    }
+}
