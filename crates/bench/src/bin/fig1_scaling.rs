@@ -16,6 +16,17 @@ use esdb_core::{run_sim_workload, EngineConfig, ExecutionModel, SimRunConfig};
 use esdb_workload::Tatp;
 
 fn main() {
+    // CI runs a reduced sweep: FIG1_CONTEXTS="1,4" FIG1_SUBSCRIBERS=1000.
+    let contexts: Vec<usize> = std::env::var("FIG1_CONTEXTS")
+        .map(|s| {
+            s.split(',')
+                .map(|c| c.trim().parse().expect("FIG1_CONTEXTS: comma-separated integers"))
+                .collect()
+        })
+        .unwrap_or_else(|_| CONTEXT_SWEEP.to_vec());
+    let subscribers: u64 = std::env::var("FIG1_SUBSCRIBERS")
+        .map(|s| s.parse().expect("FIG1_SUBSCRIBERS: integer"))
+        .unwrap_or(100_000);
     let configs: Vec<(&str, EngineConfig)> = vec![
         ("conventional", EngineConfig::conventional_baseline()),
         (
@@ -37,13 +48,14 @@ fn main() {
     );
 
     let mut base: Vec<f64> = vec![0.0; configs.len()];
-    for &contexts in &CONTEXT_SWEEP {
+    let first = contexts.first().copied().unwrap_or(1);
+    for &contexts in &contexts {
         let mut tpmcs = Vec::new();
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let mut w = Tatp::new(100_000, 7);
+            let mut w = Tatp::new(subscribers, 7);
             let r = run_sim_workload(&mut w, cfg, &SimRunConfig::at_contexts(contexts));
             let tpmc = r.tpmc();
-            if contexts == 1 {
+            if contexts == first {
                 base[i] = tpmc.max(1e-9);
             }
             tpmcs.push(tpmc);

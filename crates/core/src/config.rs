@@ -2,11 +2,10 @@
 
 use esdb_sync::LatchPolicy;
 use esdb_wal::LogPolicy;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How transactions are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionModel {
     /// Thread-per-transaction with the centralized hierarchical lock
     /// manager (the Shore/System-R design).
@@ -29,7 +28,7 @@ impl Default for ExecutionModel {
 }
 
 /// Serializable stand-in for [`LogPolicy`] (kept in sync by tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LogChoice {
     /// Mutex across allocation and copy.
     Serial,
@@ -51,7 +50,7 @@ impl From<LogChoice> for LogPolicy {
 }
 
 /// Serializable stand-in for [`LatchPolicy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LatchChoice {
     /// Pure spinning.
     Spin,
@@ -73,7 +72,7 @@ impl From<LatchChoice> for LatchPolicy {
 }
 
 /// Full engine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Execution model.
     pub execution: ExecutionModel,
@@ -85,12 +84,10 @@ pub struct EngineConfig {
     /// Early lock release at commit.
     pub elr: bool,
     /// Simulated log-device flush latency (None = RAM-speed).
-    #[serde(skip)]
     pub flush_latency: Option<Duration>,
     /// Buffer pool frames.
     pub buffer_frames: usize,
     /// Lock-wait timeout for the conventional path.
-    #[serde(skip)]
     pub lock_timeout: Duration,
     /// Retries for lock victims / wait-die deaths.
     pub retries: usize,

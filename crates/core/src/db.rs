@@ -16,6 +16,51 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+/// Errors from database administrative operations.
+///
+/// Kept as a proper enum (rather than panicking) so front-ends such as the
+/// network server can turn a misbehaving client's request into an error
+/// response instead of crashing the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// DDL arrived after the DORA executors captured the table set.
+    TablesFrozen {
+        /// Name of the table whose creation was rejected.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::TablesFrozen { name } => write!(
+                f,
+                "cannot create table {name:?}: DORA executors already started \
+                 (the table set is frozen at executor startup)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Point-in-time engine counters — what the network server's STATS command
+/// serializes. All fields are monotonic over a database's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions (conventional + DORA).
+    pub commits: u64,
+    /// Aborted transactions (conventional + DORA).
+    pub aborts: u64,
+    /// Highest durable LSN.
+    pub durable_lsn: u64,
+    /// End of the allocated log.
+    pub current_lsn: u64,
+    /// Physical log-device flushes. `commits / wal_flushes` is the average
+    /// group-commit batch size.
+    pub wal_flushes: u64,
+}
+
 /// A running esdb database instance.
 pub struct Database {
     config: EngineConfig,
@@ -79,17 +124,18 @@ impl Database {
 
     /// Creates a table with `arity` value columns; returns its id.
     ///
-    /// # Panics
-    /// Panics if called after the first transaction on a DORA-configured
-    /// database (executors capture the table set at startup).
-    pub fn create_table(&self, name: &str, arity: usize) -> TableId {
+    /// Fails with [`DbError::TablesFrozen`] after the first transaction on a
+    /// DORA-configured database (executors capture the table set at startup).
+    pub fn create_table(&self, name: &str, arity: usize) -> Result<TableId, DbError> {
         let frozen = self.frozen.lock();
-        assert!(!*frozen, "create_table after DORA executors started");
+        if *frozen {
+            return Err(DbError::TablesFrozen { name: name.to_string() });
+        }
         let id = self.next_table.fetch_add(1, Ordering::Relaxed) as TableId;
         let table = Arc::new(Table::create(id, name, arity, self.pool.clone()));
         self.txn_mgr.register_table(table.clone());
         self.tables.write().insert(id, table);
-        id
+        Ok(id)
     }
 
     /// Looks up a table handle.
@@ -139,6 +185,47 @@ impl Database {
         }
     }
 
+    /// Like [`Database::run_spec`], but a committing conventional transaction
+    /// appends its commit record *without* waiting for durability and returns
+    /// the LSN the caller must pass to `Wal::wait_durable` before
+    /// acknowledging the commit. This is the group-commit hook the network
+    /// server uses: a pipelined batch of transactions commits deferred, then
+    /// one physical flush covers the whole batch.
+    ///
+    /// `None` means there is nothing to wait on — a read-only commit, an
+    /// abort, or DORA execution (whose executors flush internally before
+    /// reporting).
+    pub fn run_spec_deferred(
+        &self,
+        spec: &esdb_workload::TxnSpec,
+    ) -> (SpecOutcome, Option<esdb_wal::Lsn>) {
+        match self.config.execution {
+            ExecutionModel::Conventional { .. } => {
+                spec_exec::run_conventional_deferred(&self.txn_mgr, self.config.retries, spec)
+            }
+            ExecutionModel::Dora { .. } => (spec_exec::run_dora(self.dora(), spec), None),
+        }
+    }
+
+    /// Point-in-time engine counters (the STATS command surface).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let t = self.txn_mgr.stats();
+        let (mut commits, mut aborts) = (t.commits, t.aborts);
+        if let Some(dora) = self.dora.get() {
+            let (c, a) = dora.quick_stats();
+            commits += c;
+            aborts += a;
+        }
+        let wal = self.wal();
+        StatsSnapshot {
+            commits,
+            aborts,
+            durable_lsn: wal.durable_lsn(),
+            current_lsn: wal.current_lsn(),
+            wal_flushes: wal.flush_count(),
+        }
+    }
+
     /// Reads the latest committed row (a tiny read-only transaction on the
     /// conventional path; a direct read on DORA, where readers go through
     /// executors only for transactional reads).
@@ -164,7 +251,9 @@ impl Database {
     /// Loads a workload's initial population (bulk, unlogged, pre-freeze).
     pub fn load_population(&self, workload: &dyn esdb_workload::Workload) {
         for def in workload.tables() {
-            let id = self.create_table(&def.name, def.arity);
+            let id = self
+                .create_table(&def.name, def.arity)
+                .expect("population loads before any transaction runs");
             debug_assert_eq!(id, def.id, "workload table ids must be dense from 0");
         }
         {
@@ -293,7 +382,7 @@ mod tests {
     #[test]
     fn open_create_execute_read() {
         let db = Database::open(EngineConfig::default());
-        let t = db.create_table("t", 1);
+        let t = db.create_table("t", 1).unwrap();
         db.execute(|txn| txn.insert(t, 1, &[42])).unwrap();
         assert_eq!(db.read_committed(t, 1).unwrap(), vec![42]);
     }
@@ -302,7 +391,7 @@ mod tests {
     fn spec_execution_on_both_models() {
         for cfg in [EngineConfig::conventional_baseline(), EngineConfig::scalable(4)] {
             let db = Database::open(cfg);
-            let t = db.create_table("t", 1);
+            let t = db.create_table("t", 1).unwrap();
             let insert = TxnSpec {
                 kind: "ins",
                 ops: vec![WorkloadOp::Insert { table: t, key: 5, row: vec![7] }],
@@ -314,16 +403,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "create_table after DORA")]
     fn dora_freezes_ddl() {
         let db = Database::open(EngineConfig::scalable(2));
-        let t = db.create_table("t", 1);
+        let t = db.create_table("t", 1).unwrap();
         let _ = db.run_spec(&TxnSpec {
             kind: "ins",
             ops: vec![WorkloadOp::Insert { table: t, key: 1, row: vec![1] }],
             may_fail: false,
         });
-        db.create_table("too-late", 1);
+        let err = db.create_table("too-late", 1).unwrap_err();
+        assert_eq!(err, DbError::TablesFrozen { name: "too-late".to_string() });
+        assert!(err.to_string().contains("too-late"));
+        // The rejection is an error, not a crash: the database still works.
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![1]);
     }
 
     #[test]
@@ -348,9 +440,54 @@ mod tests {
     }
 
     #[test]
+    fn deferred_spec_commit_needs_explicit_wait() {
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db.create_table("t", 1).unwrap();
+        let spec = TxnSpec {
+            kind: "ins",
+            ops: vec![WorkloadOp::Insert { table: t, key: 1, row: vec![9] }],
+            may_fail: false,
+        };
+        let (outcome, lsn) = db.run_spec_deferred(&spec);
+        assert!(outcome.is_committed());
+        let lsn = lsn.expect("writer gets a durability LSN");
+        assert!(db.wal().durable_lsn() < lsn, "commit must not auto-flush");
+        db.wal().wait_durable(lsn);
+        assert!(db.wal().durable_lsn() >= lsn);
+
+        // Read-only specs have nothing to wait on.
+        let (outcome, lsn) = db.run_spec_deferred(&TxnSpec {
+            kind: "read",
+            ops: vec![WorkloadOp::Read { table: t, key: 1 }],
+            may_fail: false,
+        });
+        assert!(outcome.is_committed());
+        assert!(lsn.is_none());
+    }
+
+    #[test]
+    fn stats_snapshot_counts_both_models() {
+        for cfg in [EngineConfig::conventional_baseline(), EngineConfig::scalable(2)] {
+            let db = Database::open(cfg);
+            let t = db.create_table("t", 1).unwrap();
+            for k in 0..5 {
+                let _ = db.run_spec(&TxnSpec {
+                    kind: "ins",
+                    ops: vec![WorkloadOp::Insert { table: t, key: k, row: vec![1] }],
+                    may_fail: false,
+                });
+            }
+            let snap = db.stats_snapshot();
+            assert_eq!(snap.commits, 5, "{snap:?}");
+            assert!(snap.current_lsn > 0);
+            assert!(snap.durable_lsn <= snap.current_lsn);
+        }
+    }
+
+    #[test]
     fn crash_recovery_preserves_committed_state() {
         let db = Database::open(EngineConfig::conventional_baseline());
-        let t = db.create_table("t", 1);
+        let t = db.create_table("t", 1).unwrap();
         db.execute(|txn| {
             txn.insert(t, 1, &[10])?;
             txn.insert(t, 2, &[20])

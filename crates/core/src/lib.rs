@@ -17,7 +17,7 @@
 //! use esdb_core::{Database, EngineConfig};
 //!
 //! let db = Database::open(EngineConfig::default());
-//! let accounts = db.create_table("accounts", 2);
+//! let accounts = db.create_table("accounts", 2).unwrap();
 //! db.execute(|txn| {
 //!     txn.insert(accounts, 1, &[100, 0])?;
 //!     txn.insert(accounts, 2, &[250, 0])?;
@@ -35,7 +35,7 @@ pub mod simbridge;
 pub mod spec_exec;
 
 pub use config::{EngineConfig, ExecutionModel};
-pub use db::Database;
+pub use db::{Database, DbError, StatsSnapshot};
 pub use metrics::WorkloadReport;
 pub use simbridge::{run_sim_workload, sim_model_config, SimRunConfig};
 

@@ -115,6 +115,38 @@ mod tests {
     }
 
     #[test]
+    fn merge_accumulates_by_kind_across_disjoint_and_shared_kinds() {
+        let mut a = WorkloadReport::default();
+        a.record("shared", false, &SpecOutcome::Committed { reads: vec![] });
+        a.record("only-a", false, &SpecOutcome::ConflictFailure);
+        let mut b = WorkloadReport::default();
+        b.record("shared", false, &SpecOutcome::LogicalFailure);
+        b.record("shared", false, &SpecOutcome::Committed { reads: vec![] });
+        b.record("only-b", true, &SpecOutcome::LogicalFailure);
+        a.merge(b);
+        // Shared kinds sum attempts and commits; disjoint kinds carry over.
+        assert_eq!(a.by_kind["shared"], (3, 2));
+        assert_eq!(a.by_kind["only-a"], (1, 0));
+        assert_eq!(a.by_kind["only-b"], (1, 0));
+        assert_eq!(a.by_kind.len(), 3);
+        assert_eq!(a.attempts, 5);
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.expected_failures, 1);
+        assert_eq!(a.failed, 2);
+    }
+
+    #[test]
+    fn throughput_is_zero_when_untimed() {
+        let mut r = WorkloadReport::default();
+        r.record("x", false, &SpecOutcome::Committed { reads: vec![] });
+        // elapsed defaults to zero: the report must not divide by it.
+        assert_eq!(r.elapsed, Duration::ZERO);
+        assert_eq!(r.throughput(), 0.0);
+        r.elapsed = Duration::from_millis(500);
+        assert_eq!(r.throughput(), 2.0);
+    }
+
+    #[test]
     fn display_contains_kinds() {
         let mut r = WorkloadReport::default();
         r.record("GetSubscriberData", false, &SpecOutcome::Committed { reads: vec![] });

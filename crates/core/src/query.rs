@@ -53,7 +53,7 @@ mod tests {
     #[test]
     fn query_engines_agree_on_table_data() {
         let db = Database::open(EngineConfig::default());
-        let t = db.create_table("sales", 2);
+        let t = db.create_table("sales", 2).unwrap();
         db.execute(|txn| {
             for k in 0..200u64 {
                 txn.insert(t, k, &[(k % 10) as i64, k as i64])?;
@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn query_sees_committed_updates() {
         let db = Database::open(EngineConfig::default());
-        let t = db.create_table("t", 1);
+        let t = db.create_table("t", 1).unwrap();
         db.execute(|txn| txn.insert(t, 1, &[5])).unwrap();
         let plan = db.scan_plan(t).aggregate(None, 1, AggFunc::Sum);
         assert_eq!(db.query(&plan, QueryEngine::Volcano), vec![vec![5]]);

@@ -1,7 +1,8 @@
 //! Executing engine-agnostic transaction specs on either execution model.
 
 use esdb_dora::{Action, ActionOp, DoraError, DoraSystem};
-use esdb_txn::{TxnError, TxnManager};
+use esdb_txn::{Txn, TxnError, TxnManager, TxnResult};
+use esdb_wal::Lsn;
 use esdb_workload::{TxnSpec, WorkloadOp};
 use std::sync::Arc;
 
@@ -27,49 +28,84 @@ impl SpecOutcome {
     }
 }
 
-/// Runs `spec` as a conventional 2PL transaction.
-pub fn run_conventional(mgr: &Arc<TxnManager>, retries: usize, spec: &TxnSpec) -> SpecOutcome {
-    let result = mgr.run(retries, |txn| {
-        let mut reads: Vec<Option<Vec<i64>>> = Vec::with_capacity(spec.ops.len());
-        for op in &spec.ops {
-            match op {
-                WorkloadOp::Read { table, key } => {
-                    reads.push(Some(txn.read(*table, *key)?));
+/// Applies every op of `spec` inside `txn`, collecting per-op read results.
+fn apply_ops(txn: &mut Txn, spec: &TxnSpec) -> TxnResult<Vec<Option<Vec<i64>>>> {
+    let mut reads: Vec<Option<Vec<i64>>> = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        match op {
+            WorkloadOp::Read { table, key } => {
+                reads.push(Some(txn.read(*table, *key)?));
+            }
+            WorkloadOp::Write { table, key, row } => {
+                txn.update(*table, *key, row)?;
+                reads.push(None);
+            }
+            WorkloadOp::Add { table, key, col, delta } => {
+                let before = txn.read_for_update(*table, *key)?;
+                let mut after = before.clone();
+                if *col >= after.len() {
+                    return Err(TxnError::Storage(
+                        esdb_storage::StorageError::ArityMismatch {
+                            expected: after.len(),
+                            got: *col + 1,
+                        },
+                    ));
                 }
-                WorkloadOp::Write { table, key, row } => {
-                    txn.update(*table, *key, row)?;
-                    reads.push(None);
-                }
-                WorkloadOp::Add { table, key, col, delta } => {
-                    let before = txn.read_for_update(*table, *key)?;
-                    let mut after = before.clone();
-                    if *col >= after.len() {
-                        return Err(TxnError::Storage(
-                            esdb_storage::StorageError::ArityMismatch {
-                                expected: after.len(),
-                                got: *col + 1,
-                            },
-                        ));
-                    }
-                    after[*col] += delta;
-                    txn.update(*table, *key, &after)?;
-                    reads.push(Some(before));
-                }
-                WorkloadOp::Insert { table, key, row } => {
-                    txn.insert(*table, *key, row)?;
-                    reads.push(None);
-                }
-                WorkloadOp::Delete { table, key } => {
-                    reads.push(Some(txn.delete(*table, *key)?));
-                }
+                after[*col] += delta;
+                txn.update(*table, *key, &after)?;
+                reads.push(Some(before));
+            }
+            WorkloadOp::Insert { table, key, row } => {
+                txn.insert(*table, *key, row)?;
+                reads.push(None);
+            }
+            WorkloadOp::Delete { table, key } => {
+                reads.push(Some(txn.delete(*table, *key)?));
             }
         }
-        Ok(reads)
-    });
+    }
+    Ok(reads)
+}
+
+/// Runs `spec` as a conventional 2PL transaction.
+pub fn run_conventional(mgr: &Arc<TxnManager>, retries: usize, spec: &TxnSpec) -> SpecOutcome {
+    let result = mgr.run(retries, |txn| apply_ops(txn, spec));
     match result {
         Ok(reads) => SpecOutcome::Committed { reads },
         Err(TxnError::Lock(_)) => SpecOutcome::ConflictFailure,
         Err(_) => SpecOutcome::LogicalFailure,
+    }
+}
+
+/// Runs `spec` as a conventional 2PL transaction whose commit record is
+/// appended but *not* flushed. On commit, returns the LSN the caller must
+/// pass to `Wal::wait_durable` before acknowledging (`None` for read-only
+/// transactions, which have no commit record).
+///
+/// Mirrors [`TxnManager::run`]'s retry policy: lock victims retry up to
+/// `retries` times; logical failures abort immediately.
+pub fn run_conventional_deferred(
+    mgr: &Arc<TxnManager>,
+    retries: usize,
+    spec: &TxnSpec,
+) -> (SpecOutcome, Option<Lsn>) {
+    let mut attempt = 0;
+    loop {
+        let mut txn = mgr.begin();
+        match apply_ops(&mut txn, spec) {
+            Ok(reads) => {
+                let lsn = txn.commit_deferred();
+                return (SpecOutcome::Committed { reads }, lsn);
+            }
+            Err(e) => {
+                txn.abort();
+                match e {
+                    TxnError::Lock(_) if attempt < retries => attempt += 1,
+                    TxnError::Lock(_) => return (SpecOutcome::ConflictFailure, None),
+                    _ => return (SpecOutcome::LogicalFailure, None),
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,305 @@
+//! Client library and multi-connection load generator.
+
+use crate::protocol::{
+    decode_response, encode_request, encode_spec, FrameError, Request, Response, ServerStats,
+};
+use esdb_core::spec_exec::SpecOutcome;
+use esdb_core::WorkloadReport;
+use esdb_workload::{TxnSpec, Workload, WorkloadOp};
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// The server shed this connection at admission ([`Response::Busy`]);
+    /// retry after a backoff.
+    ServerBusy,
+    /// The peer broke the wire protocol.
+    Protocol(FrameError),
+    /// The server answered with an unexpected message for the request sent.
+    Unexpected(&'static str),
+    /// A structured server-side error response.
+    Server(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::ServerBusy => write!(f, "server at session capacity, retry later"),
+            NetError::Protocol(e) => write!(f, "protocol: {e}"),
+            NetError::Unexpected(what) => write!(f, "unexpected response (wanted {what})"),
+            NetError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+/// A connection to an esdb server.
+pub struct Client {
+    stream: TcpStream,
+    inbox: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and consumes the admission greeting. Returns
+    /// [`NetError::ServerBusy`] when the server sheds the connection.
+    pub fn connect(addr: SocketAddr) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream, inbox: Vec::new() };
+        match client.recv()? {
+            Response::Hello => Ok(client),
+            Response::Busy => Err(NetError::ServerBusy),
+            _ => Err(NetError::Unexpected("greeting")),
+        }
+    }
+
+    /// Like [`Client::connect`], retrying Busy sheds with a linear backoff.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<Client, NetError> {
+        let mut last = NetError::ServerBusy;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e @ NetError::ServerBusy) => {
+                    last = e;
+                    std::thread::sleep(backoff * (attempt as u32 + 1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), NetError> {
+        let mut buf = Vec::new();
+        encode_request(req, &mut buf);
+        self.stream.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads the next response frame (blocking).
+    fn recv(&mut self) -> Result<Response, NetError> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some((resp, used)) = decode_response(&self.inbox)? {
+                self.inbox.drain(..used);
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.inbox.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("pong")),
+        }
+    }
+
+    /// Engine + server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, NetError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("stats")),
+        }
+    }
+
+    /// Executes one one-shot transaction and waits for its outcome. The
+    /// acknowledgment implies the commit is durable on the server.
+    pub fn one_shot(&mut self, spec: &TxnSpec) -> Result<SpecOutcome, NetError> {
+        let mut buf = Vec::new();
+        encode_spec(spec, &mut buf);
+        self.stream.write_all(&buf)?;
+        self.read_outcome()
+    }
+
+    /// Pipelines a batch of one-shot transactions: all requests are written
+    /// before any response is read, so the server can commit the whole batch
+    /// under a single WAL flush. Outcomes come back in submission order.
+    pub fn run_pipelined(&mut self, specs: &[TxnSpec]) -> Result<Vec<SpecOutcome>, NetError> {
+        let mut buf = Vec::new();
+        for spec in specs {
+            encode_spec(spec, &mut buf);
+        }
+        self.stream.write_all(&buf)?;
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for _ in specs {
+            outcomes.push(self.read_outcome()?);
+        }
+        Ok(outcomes)
+    }
+
+    fn read_outcome(&mut self) -> Result<SpecOutcome, NetError> {
+        match self.recv()? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("outcome")),
+        }
+    }
+
+    fn expect_ok(&mut self) -> Result<(), NetError> {
+        match self.recv()? {
+            Response::Ok => Ok(()),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("ok")),
+        }
+    }
+
+    /// Opens an interactive transaction on this session.
+    pub fn begin(&mut self) -> Result<(), NetError> {
+        self.send(&Request::Begin)?;
+        self.expect_ok()
+    }
+
+    /// Reads a row inside the open transaction.
+    pub fn read(&mut self, table: u32, key: u64) -> Result<Vec<i64>, NetError> {
+        self.send(&Request::Read { table, key })?;
+        match self.recv()? {
+            Response::Row(row) => Ok(row),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("row")),
+        }
+    }
+
+    /// Overwrites a row inside the open transaction.
+    pub fn update(&mut self, table: u32, key: u64, row: Vec<i64>) -> Result<(), NetError> {
+        self.send(&Request::Update { table, key, row })?;
+        self.expect_ok()
+    }
+
+    /// Inserts a row inside the open transaction.
+    pub fn insert(&mut self, table: u32, key: u64, row: Vec<i64>) -> Result<(), NetError> {
+        self.send(&Request::Insert { table, key, row })?;
+        self.expect_ok()
+    }
+
+    /// Commits the open transaction; returns once the commit is durable.
+    pub fn commit(&mut self) -> Result<(), NetError> {
+        self.send(&Request::Commit)?;
+        self.expect_ok()
+    }
+
+    /// Aborts the open transaction.
+    pub fn abort(&mut self) -> Result<(), NetError> {
+        self.send(&Request::Abort)?;
+        self.expect_ok()
+    }
+
+    /// One-shot read of the latest committed row (a tiny transaction).
+    pub fn read_committed(&mut self, table: u32, key: u64) -> Result<Option<Vec<i64>>, NetError> {
+        let spec = TxnSpec {
+            kind: "read",
+            ops: vec![WorkloadOp::Read { table, key }],
+            may_fail: true,
+        };
+        match self.one_shot(&spec)? {
+            SpecOutcome::Committed { mut reads } => Ok(reads.remove(0)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections (one thread each).
+    pub connections: usize,
+    /// Transactions per connection.
+    pub txns_per_conn: u64,
+    /// One-shot transactions kept in flight per connection. Depth 1 is
+    /// strict request/response; deeper pipelines let the server batch
+    /// commits into shared WAL flushes.
+    pub pipeline_depth: usize,
+    /// Busy-shed retry attempts per connection.
+    pub connect_attempts: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            txns_per_conn: 1_000,
+            pipeline_depth: 8,
+            connect_attempts: 50,
+        }
+    }
+}
+
+/// Drives `config.connections` concurrent client connections against the
+/// server at `addr`, each executing forks of `workload`, and returns the
+/// aggregate report keyed by the client-side transaction kinds.
+pub fn run_load(
+    addr: SocketAddr,
+    workload: &mut dyn Workload,
+    config: &LoadConfig,
+) -> Result<WorkloadReport, NetError> {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..config.connections {
+        let mut gen = workload.fork();
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(move || -> Result<WorkloadReport, NetError> {
+            let mut client =
+                Client::connect_with_retry(addr, cfg.connect_attempts, Duration::from_millis(5))?;
+            let mut report = WorkloadReport::default();
+            let mut remaining = cfg.txns_per_conn;
+            while remaining > 0 {
+                let n = remaining.min(cfg.pipeline_depth.max(1) as u64) as usize;
+                let specs: Vec<TxnSpec> = (0..n).map(|_| gen.next_txn()).collect();
+                let outcomes = client.run_pipelined(&specs)?;
+                for (spec, outcome) in specs.iter().zip(&outcomes) {
+                    report.record(spec.kind, spec.may_fail, outcome);
+                }
+                remaining -= n as u64;
+            }
+            Ok(report)
+        }));
+    }
+    let mut report = WorkloadReport::default();
+    let mut first_err = None;
+    for h in handles {
+        match h.join().expect("load thread") {
+            Ok(r) => report.merge(r),
+            Err(e) => first_err = Some(e),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}

@@ -1,0 +1,674 @@
+//! The esdb wire protocol: length-prefixed binary frames.
+//!
+//! Every message is one frame: a little-endian `u32` payload length followed
+//! by the payload, whose first byte is the message tag. Integers are
+//! little-endian throughout; rows are a `u16` column count followed by that
+//! many `i64`s.
+//!
+//! Decoding distinguishes **incomplete** input (the frame's bytes have not
+//! all arrived — try again after reading more) from **malformed** input (the
+//! bytes can never become a valid frame — the connection is beyond repair).
+//! A malformed frame is an error value, never a panic: a hostile or buggy
+//! client must not be able to take down the server.
+
+use bytes::{Buf, BufMut};
+use esdb_core::spec_exec::SpecOutcome;
+use esdb_core::StatsSnapshot;
+use esdb_workload::{TxnSpec, WorkloadOp};
+
+/// Frame header size: the `u32` payload length.
+pub const HEADER_LEN: usize = 4;
+
+/// Upper bound on a frame payload. Anything larger is malformed — the cap
+/// keeps a hostile length prefix from making the server allocate gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The payload's structure is invalid (unknown tag, truncated field,
+    /// trailing garbage, row too wide).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Engine + server counters.
+    Stats,
+    /// One-shot transaction: the whole op list in one frame. The server
+    /// executes, commits (deferred, riding the session batch's single WAL
+    /// flush) and replies with an [`Response::Outcome`].
+    OneShot {
+        /// Whether a logical failure is an expected outcome.
+        may_fail: bool,
+        /// The operations, in order.
+        ops: Vec<WorkloadOp>,
+    },
+    /// Opens an interactive transaction on this session.
+    Begin,
+    /// Reads a row inside the session's open transaction.
+    Read {
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+    },
+    /// Overwrites a row inside the open transaction.
+    Update {
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+        /// New row.
+        row: Vec<i64>,
+    },
+    /// Inserts a row inside the open transaction.
+    Insert {
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+        /// Row.
+        row: Vec<i64>,
+    },
+    /// Commits the open transaction (acknowledged only once durable).
+    Commit,
+    /// Aborts the open transaction.
+    Abort,
+}
+
+/// Server-side counters the STATS command reports alongside the engine's
+/// [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Engine counters.
+    pub engine: StatsSnapshot,
+    /// Sessions admitted.
+    pub sessions_accepted: u64,
+    /// Connections shed with [`Response::Busy`].
+    pub sessions_shed: u64,
+    /// Sessions currently open.
+    pub sessions_active: u64,
+    /// One-shot transactions executed.
+    pub txns_executed: u64,
+    /// One-shot transactions committed.
+    pub txns_committed: u64,
+    /// Request batches processed (each batch pays at most one WAL flush).
+    pub batches: u64,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Greeting: the session was admitted.
+    Hello,
+    /// Greeting: the server is at its session cap; retry later. The
+    /// connection closes after this frame — structured load shedding, not a
+    /// hang or an unbounded queue.
+    Busy,
+    /// Ping reply.
+    Pong,
+    /// STATS reply.
+    Stats(ServerStats),
+    /// One-shot transaction result.
+    Outcome(SpecOutcome),
+    /// A row, from an interactive [`Request::Read`].
+    Row(Vec<i64>),
+    /// Generic success (begin / update / insert / commit / abort).
+    Ok,
+    /// The request failed; the session stays usable.
+    Error(String),
+}
+
+// Payload tags. Requests and responses share one byte space so a tag is
+// self-describing in traces.
+const T_PING: u8 = 0x01;
+const T_STATS: u8 = 0x02;
+const T_ONE_SHOT: u8 = 0x03;
+const T_BEGIN: u8 = 0x10;
+const T_READ: u8 = 0x11;
+const T_UPDATE: u8 = 0x12;
+const T_INSERT: u8 = 0x13;
+const T_COMMIT: u8 = 0x14;
+const T_ABORT: u8 = 0x15;
+const T_HELLO: u8 = 0x80;
+const T_BUSY: u8 = 0x81;
+const T_PONG: u8 = 0x82;
+const T_STATS_REPLY: u8 = 0x83;
+const T_OUTCOME: u8 = 0x84;
+const T_ROW: u8 = 0x85;
+const T_OK: u8 = 0x86;
+const T_ERROR: u8 = 0x87;
+
+// Op tags inside OneShot.
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_ADD: u8 = 2;
+const OP_INSERT: u8 = 3;
+const OP_DELETE: u8 = 4;
+
+// Outcome tags.
+const OUT_COMMITTED: u8 = 0;
+const OUT_LOGICAL: u8 = 1;
+const OUT_CONFLICT: u8 = 2;
+
+/// Checked cursor over a payload: every read verifies length first, so
+/// truncated or lying frames surface as [`FrameError::Malformed`], never as
+/// a panic out of the underlying [`Buf`].
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), FrameError> {
+        if self.buf.remaining() < n {
+            Err(FrameError::Malformed("truncated field"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    fn row(&mut self) -> Result<Vec<i64>, FrameError> {
+        let cols = self.u16()? as usize;
+        // 8 bytes per column must actually be present; checked per-read.
+        let mut row = Vec::with_capacity(cols.min(1024));
+        for _ in 0..cols {
+            row.push(self.i64()?);
+        }
+        Ok(row)
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.buf.copy_to_slice(&mut bytes);
+        String::from_utf8(bytes).map_err(|_| FrameError::Malformed("non-utf8 string"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.buf.remaining() != 0 {
+            Err(FrameError::Malformed("trailing bytes"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[i64]) {
+    debug_assert!(row.len() <= u16::MAX as usize);
+    out.put_u16_le(row.len() as u16);
+    for v in row {
+        out.put_i64_le(*v);
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(u16::MAX as usize)];
+    out.put_u16_le(bytes.len() as u16);
+    out.put_slice(bytes);
+}
+
+fn encode_op(out: &mut Vec<u8>, op: &WorkloadOp) {
+    match op {
+        WorkloadOp::Read { table, key } => {
+            out.put_u8(OP_READ);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+        }
+        WorkloadOp::Write { table, key, row } => {
+            out.put_u8(OP_WRITE);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            put_row(out, row);
+        }
+        WorkloadOp::Add { table, key, col, delta } => {
+            out.put_u8(OP_ADD);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u16_le(*col as u16);
+            out.put_i64_le(*delta);
+        }
+        WorkloadOp::Insert { table, key, row } => {
+            out.put_u8(OP_INSERT);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            put_row(out, row);
+        }
+        WorkloadOp::Delete { table, key } => {
+            out.put_u8(OP_DELETE);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<WorkloadOp, FrameError> {
+    match r.u8()? {
+        OP_READ => Ok(WorkloadOp::Read { table: r.u32()?, key: r.u64()? }),
+        OP_WRITE => Ok(WorkloadOp::Write { table: r.u32()?, key: r.u64()?, row: r.row()? }),
+        OP_ADD => Ok(WorkloadOp::Add {
+            table: r.u32()?,
+            key: r.u64()?,
+            col: r.u16()? as usize,
+            delta: r.i64()?,
+        }),
+        OP_INSERT => Ok(WorkloadOp::Insert { table: r.u32()?, key: r.u64()?, row: r.row()? }),
+        OP_DELETE => Ok(WorkloadOp::Delete { table: r.u32()?, key: r.u64()? }),
+        _ => Err(FrameError::Malformed("unknown op tag")),
+    }
+}
+
+/// Appends one framed request to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    match req {
+        Request::Ping => out.put_u8(T_PING),
+        Request::Stats => out.put_u8(T_STATS),
+        Request::OneShot { may_fail, ops } => {
+            out.put_u8(T_ONE_SHOT);
+            out.put_u8(u8::from(*may_fail));
+            debug_assert!(ops.len() <= u16::MAX as usize);
+            out.put_u16_le(ops.len() as u16);
+            for op in ops {
+                encode_op(out, op);
+            }
+        }
+        Request::Begin => out.put_u8(T_BEGIN),
+        Request::Read { table, key } => {
+            out.put_u8(T_READ);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+        }
+        Request::Update { table, key, row } => {
+            out.put_u8(T_UPDATE);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            put_row(out, row);
+        }
+        Request::Insert { table, key, row } => {
+            out.put_u8(T_INSERT);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            put_row(out, row);
+        }
+        Request::Commit => out.put_u8(T_COMMIT),
+        Request::Abort => out.put_u8(T_ABORT),
+    }
+    end_frame(out, at);
+}
+
+/// Encodes a one-shot request straight from a workload spec (the `kind`
+/// string stays client-side; the client keys its per-kind report off the
+/// specs it sent, so the name never crosses the wire).
+pub fn encode_spec(spec: &TxnSpec, out: &mut Vec<u8>) {
+    encode_request(
+        &Request::OneShot { may_fail: spec.may_fail, ops: spec.ops.clone() },
+        out,
+    );
+}
+
+/// Appends one framed response to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    match resp {
+        Response::Hello => out.put_u8(T_HELLO),
+        Response::Busy => out.put_u8(T_BUSY),
+        Response::Pong => out.put_u8(T_PONG),
+        Response::Stats(s) => {
+            out.put_u8(T_STATS_REPLY);
+            out.put_u64_le(s.engine.commits);
+            out.put_u64_le(s.engine.aborts);
+            out.put_u64_le(s.engine.durable_lsn);
+            out.put_u64_le(s.engine.current_lsn);
+            out.put_u64_le(s.engine.wal_flushes);
+            out.put_u64_le(s.sessions_accepted);
+            out.put_u64_le(s.sessions_shed);
+            out.put_u64_le(s.sessions_active);
+            out.put_u64_le(s.txns_executed);
+            out.put_u64_le(s.txns_committed);
+            out.put_u64_le(s.batches);
+        }
+        Response::Outcome(outcome) => {
+            out.put_u8(T_OUTCOME);
+            match outcome {
+                SpecOutcome::Committed { reads } => {
+                    out.put_u8(OUT_COMMITTED);
+                    debug_assert!(reads.len() <= u16::MAX as usize);
+                    out.put_u16_le(reads.len() as u16);
+                    for read in reads {
+                        match read {
+                            Some(row) => {
+                                out.put_u8(1);
+                                put_row(out, row);
+                            }
+                            None => out.put_u8(0),
+                        }
+                    }
+                }
+                SpecOutcome::LogicalFailure => out.put_u8(OUT_LOGICAL),
+                SpecOutcome::ConflictFailure => out.put_u8(OUT_CONFLICT),
+            }
+        }
+        Response::Row(row) => {
+            out.put_u8(T_ROW);
+            put_row(out, row);
+        }
+        Response::Ok => out.put_u8(T_OK),
+        Response::Error(msg) => {
+            out.put_u8(T_ERROR);
+            put_string(out, msg);
+        }
+    }
+    end_frame(out, at);
+}
+
+/// Reserves a frame header; returns the patch offset for [`end_frame`].
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.put_u32_le(0);
+    at
+}
+
+/// Patches the header with the payload length written since [`begin_frame`].
+fn end_frame(out: &mut Vec<u8>, at: usize) {
+    let len = out.len() - at - HEADER_LEN;
+    debug_assert!(len <= MAX_FRAME, "encoded frame exceeds MAX_FRAME");
+    out[at..at + HEADER_LEN].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Result of trying to decode one frame from a byte stream.
+pub type Decoded<T> = Result<Option<(T, usize)>, FrameError>;
+
+/// Splits off one frame payload: `Ok(None)` while bytes are still missing,
+/// `Err` if the length prefix is unusable.
+fn take_frame(buf: &[u8]) -> Decoded<&[u8]> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut header = &buf[..HEADER_LEN];
+    let len = header.get_u32_le() as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    if len == 0 {
+        return Err(FrameError::Malformed("empty payload"));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[HEADER_LEN..HEADER_LEN + len], HEADER_LEN + len)))
+}
+
+/// Decodes one request frame from the front of `buf`. Returns the request
+/// and the number of bytes consumed, `Ok(None)` if the frame is incomplete,
+/// or an error if it can never parse.
+pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
+    let Some((payload, consumed)) = take_frame(buf)? else {
+        return Ok(None);
+    };
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        T_PING => Request::Ping,
+        T_STATS => Request::Stats,
+        T_ONE_SHOT => {
+            let may_fail = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed("bad bool")),
+            };
+            let n = r.u16()? as usize;
+            let mut ops = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                ops.push(decode_op(&mut r)?);
+            }
+            Request::OneShot { may_fail, ops }
+        }
+        T_BEGIN => Request::Begin,
+        T_READ => Request::Read { table: r.u32()?, key: r.u64()? },
+        T_UPDATE => Request::Update { table: r.u32()?, key: r.u64()?, row: r.row()? },
+        T_INSERT => Request::Insert { table: r.u32()?, key: r.u64()?, row: r.row()? },
+        T_COMMIT => Request::Commit,
+        T_ABORT => Request::Abort,
+        _ => return Err(FrameError::Malformed("unknown request tag")),
+    };
+    r.finish()?;
+    Ok(Some((req, consumed)))
+}
+
+/// Decodes one response frame from the front of `buf` (client side).
+pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
+    let Some((payload, consumed)) = take_frame(buf)? else {
+        return Ok(None);
+    };
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        T_HELLO => Response::Hello,
+        T_BUSY => Response::Busy,
+        T_PONG => Response::Pong,
+        T_STATS_REPLY => Response::Stats(ServerStats {
+            engine: StatsSnapshot {
+                commits: r.u64()?,
+                aborts: r.u64()?,
+                durable_lsn: r.u64()?,
+                current_lsn: r.u64()?,
+                wal_flushes: r.u64()?,
+            },
+            sessions_accepted: r.u64()?,
+            sessions_shed: r.u64()?,
+            sessions_active: r.u64()?,
+            txns_executed: r.u64()?,
+            txns_committed: r.u64()?,
+            batches: r.u64()?,
+        }),
+        T_OUTCOME => {
+            let outcome = match r.u8()? {
+                OUT_COMMITTED => {
+                    let n = r.u16()? as usize;
+                    let mut reads = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        match r.u8()? {
+                            0 => reads.push(None),
+                            1 => reads.push(Some(r.row()?)),
+                            _ => return Err(FrameError::Malformed("bad option tag")),
+                        }
+                    }
+                    SpecOutcome::Committed { reads }
+                }
+                OUT_LOGICAL => SpecOutcome::LogicalFailure,
+                OUT_CONFLICT => SpecOutcome::ConflictFailure,
+                _ => return Err(FrameError::Malformed("unknown outcome tag")),
+            };
+            Response::Outcome(outcome)
+        }
+        T_ROW => Response::Row(r.row()?),
+        T_OK => Response::Ok,
+        T_ERROR => Response::Error(r.string()?),
+        _ => return Err(FrameError::Malformed("unknown response tag")),
+    };
+    r.finish()?;
+    Ok(Some((resp, consumed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (decoded, consumed) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(consumed, buf.len());
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+        assert_eq!(decoded, resp);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Begin);
+        roundtrip_request(Request::Commit);
+        roundtrip_request(Request::Abort);
+        roundtrip_request(Request::Read { table: 3, key: u64::MAX });
+        roundtrip_request(Request::Update { table: 0, key: 1, row: vec![i64::MIN, 0, i64::MAX] });
+        roundtrip_request(Request::Insert { table: 9, key: 2, row: vec![] });
+        roundtrip_request(Request::OneShot {
+            may_fail: true,
+            ops: vec![
+                WorkloadOp::Read { table: 1, key: 2 },
+                WorkloadOp::Write { table: 1, key: 2, row: vec![-5] },
+                WorkloadOp::Add { table: 2, key: 3, col: 1, delta: -7 },
+                WorkloadOp::Insert { table: 3, key: 4, row: vec![1, 2] },
+                WorkloadOp::Delete { table: 4, key: 5 },
+            ],
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Hello);
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Row(vec![7, -8]));
+        roundtrip_response(Response::Error("no open transaction".into()));
+        roundtrip_response(Response::Outcome(SpecOutcome::LogicalFailure));
+        roundtrip_response(Response::Outcome(SpecOutcome::ConflictFailure));
+        roundtrip_response(Response::Outcome(SpecOutcome::Committed {
+            reads: vec![None, Some(vec![1, 2, 3]), Some(vec![])],
+        }));
+        roundtrip_response(Response::Stats(ServerStats {
+            engine: StatsSnapshot {
+                commits: 1,
+                aborts: 2,
+                durable_lsn: 3,
+                current_lsn: 4,
+                wal_flushes: 5,
+            },
+            sessions_accepted: 6,
+            sessions_shed: 7,
+            sessions_active: 8,
+            txns_executed: 9,
+            txns_committed: 10,
+            batches: 11,
+        }));
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Read { table: 1, key: 2 }, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode_request(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping, &mut buf);
+        encode_request(&Request::Stats, &mut buf);
+        encode_request(&Request::Commit, &mut buf);
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((req, used)) = decode_request(&buf[at..]).unwrap() {
+            seen.push(req);
+            at += used;
+        }
+        assert_eq!(seen, vec![Request::Ping, Request::Stats, Request::Commit]);
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_u8(T_PING);
+        assert!(matches!(decode_request(&buf), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn malformed_payloads_error_without_panic() {
+        // Unknown tag.
+        let mut buf = Vec::new();
+        buf.put_u32_le(1);
+        buf.put_u8(0x77);
+        assert!(decode_request(&buf).is_err());
+        // Truncated field inside a complete frame: READ needs 12 more bytes.
+        let mut buf = Vec::new();
+        buf.put_u32_le(2);
+        buf.put_u8(T_READ);
+        buf.put_u8(9);
+        assert!(decode_request(&buf).is_err());
+        // Trailing garbage after a valid PING.
+        let mut buf = Vec::new();
+        buf.put_u32_le(3);
+        buf.put_u8(T_PING);
+        buf.put_u16_le(0);
+        assert!(decode_request(&buf).is_err());
+        // Row claims more columns than the payload holds.
+        let mut buf = Vec::new();
+        buf.put_u32_le(1 + 4 + 8 + 2);
+        buf.put_u8(T_UPDATE);
+        buf.put_u32_le(1);
+        buf.put_u64_le(1);
+        buf.put_u16_le(100);
+        assert!(decode_request(&buf).is_err());
+        // Zero-length payload.
+        let buf = 0u32.to_le_bytes();
+        assert!(decode_request(&buf).is_err());
+    }
+}

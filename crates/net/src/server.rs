@@ -1,0 +1,363 @@
+//! Threaded TCP front-end over an [`esdb_core::Database`].
+//!
+//! One OS thread per admitted session, a bounded session table, and explicit
+//! load shedding: a connection beyond the cap gets a [`Response::Busy`]
+//! greeting and is closed, so overload surfaces as a structured retry signal
+//! instead of unbounded queueing.
+//!
+//! Sessions are **pipelined**: each loop iteration drains every complete
+//! request frame the socket has delivered and executes them as one batch.
+//! One-shot transactions inside a batch commit via the engine's deferred
+//! path (`run_spec_deferred`), and the batch pays a *single* WAL durability
+//! wait covering the highest commit LSN — the network front-end's analogue
+//! of group commit. A client that keeps several transactions in flight
+//! therefore amortizes the log-device latency across all of them.
+
+use crate::protocol::{decode_request, encode_response, FrameError, Request, Response, ServerStats};
+use esdb_core::config::ExecutionModel;
+use esdb_core::Database;
+use esdb_txn::Txn;
+use esdb_wal::Lsn;
+use esdb_workload::TxnSpec;
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read as IoRead, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently admitted sessions; connection `max_sessions + 1`
+    /// is shed with [`Response::Busy`].
+    pub max_sessions: usize,
+    /// How often blocked reads wake up to observe a shutdown request.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    active: AtomicU64,
+    txns_executed: AtomicU64,
+    txns_committed: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    counters: Counters,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            engine: self.db.stats_snapshot(),
+            sessions_accepted: self.counters.accepted.load(Ordering::Relaxed),
+            sessions_shed: self.counters.shed.load(Ordering::Relaxed),
+            sessions_active: self.counters.active.load(Ordering::Relaxed),
+            txns_executed: self.counters.txns_executed.load(Ordering::Relaxed),
+            txns_committed: self.counters.txns_committed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
+    pub fn start(
+        db: Arc<Database>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            sessions: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server { shared, addr: local, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server-side counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every session finish the batch
+    /// it is processing (plus anything already buffered), join all threads,
+    /// then force the WAL durable to its end so committed work survives a
+    /// subsequent crash/restart.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let sessions = std::mem::take(&mut *self.shared.sessions.lock());
+        for h in sessions {
+            let _ = h.join();
+        }
+        let wal = self.shared.db.wal();
+        wal.wait_durable(wal.current_lsn());
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+}
+
+/// Admission control: greet with Hello and spawn a session, or shed with
+/// Busy and close. The session slot is reserved *before* the greeting so two
+/// racing connections cannot both squeeze past the cap.
+fn admit(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let cap = shared.config.max_sessions as u64;
+    let admitted = shared
+        .counters
+        .active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < cap).then_some(n + 1)
+        })
+        .is_ok();
+    let mut greeting = Vec::new();
+    if !admitted {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        encode_response(&Response::Busy, &mut greeting);
+        let _ = stream.write_all(&greeting);
+        // Dropping the stream closes the connection: shedding is one frame
+        // and a close, never a hang.
+        return;
+    }
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    encode_response(&Response::Hello, &mut greeting);
+    if stream.write_all(&greeting).is_err() {
+        shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let session_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        session_loop(stream, &session_shared);
+        session_shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+    });
+    shared.sessions.lock().push(handle);
+}
+
+/// Per-session state: at most one open interactive transaction.
+struct Session {
+    txn: Option<Txn>,
+}
+
+fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut inbox: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut session = Session { txn: None };
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => inbox.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // No new bytes. A graceful shutdown ends the session once
+                // everything already received has been processed.
+                if shared.shutdown.load(Ordering::SeqCst) && inbox.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Drain every complete frame the socket delivered: this is the
+        // pipelining window. Everything decoded here executes as one batch.
+        let mut batch = Vec::new();
+        let mut consumed = 0;
+        let mut fatal: Option<FrameError> = None;
+        loop {
+            match decode_request(&inbox[consumed..]) {
+                Ok(Some((req, used))) => {
+                    batch.push(req);
+                    consumed += used;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        inbox.drain(..consumed);
+        if !batch.is_empty() {
+            let outbox = run_batch(&batch, &mut session, shared);
+            if stream.write_all(&outbox).is_err() {
+                return;
+            }
+        }
+        if let Some(e) = fatal {
+            // Protocol desync is unrecoverable: report and close.
+            let mut outbox = Vec::new();
+            encode_response(&Response::Error(e.to_string()), &mut outbox);
+            let _ = stream.write_all(&outbox);
+            return;
+        }
+    }
+}
+
+/// Executes one pipelined batch. Commit acknowledgments are written only
+/// after a single `wait_durable` covering the batch's highest commit LSN —
+/// deferred commits from every transaction in the batch ride one flush.
+fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> Vec<u8> {
+    let db = &shared.db;
+    let mut responses: Vec<Response> = Vec::with_capacity(batch.len());
+    let mut flush_to: Option<Lsn> = None;
+    fn note(lsn: Option<Lsn>, flush_to: &mut Option<Lsn>) {
+        if let Some(lsn) = lsn {
+            *flush_to = Some(flush_to.map_or(lsn, |m| m.max(lsn)));
+        }
+    }
+    for req in batch {
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(shared.stats()),
+            Request::OneShot { may_fail, ops } => {
+                shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
+                let spec = TxnSpec { kind: "net", ops: ops.clone(), may_fail: *may_fail };
+                let (outcome, lsn) = db.run_spec_deferred(&spec);
+                if outcome.is_committed() {
+                    shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
+                }
+                note(lsn, &mut flush_to);
+                Response::Outcome(outcome)
+            }
+            Request::Begin => match session.txn {
+                Some(_) => Response::Error("transaction already open".into()),
+                None => {
+                    if matches!(db.config().execution, ExecutionModel::Dora { .. }) {
+                        Response::Error(
+                            "interactive transactions require the conventional engine; \
+                             DORA accepts one-shot TXN frames only"
+                                .into(),
+                        )
+                    } else {
+                        session.txn = Some(db.txn_manager().begin());
+                        Response::Ok
+                    }
+                }
+            },
+            Request::Read { table, key } => {
+                match session.txn.as_mut().map(|txn| txn.read(*table, *key)) {
+                    None => Response::Error("no open transaction".into()),
+                    Some(Ok(row)) => Response::Row(row),
+                    Some(Err(e)) => abort_with(session, e),
+                }
+            }
+            Request::Update { table, key, row } => {
+                match session.txn.as_mut().map(|txn| txn.update(*table, *key, row)) {
+                    None => Response::Error("no open transaction".into()),
+                    Some(Ok(_)) => Response::Ok,
+                    Some(Err(e)) => abort_with(session, e),
+                }
+            }
+            Request::Insert { table, key, row } => {
+                match session.txn.as_mut().map(|txn| txn.insert(*table, *key, row)) {
+                    None => Response::Error("no open transaction".into()),
+                    Some(Ok(())) => Response::Ok,
+                    Some(Err(e)) => abort_with(session, e),
+                }
+            }
+            Request::Commit => match session.txn.take() {
+                None => Response::Error("no open transaction".into()),
+                Some(txn) => {
+                    note(txn.commit_deferred(), &mut flush_to);
+                    Response::Ok
+                }
+            },
+            Request::Abort => match session.txn.take() {
+                None => Response::Error("no open transaction".into()),
+                Some(txn) => {
+                    txn.abort();
+                    Response::Ok
+                }
+            },
+        };
+        responses.push(resp);
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    // The group-commit point: every deferred commit in this batch becomes
+    // durable under one wait before any acknowledgment leaves the server.
+    if let Some(lsn) = flush_to {
+        db.wal().wait_durable(lsn);
+    }
+    let mut outbox = Vec::new();
+    for resp in &responses {
+        encode_response(resp, &mut outbox);
+    }
+    outbox
+}
+
+/// An interactive statement failed: abort the open transaction (2PL already
+/// released nothing early) and report the error. The session stays usable —
+/// the client may BEGIN again.
+fn abort_with(session: &mut Session, e: esdb_txn::TxnError) -> Response {
+    if let Some(txn) = session.txn.take() {
+        txn.abort();
+    }
+    Response::Error(format!("transaction aborted: {e}"))
+}

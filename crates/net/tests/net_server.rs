@@ -1,0 +1,232 @@
+//! End-to-end tests: real sockets on ephemeral loopback ports.
+
+use esdb_core::{Database, EngineConfig};
+use esdb_net::{run_load, Client, LoadConfig, NetError, Server, ServerConfig};
+use esdb_workload::{Tatp, TxnSpec, WorkloadOp};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_server(config: EngineConfig, max_sessions: usize) -> (Arc<Database>, Server) {
+    let db = Arc::new(Database::open(config));
+    let server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { max_sessions, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral port");
+    (db, server)
+}
+
+#[test]
+fn concurrent_clients_and_stats_match_observed_commits() {
+    let (db, server) = start_server(EngineConfig::conventional_baseline(), 16);
+    let mut workload = Tatp::new(200, 11);
+    db.load_population(&workload);
+
+    let report = run_load(
+        server.local_addr(),
+        &mut workload,
+        &LoadConfig {
+            connections: 3,
+            txns_per_conn: 100,
+            pipeline_depth: 4,
+            connect_attempts: 10,
+        },
+    )
+    .expect("load run");
+    assert_eq!(report.attempts, 300);
+    assert_eq!(report.failed, 0, "unexpected failures: {report}");
+    assert!(report.committed > 150, "{report}");
+
+    // The server's own counters must agree with what the clients observed.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.txns_executed, 300);
+    assert_eq!(stats.txns_committed, report.committed);
+    assert_eq!(stats.engine.commits, report.committed);
+    assert_eq!(stats.sessions_shed, 0);
+    assert!(stats.sessions_accepted >= 4); // 3 load connections + this one
+    assert!(stats.engine.durable_lsn <= stats.engine.current_lsn);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batches_share_wal_flushes() {
+    let (db, server) = start_server(EngineConfig::conventional_baseline(), 4);
+    let t = db.create_table("kv", 1).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut committed = 0u64;
+    for batch in 0..25u64 {
+        let specs: Vec<TxnSpec> = (0..8)
+            .map(|i| TxnSpec {
+                kind: "ins",
+                ops: vec![WorkloadOp::Insert { table: t, key: batch * 8 + i, row: vec![1] }],
+                may_fail: false,
+            })
+            .collect();
+        let outcomes = client.run_pipelined(&specs).unwrap();
+        committed += outcomes.iter().filter(|o| o.is_committed()).count() as u64;
+    }
+    assert_eq!(committed, 200);
+    let stats = client.stats().unwrap();
+    // Group commit: with 8 transactions in flight per batch, many commits
+    // must share a physical flush — strictly fewer flushes than commits.
+    assert!(
+        stats.engine.wal_flushes < stats.engine.commits,
+        "expected batched flushes: {} flushes for {} commits",
+        stats.engine.wal_flushes,
+        stats.engine.commits
+    );
+    server.shutdown();
+}
+
+#[test]
+fn session_cap_sheds_with_structured_busy() {
+    let (_db, server) = start_server(EngineConfig::conventional_baseline(), 2);
+    let addr = server.local_addr();
+
+    let _c1 = Client::connect(addr).expect("first session");
+    let _c2 = Client::connect(addr).expect("second session");
+    // Connection N+1 is refused with a Busy greeting — an error value on the
+    // client, not a hang, not a server panic.
+    match Client::connect(addr) {
+        Err(NetError::ServerBusy) => {}
+        Ok(_) => panic!("connection N+1 was admitted past the cap"),
+        Err(other) => panic!("expected ServerBusy, got {other}"),
+    }
+    let stats = {
+        drop(_c1);
+        // The freed slot is reclaimed once the server notices the close.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match Client::connect(addr) {
+                Ok(mut c) => break c.stats().unwrap(),
+                Err(NetError::ServerBusy) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("reconnect failed: {e}"),
+            }
+        }
+    };
+    assert!(stats.sessions_shed >= 1);
+    assert_eq!(stats.sessions_active, 2);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_leaves_wal_durable_for_recovery() {
+    let (db, server) = start_server(EngineConfig::conventional_baseline(), 4);
+    let t = db.create_table("t", 1).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for k in 0..20 {
+        let outcome = client
+            .one_shot(&TxnSpec {
+                kind: "ins",
+                ops: vec![WorkloadOp::Insert { table: t, key: k, row: vec![k as i64] }],
+                may_fail: false,
+            })
+            .unwrap();
+        assert!(outcome.is_committed());
+    }
+    // Leave an interactive transaction open across shutdown: it must be
+    // aborted, not half-committed.
+    client.begin().unwrap();
+    client.insert(t, 999, vec![-1]).unwrap();
+    server.shutdown();
+
+    // Crash without flushing dirty pages: recovery must rebuild all twenty
+    // committed rows from the durable log alone, and nothing else.
+    let recovered = db.simulate_crash(false);
+    for k in 0..20 {
+        assert_eq!(recovered.read_committed(t, k).unwrap(), vec![k as i64]);
+    }
+    assert!(recovered.read_committed(t, 999).is_err(), "open txn leaked");
+}
+
+#[test]
+fn malformed_frames_get_error_and_close_without_crashing_server() {
+    let (_db, server) = start_server(EngineConfig::conventional_baseline(), 4);
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // Swallow the Hello greeting (5 bytes: u32 len + tag).
+    let mut greeting = [0u8; 5];
+    raw.read_exact(&mut greeting).unwrap();
+    // A hostile length prefix claiming a 4 GiB frame.
+    raw.write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0x00]).unwrap();
+    // The server answers with an Error frame and closes; it must not hang
+    // and must not allocate the claimed size.
+    let mut reply = Vec::new();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = raw.read_to_end(&mut reply);
+    assert!(!reply.is_empty(), "expected an Error frame before close");
+
+    // The server survived: a fresh, well-behaved session works.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn dora_databases_serve_one_shots_and_reject_interactive() {
+    let (db, server) = start_server(EngineConfig::scalable(2), 4);
+    let t = db.create_table("t", 1).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let outcome = client
+        .one_shot(&TxnSpec {
+            kind: "ins",
+            ops: vec![WorkloadOp::Insert { table: t, key: 7, row: vec![70] }],
+            may_fail: false,
+        })
+        .unwrap();
+    assert!(outcome.is_committed());
+    assert_eq!(client.read_committed(t, 7).unwrap(), Some(vec![70]));
+    // Interactive transactions need the conventional engine: structured
+    // error, session stays usable.
+    match client.begin() {
+        Err(NetError::Server(msg)) => assert!(msg.contains("conventional")),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn interactive_txn_roundtrip_with_conflict_abort() {
+    let (db, server) = start_server(EngineConfig::conventional_baseline(), 4);
+    let t = db.create_table("acct", 2).unwrap();
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    a.begin().unwrap();
+    a.insert(t, 1, vec![100, 0]).unwrap();
+    a.insert(t, 2, vec![50, 0]).unwrap();
+    a.commit().unwrap();
+
+    // Read-modify-write across two statements.
+    a.begin().unwrap();
+    let row = a.read(t, 1).unwrap();
+    a.update(t, 1, vec![row[0] - 10, row[1] + 1]).unwrap();
+    a.commit().unwrap();
+    assert_eq!(a.read_committed(t, 1).unwrap(), Some(vec![90, 1]));
+
+    // A statement on a missing key aborts the transaction server-side.
+    a.begin().unwrap();
+    match a.read(t, 404) {
+        Err(NetError::Server(msg)) => assert!(msg.contains("aborted")),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    // The session is reusable; the aborted transaction is gone.
+    match a.commit() {
+        Err(NetError::Server(msg)) => assert!(msg.contains("no open transaction")),
+        other => panic!("expected no-open-txn, got {other:?}"),
+    }
+    a.begin().unwrap();
+    a.update(t, 2, vec![55, 1]).unwrap();
+    a.abort().unwrap();
+    assert_eq!(a.read_committed(t, 2).unwrap(), Some(vec![50, 0]));
+    server.shutdown();
+}

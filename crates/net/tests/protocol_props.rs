@@ -1,0 +1,89 @@
+//! Property tests: wire frames round-trip, and arbitrary bytes never panic
+//! the decoder — the server's parsing surface must be total.
+
+use esdb_net::protocol::{decode_request, decode_response, encode_request, Request};
+use esdb_workload::WorkloadOp;
+use proptest::prelude::*;
+
+fn row_strategy() -> BoxedStrategy<Vec<i64>> {
+    prop::collection::vec((-1_000_000i64..1_000_000).boxed(), 0..5).boxed()
+}
+
+fn op_strategy() -> BoxedStrategy<WorkloadOp> {
+    prop_oneof![
+        (0u32..64, 0u64..10_000).prop_map(|(table, key)| WorkloadOp::Read { table, key }),
+        (0u32..64, 0u64..10_000, row_strategy())
+            .prop_map(|(table, key, row)| WorkloadOp::Write { table, key, row }),
+        (0u32..64, 0u64..10_000, 0usize..8, -1000i64..1000)
+            .prop_map(|(table, key, col, delta)| WorkloadOp::Add { table, key, col, delta }),
+        (0u32..64, 0u64..10_000, row_strategy())
+            .prop_map(|(table, key, row)| WorkloadOp::Insert { table, key, row }),
+        (0u32..64, 0u64..10_000).prop_map(|(table, key)| WorkloadOp::Delete { table, key }),
+    ]
+    .boxed()
+}
+
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Ping).boxed(),
+        Just(Request::Stats).boxed(),
+        Just(Request::Begin).boxed(),
+        Just(Request::Commit).boxed(),
+        Just(Request::Abort).boxed(),
+        (0u32..64, 0u64..10_000).prop_map(|(table, key)| Request::Read { table, key }).boxed(),
+        (0u32..64, 0u64..10_000, row_strategy())
+            .prop_map(|(table, key, row)| Request::Update { table, key, row })
+            .boxed(),
+        (0u32..64, 0u64..10_000, row_strategy())
+            .prop_map(|(table, key, row)| Request::Insert { table, key, row })
+            .boxed(),
+        (any::<bool>(), prop::collection::vec(op_strategy(), 0..6))
+            .prop_map(|(may_fail, ops)| Request::OneShot { may_fail, ops })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip(req in request_strategy()) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (decoded, consumed) = decode_request(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, req);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncated_valid_frames_report_incomplete(req in request_strategy(), cut in 0usize..10_000) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let cut = cut % buf.len();
+        // Any strict prefix of a valid frame is incomplete, never malformed.
+        prop_assert_eq!(decode_request(&buf[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_either_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // The decoders are total functions: any byte soup yields Ok or Err,
+        // and whatever they decode must consume no more than the input.
+        if let Ok(Some((_, used))) = decode_request(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+        if let Ok(Some((_, used))) = decode_response(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn corrupted_tag_errors_cleanly(req in request_strategy(), evil in any::<u8>()) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        // Smash the payload tag; decoding must not panic and must consume
+        // nothing it should not.
+        buf[4] = evil;
+        let _ = decode_request(&buf);
+    }
+}

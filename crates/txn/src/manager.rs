@@ -306,6 +306,25 @@ impl Txn {
         }
     }
 
+    /// Commits *without waiting for durability* (flush pipelining): the
+    /// commit record is appended to the log buffer and locks are released,
+    /// but the caller must not acknowledge the commit until
+    /// [`Wal::wait_durable`] covers the returned LSN. Returns `None` for
+    /// read-only transactions (nothing to flush). This is the group-commit
+    /// hook: a batch of sequential transactions can all commit deferred and
+    /// then ride a single physical flush of the highest returned LSN.
+    pub fn commit_deferred(mut self) -> Option<Lsn> {
+        self.finished = true;
+        self.mgr.commits.fetch_add(1, Ordering::Relaxed);
+        if self.last_lsn == NULL_LSN {
+            self.mgr.locks.release_all(self.id);
+            return None;
+        }
+        let range = self.mgr.wal.commit_no_flush(self.id, self.last_lsn);
+        self.mgr.locks.release_all(self.id);
+        Some(range.end)
+    }
+
     /// Aborts: replays the undo chain (logging compensations), writes the
     /// abort record, releases locks.
     pub fn abort(mut self) {
@@ -505,6 +524,48 @@ mod tests {
         mgr.run(0, |t| t.insert(1, 9, &[9, 9])).unwrap();
         let records = mgr.wal().durable_records();
         assert!(records.iter().any(|r| matches!(r.body, LogBody::Commit)));
+    }
+
+    #[test]
+    fn deferred_commit_rides_later_flush() {
+        let (mgr, table) = setup(false);
+        let mut t = mgr.begin();
+        t.insert(1, 1, &[1, 0]).unwrap();
+        let lsn = t.commit_deferred().expect("writer gets a flush LSN");
+        // Changes are visible (locks released) but the commit record is not
+        // yet durable — the caller owes a wait before acknowledging.
+        assert_eq!(table.get(1).unwrap(), vec![1, 0]);
+        assert!(mgr.wal().durable_lsn() < lsn);
+        mgr.wal().wait_durable(lsn);
+        assert!(mgr.wal().durable_lsn() >= lsn);
+        assert!(mgr
+            .wal()
+            .durable_records()
+            .iter()
+            .any(|r| matches!(r.body, LogBody::Commit)));
+        assert_eq!(mgr.stats().commits, 1);
+
+        // Read-only deferred commits have nothing to wait on.
+        let t2 = mgr.begin();
+        assert!(t2.commit_deferred().is_none());
+    }
+
+    #[test]
+    fn deferred_commits_batch_into_one_flush() {
+        let (mgr, _table) = setup(false);
+        let flushes_before = mgr.wal().flush_count();
+        let mut last = None;
+        for k in 10..20u64 {
+            let mut t = mgr.begin();
+            t.insert(1, k, &[k as i64, 0]).unwrap();
+            last = t.commit_deferred();
+        }
+        mgr.wal().wait_durable(last.unwrap());
+        assert_eq!(
+            mgr.wal().flush_count() - flushes_before,
+            1,
+            "ten deferred commits must ride one physical flush"
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub trait LogBuffer: Send + Sync {
     /// Copies the durable byte range `[from, durable_lsn())` (for recovery).
     fn read_durable(&self, from: Lsn) -> Vec<u8>;
 
+    /// Number of physical device flushes so far — the group-commit metric:
+    /// `commits / flushes` is the average commit-batch size.
+    fn flush_count(&self) -> u64;
+
     /// Implementation name for benchmark output.
     fn name(&self) -> &'static str;
 }

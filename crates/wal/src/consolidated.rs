@@ -286,6 +286,10 @@ impl LogBuffer for ConsolidatedLogBuffer {
         self.inner.read_durable(from)
     }
 
+    fn flush_count(&self) -> u64 {
+        self.inner.flush_count()
+    }
+
     fn name(&self) -> &'static str {
         "consolidated"
     }

@@ -147,6 +147,10 @@ impl LogBuffer for DecoupledLogBuffer {
         self.store.read_from(from)
     }
 
+    fn flush_count(&self) -> u64 {
+        self.store.flush_count()
+    }
+
     fn name(&self) -> &'static str {
         "decoupled"
     }

@@ -105,6 +105,10 @@ impl LogBuffer for SerialLogBuffer {
         self.store.read_from(from)
     }
 
+    fn flush_count(&self) -> u64 {
+        self.store.flush_count()
+    }
+
     fn name(&self) -> &'static str {
         "serial"
     }

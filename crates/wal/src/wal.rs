@@ -123,6 +123,13 @@ impl Wal {
         self.buffer.current_lsn()
     }
 
+    /// Number of physical log-device flushes so far. Together with a commit
+    /// count this measures group-commit effectiveness: batched commits from
+    /// pipelined sessions should push commits-per-flush well above 1.
+    pub fn flush_count(&self) -> u64 {
+        self.buffer.flush_count()
+    }
+
     /// Buffer implementation name.
     pub fn buffer_name(&self) -> &'static str {
         self.buffer.name()

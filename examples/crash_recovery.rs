@@ -20,7 +20,7 @@ fn total(db: &Database, table: u32, accounts: u64) -> i64 {
 fn main() {
     const ACCOUNTS: u64 = 8;
     let db = Database::open(EngineConfig::conventional_baseline());
-    let bank = db.create_table("bank", 1);
+    let bank = db.create_table("bank", 1).unwrap();
 
     db.execute(|txn| {
         for k in 0..ACCOUNTS {

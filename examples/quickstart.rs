@@ -15,7 +15,7 @@ fn main() {
     println!("engine config: {}", db.config().label());
 
     // 2. DDL: a table of accounts with two i64 columns (balance, flags).
-    let accounts = db.create_table("accounts", 2);
+    let accounts = db.create_table("accounts", 2).unwrap();
 
     // 3. ACID transactions via closures: commit on Ok, rollback on Err,
     //    automatic retry when chosen as a deadlock victim.

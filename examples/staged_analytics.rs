@@ -16,8 +16,8 @@ use std::time::Instant;
 
 fn main() {
     let db = Database::open(EngineConfig::default());
-    let fact = db.create_table("sales", 3); // [region, amount, discount]
-    let dim = db.create_table("regions", 1); // [population]
+    let fact = db.create_table("sales", 3).unwrap(); // [region, amount, discount]
+    let dim = db.create_table("regions", 1).unwrap(); // [population]
 
     const ROWS: u64 = 100_000;
     const REGIONS: u64 = 32;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for esdb: tier-1 correctness plus a fast smoke of the experiment
+# binaries that exercise the full stack (simulator sweep + TCP server).
+#
+# Tier 1 (must stay green): release build + full test suite.
+# Smoke (seconds, not minutes): reduced fig1 scaling sweep and a short
+# loopback tab3_server run, both via the env knobs the binaries expose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== smoke: fig1_scaling (reduced sweep) =="
+FIG1_CONTEXTS="1,4" FIG1_SUBSCRIBERS=1000 \
+    cargo run --release -p esdb-bench --bin fig1_scaling
+
+echo "== smoke: tab3_server (short loopback run) =="
+TAB3_CONNS=2 TAB3_TXNS=200 TAB3_SUBSCRIBERS=500 \
+    cargo run --release -p esdb-bench --bin tab3_server
+
+echo "== ci: all green =="

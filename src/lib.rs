@@ -15,7 +15,7 @@
 //! use esdb::core::{Database, EngineConfig};
 //!
 //! let db = Database::open(EngineConfig::default());
-//! let accounts = db.create_table("accounts", 2);
+//! let accounts = db.create_table("accounts", 2).unwrap();
 //! db.execute(|txn| {
 //!     txn.insert(accounts, 1, &[100, 0])?;
 //!     txn.insert(accounts, 2, &[250, 0])?;
@@ -28,6 +28,7 @@
 pub use esdb_core as core;
 pub use esdb_dora as dora;
 pub use esdb_lock as lock;
+pub use esdb_net as net;
 pub use esdb_sim as sim;
 pub use esdb_staged as staged;
 pub use esdb_storage as storage;

@@ -54,7 +54,7 @@ fn recovery_after_concurrent_tpcb_conserves_money() {
 fn repeated_crashes_are_stable() {
     // Crash, recover, run more work, crash again: state must stay exact.
     let db = Database::open(EngineConfig::conventional_baseline());
-    let t = db.create_table("t", 1);
+    let t = db.create_table("t", 1).unwrap();
     db.execute(|txn| txn.insert(t, 1, &[100])).unwrap();
 
     let db2 = db.simulate_crash(false);

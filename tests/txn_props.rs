@@ -104,7 +104,7 @@ proptest! {
     ) {
         let cfg = if dora { EngineConfig::scalable(2) } else { EngineConfig::conventional_baseline() };
         let db = Database::open(cfg);
-        let table = db.create_table("t", 1);
+        let table = db.create_table("t", 1).unwrap();
         let mut model: BTreeMap<u64, i64> = BTreeMap::new();
         for ops in &txns {
             let spec = to_spec(ops, table);
@@ -122,7 +122,7 @@ proptest! {
         flush in proptest::bool::ANY,
     ) {
         let db = Database::open(EngineConfig::conventional_baseline());
-        let table = db.create_table("t", 1);
+        let table = db.create_table("t", 1).unwrap();
         let mut model: BTreeMap<u64, i64> = BTreeMap::new();
         for ops in &txns {
             let spec = to_spec(ops, table);

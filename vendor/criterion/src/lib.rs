@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`, covering the API subset esdb's benches
+//! use: `Criterion`, benchmark groups with `sample_size`/`warm_up_time`/
+//! `measurement_time`, `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of the real crate's statistical sampling it runs a short warm-up
+//! followed by a bounded timed loop and prints median-free mean ns/iter —
+//! enough to compare alternatives on one host, cheap enough that building
+//! and running benches under `cargo test` stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark (kept deliberately small).
+const MEASURE_BUDGET: Duration = Duration::from_millis(40);
+const WARMUP_BUDGET: Duration = Duration::from_millis(5);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbench group: {name}");
+        BenchmarkGroup { group: name.to_string() }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one("", name, f);
+    }
+}
+
+/// A named set of benchmarks sharing display configuration.
+pub struct BenchmarkGroup {
+    group: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sampling is fixed-budget here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is fixed-budget here.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement is fixed-budget here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.group, &name.to_string(), f);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.group, &id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` within the measurement budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        // Check the clock every batch, not every iteration, so sub-ns
+        // operations aren't dominated by `Instant::now` overhead.
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(group: &str, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.iters == 0 {
+        println!("  {label:<48} (no iterations recorded)");
+    } else {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("  {label:<48} {ns:>12.1} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10).warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `proptest`: a deterministic mini property-testing
+//! framework covering the API subset esdb's tests use.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! this reimplementation: `proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `Strategy` with `prop_map`/`boxed`, integer-range and tuple strategies,
+//! `any::<T>()`, `Just`, `prop::collection::vec`, and `proptest::bool::ANY`.
+//!
+//! Differences from the real crate, by design:
+//! * No shrinking — a failing case panics with its deterministic case index,
+//!   which is enough to replay (`TestRng` is seeded from test name + index).
+//! * `prop_assert*!` panic instead of returning `Err`, so failures surface
+//!   as ordinary test panics.
+
+/// Deterministic RNG (SplitMix64) seeding each generated case.
+pub mod test_runner {
+    /// Per-case deterministic random source.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds a generator from the test path and case index, so every
+        /// run of the suite explores the same cases.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_path.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng(h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)))
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Runner configuration (cases per property).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Prints the failing case index if the property body panics, so the
+    /// deterministic case can be replayed under a debugger.
+    pub struct CaseGuard<'a> {
+        /// Test path being run.
+        pub test_path: &'a str,
+        /// Case index being run.
+        pub case: u32,
+    }
+
+    impl Drop for CaseGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: property {} failed at deterministic case {}",
+                    self.test_path, self.case
+                );
+            }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among alternative strategies (see `prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over `alternatives` (must be nonempty).
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// `any::<T>()` — full-range arbitrary values.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding either boolean uniformly.
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform `bool` strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Namespaced strategies (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Length bounds for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            start: usize,
+            end: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { start: n, end: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { start: r.start, end: r.end }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { start: *r.start(), end: *r.end() + 1 }
+            }
+        }
+
+        /// Strategy for `Vec<E::Value>` with length drawn from `size`.
+        pub struct VecStrategy<E> {
+            element: E,
+            size: SizeRange,
+        }
+
+        /// Vector of values from `element`, length within `size`.
+        pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<E: Strategy> Strategy for VecStrategy<E> {
+            type Value = Vec<E::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub use crate::bool;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn` runs its body over deterministic
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let _guard = $crate::test_runner::CaseGuard { test_path, case };
+                let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Get(u64),
+        Put(u64, i64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..10).prop_map(Op::Get),
+            (0u64..10, -5i64..5).prop_map(|(k, v)| Op::Put(k, v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -50i64..50, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-50..50).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(0i64..3, 4)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|x| (0..3).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(ops in prop::collection::vec(arb_op(), 1..20), b in crate::bool::ANY) {
+            prop_assert!(!ops.is_empty());
+            prop_assert!(b || !b);
+            for op in ops {
+                match op {
+                    Op::Get(k) => prop_assert!(k < 10),
+                    Op::Put(k, v) => {
+                        prop_assert!(k < 10);
+                        prop_assert!((-5..5).contains(&v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..10).map(|_| s.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn just_yields_value() {
+        use crate::strategy::{Just, Strategy};
+        let mut rng = crate::test_runner::TestRng::for_case("just", 0);
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}
