@@ -1,0 +1,224 @@
+//! crash_torture — seeded crash-fault torture for WAL salvage + recovery.
+//!
+//! Runs TPC-B, damages the durable log the way a real crash would (clean
+//! stop, truncation at a random byte offset, a random bit flip mid-stream,
+//! or a lying log device that acks appends it no longer persists), recovers,
+//! and checks the durability invariants on every iteration:
+//!
+//! * money conservation: sum(accounts) == sum(tellers) == sum(branches)
+//!   == sum(history deltas),
+//! * exactly one history row per salvaged winner transaction,
+//! * in-flight loser probes rolled back,
+//! * salvage never loses an *undamaged* log (clean mode: zero lost commits).
+//!
+//! Damage modes rotate per iteration and every log-buffer policy is
+//! exercised. Knobs: `CRASH_ITERS` (default 200), `CRASH_SEED`,
+//! `CRASH_BRANCHES` (2), `CRASH_THREADS` (2), `CRASH_TXNS` (per thread, 100).
+
+use esdb_bench::{header, row};
+use esdb_core::config::LogChoice;
+use esdb_core::{Database, EngineConfig};
+use esdb_storage::FaultRng;
+use esdb_wal::LogFault;
+use esdb_wal::recovery;
+use esdb_workload::{tpcb, Tpcb};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MODES: [&str; 4] = ["clean", "truncate", "bitflip", "lying-device"];
+const MODE_CLEAN: usize = 0;
+const MODE_TRUNCATE: usize = 1;
+const MODE_BITFLIP: usize = 2;
+const MODE_LYING: usize = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Default)]
+struct ModeAgg {
+    iters: u64,
+    corruptions: u64,
+    torn_tails: u64,
+    winners: u64,
+    losers: u64,
+    redo: u64,
+    undo: u64,
+    lost_commits: u64,
+}
+
+struct IterOutcome {
+    corrupted: bool,
+    torn: bool,
+    winners: u64,
+    losers: u64,
+    redo: u64,
+    undo: u64,
+    lost_commits: u64,
+}
+
+fn torture_iteration(
+    mode: usize,
+    log: LogChoice,
+    rng: &mut FaultRng,
+    branches: u64,
+    threads: usize,
+    txns: u64,
+) -> IterOutcome {
+    let config = EngineConfig { log, ..EngineConfig::conventional_baseline() };
+    let db = Arc::new(Database::open(config));
+    let mut w = Tpcb::new(branches, rng.next_u64());
+    db.load_population(&w);
+
+    let first = db.run_workload(&mut w, threads, txns);
+    assert_eq!(first.failed, 0, "pre-damage workload must be clean");
+    let mut acked = first.committed;
+
+    if mode == MODE_LYING {
+        // Arm the lying device, then keep committing into the void: every
+        // commit is acknowledged, but from the crash append on nothing
+        // reaches the persistent stream.
+        db.wal().inject_log_fault(LogFault {
+            seed: rng.next_u64(),
+            crash_on_append: rng.below(16),
+            flip_bit: rng.chance(1, 2),
+        });
+        let second = db.run_workload(&mut w, threads, txns);
+        acked += second.committed;
+    }
+
+    // In-flight losers at crash time, with probe keys recovery must erase.
+    let probes = 2u64;
+    let mgr = db.txn_manager().clone();
+    for i in 0..probes {
+        let mut t = mgr.begin();
+        t.update(tpcb::BRANCHES, i % branches, &[123_456_789]).unwrap();
+        t.insert(tpcb::HISTORY, u64::MAX - i, &[0, 0, 0]).unwrap();
+        std::mem::forget(t);
+    }
+    db.wal().wait_durable(db.wal().current_lsn());
+
+    // Damage the persistent log the way the crash would have left it.
+    match mode {
+        MODE_TRUNCATE => {
+            let len = db.wal().durable_len();
+            db.wal().truncate_durable(rng.below(len + 1) as usize);
+        }
+        MODE_BITFLIP => {
+            let len = db.wal().durable_len();
+            if len > 0 {
+                let offset = db.wal().start_lsn() + rng.below(len);
+                db.wal().flip_durable_bit(offset, rng.below(8) as u8);
+            }
+        }
+        _ => {}
+    }
+
+    let salvaged = db.wal().durable_records_checked();
+    let analysis = recovery::analyze(&salvaged.records);
+    let (recovered, report) = db.simulate_crash_with_report(false);
+    assert_eq!(
+        report.winners, analysis.winners,
+        "recovery must act on exactly the salvaged prefix"
+    );
+
+    // --- Durability invariants -----------------------------------------
+    let sum = |table: u32, col: usize| {
+        let t = recovered.table(table).unwrap();
+        let mut total = 0i64;
+        t.scan(|_, r| total += r[col]).unwrap();
+        total
+    };
+    let b = sum(tpcb::BRANCHES, 0);
+    assert_eq!(sum(tpcb::ACCOUNTS, 1), b, "account/branch money conservation");
+    assert_eq!(sum(tpcb::TELLERS, 1), b, "teller/branch money conservation");
+    assert_eq!(sum(tpcb::HISTORY, 2), b, "history deltas conserve money");
+    let history = recovered.table(tpcb::HISTORY).unwrap().len();
+    assert_eq!(
+        history,
+        report.winners.len() as u64,
+        "exactly one history row per salvaged winner"
+    );
+    for i in 0..probes {
+        assert!(
+            recovered.read_committed(tpcb::HISTORY, u64::MAX - i).is_err(),
+            "loser probe {i} must be rolled back"
+        );
+    }
+    let lost = acked - report.winners.len() as u64;
+    if mode == MODE_CLEAN {
+        assert_eq!(lost, 0, "an undamaged durable log loses nothing");
+        assert!(salvaged.corruption.is_none(), "{:?}", salvaged.corruption);
+    }
+
+    IterOutcome {
+        corrupted: salvaged.corruption.is_some(),
+        torn: salvaged.corruption.is_none() && salvaged.valid_len < db.wal().durable_len(),
+        winners: report.winners.len() as u64,
+        losers: report.losers.len() as u64,
+        redo: report.redo_applied as u64,
+        undo: report.undo_applied as u64,
+        lost_commits: lost,
+    }
+}
+
+fn main() {
+    let iters = env_u64("CRASH_ITERS", 200);
+    let seed = env_u64("CRASH_SEED", 0xE5DB);
+    let branches = env_u64("CRASH_BRANCHES", 2).max(1);
+    let threads = env_u64("CRASH_THREADS", 2).max(1) as usize;
+    let txns = env_u64("CRASH_TXNS", 100);
+
+    header(
+        "crash_torture",
+        &format!("{iters} seeded crash/recover iterations, TPC-B, all log policies"),
+        &["mode", "iters", "corrupt", "torn", "winners", "losers", "redo", "undo", "lost_acked", "invariants"],
+    );
+
+    let mut rng = FaultRng::new(seed);
+    let mut agg: Vec<ModeAgg> = (0..MODES.len()).map(|_| ModeAgg::default()).collect();
+    let policies = [LogChoice::Serial, LogChoice::Decoupled, LogChoice::Consolidated];
+    let t = Instant::now();
+    for iter in 0..iters {
+        let mode = (iter % MODES.len() as u64) as usize;
+        let log = policies[((iter / MODES.len() as u64) % policies.len() as u64) as usize];
+        let out = torture_iteration(mode, log, &mut rng, branches, threads, txns);
+        let a = &mut agg[mode];
+        a.iters += 1;
+        a.corruptions += out.corrupted as u64;
+        a.torn_tails += out.torn as u64;
+        a.winners += out.winners;
+        a.losers += out.losers;
+        a.redo += out.redo;
+        a.undo += out.undo;
+        a.lost_commits += out.lost_commits;
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+
+    for (mode, a) in agg.iter().enumerate() {
+        row(&[
+            MODES[mode].to_string(),
+            a.iters.to_string(),
+            a.corruptions.to_string(),
+            a.torn_tails.to_string(),
+            a.winners.to_string(),
+            a.losers.to_string(),
+            a.redo.to_string(),
+            a.undo.to_string(),
+            a.lost_commits.to_string(),
+            "pass".into(),
+        ]);
+    }
+    println!(
+        "\n{iters} iterations in {elapsed:.1}s, zero invariant violations \
+         (every iteration asserts; a violation aborts this binary).\n\
+         reading guide: clean crashes lose nothing; truncation and bit flips\n\
+         salvage the valid prefix (corrupt = CRC/framing detected, torn =\n\
+         incomplete final record); the lying device shows acked-but-lost\n\
+         commits — the window an fsync-lying disk opens — while every\n\
+         recovered state still satisfies all TPC-B invariants."
+    );
+}

@@ -14,6 +14,7 @@
 //! | `fig7_elr` | ELR hides flush latency | throughput vs log-device latency, ELR on/off |
 //! | `tab1_engine` | end-to-end matrix | native-thread throughput per engine config |
 //! | `tab2_recovery` | substrate soundness | crash-recovery outcomes and costs |
+//! | `crash_torture` | soundness under damaged logs | seeded truncation/bit-flip/lying-device crash iterations |
 //!
 //! Every simulated experiment is deterministic; every native experiment
 //! reports medians over repetitions. Run any binary with

@@ -5,6 +5,7 @@ use crate::metrics::WorkloadReport;
 use crate::spec_exec::{self, SpecOutcome};
 use esdb_dora::DoraSystem;
 use esdb_lock::LockManager;
+use esdb_storage::disk::PageStore;
 use esdb_storage::heap::HeapFile;
 use esdb_storage::schema::{Schema, TableId};
 use esdb_storage::{BufferPool, InMemoryDisk, Table};
@@ -64,7 +65,7 @@ pub struct StatsSnapshot {
 /// A running esdb database instance.
 pub struct Database {
     config: EngineConfig,
-    disk: Arc<InMemoryDisk>,
+    disk: Arc<dyn PageStore>,
     pool: Arc<BufferPool>,
     txn_mgr: Arc<TxnManager>,
     /// DORA executors, spawned lazily on first transaction so tables can be
@@ -81,7 +82,13 @@ pub struct Database {
 impl Database {
     /// Opens a fresh in-memory database with `config`.
     pub fn open(config: EngineConfig) -> Self {
-        let disk = Arc::new(InMemoryDisk::new());
+        Self::open_on(config, Arc::new(InMemoryDisk::new()))
+    }
+
+    /// Opens a database on a caller-supplied page store — the hook the
+    /// crash-torture harness uses to slide a
+    /// [`esdb_storage::FaultInjector`] under the buffer pool.
+    pub fn open_on(config: EngineConfig, disk: Arc<dyn PageStore>) -> Self {
         let pool = Arc::new(BufferPool::new(config.buffer_frames, disk.clone()));
         let wal = Arc::new(Wal::new(config.log.into(), config.flush_latency));
         Self::assemble(config, disk, pool, wal)
@@ -90,7 +97,7 @@ impl Database {
     /// Wires the pieces together (shared by `open` and `simulate_crash`).
     fn assemble(
         config: EngineConfig,
-        disk: Arc<InMemoryDisk>,
+        disk: Arc<dyn PageStore>,
         pool: Arc<BufferPool>,
         wal: Arc<Wal>,
     ) -> Self {
@@ -353,7 +360,8 @@ impl Database {
                 )),
             );
         }
-        let report = esdb_wal::recovery::recover(&records, &tables);
+        let report = esdb_wal::recovery::recover(&records, &tables)
+            .expect("recovery I/O on the surviving page store");
         // The new log continues the old LSN stream far past every page LSN
         // recovery may have stamped (undo LSNs run up to durable + ~1M).
         let resume_lsn = self.wal().durable_lsn() + (1 << 24);

@@ -52,6 +52,62 @@ impl From<FrameError> for NetError {
     }
 }
 
+/// Backoff plan for [`Client::connect_with_backoff`].
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Total connection attempts before giving up (≥ 1).
+    pub attempts: usize,
+    /// Delay after the first failed attempt; doubles per retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: 8,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(250),
+            seed: 1,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Delay before retry number `attempt` (zero-based): exponential, capped,
+    /// with uniform jitter in `[half, full]` so a herd of shed clients does
+    /// not reconnect in lockstep.
+    fn delay(&self, attempt: u32, rng: &mut esdb_workload::Rng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap)
+            .max(Duration::from_micros(1));
+        let full = exp.as_micros() as u64;
+        Duration::from_micros(rng.range(full / 2, full))
+    }
+}
+
+/// `true` for errors worth retrying the connection over: admission sheds and
+/// the I/O failures a restarting or draining server produces.
+fn is_reconnectable(e: &NetError) -> bool {
+    match e {
+        NetError::ServerBusy => true,
+        NetError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        _ => false,
+    }
+}
+
 /// A connection to an esdb server.
 pub struct Client {
     stream: TcpStream,
@@ -73,19 +129,43 @@ impl Client {
     }
 
     /// Like [`Client::connect`], retrying Busy sheds with a linear backoff.
+    /// Thin wrapper over [`Client::connect_with_backoff`] kept for callers
+    /// that want the old linear pacing knob.
     pub fn connect_with_retry(
         addr: SocketAddr,
         attempts: usize,
         backoff: Duration,
     ) -> Result<Client, NetError> {
+        Client::connect_with_backoff(
+            addr,
+            &ReconnectPolicy {
+                attempts,
+                base: backoff,
+                cap: backoff * 64,
+                seed: 1,
+            },
+        )
+    }
+
+    /// Connects with bounded, jittered exponential backoff, retrying both
+    /// [`NetError::ServerBusy`] sheds and transient connection failures
+    /// (refused / reset / aborted / broken pipe / eof) — the errors a client
+    /// sees while a server restarts or drains. Protocol errors and other I/O
+    /// failures surface immediately.
+    pub fn connect_with_backoff(
+        addr: SocketAddr,
+        policy: &ReconnectPolicy,
+    ) -> Result<Client, NetError> {
+        let mut rng = esdb_workload::Rng::new(policy.seed);
         let mut last = NetError::ServerBusy;
-        for attempt in 0..attempts.max(1) {
+        for attempt in 0..policy.attempts.max(1) {
             match Client::connect(addr) {
                 Ok(c) => return Ok(c),
-                Err(e @ NetError::ServerBusy) => {
+                Err(e) if attempt + 1 < policy.attempts.max(1) && is_reconnectable(&e) => {
                     last = e;
-                    std::thread::sleep(backoff * (attempt as u32 + 1));
+                    std::thread::sleep(policy.delay(attempt as u32, &mut rng));
                 }
+                Err(e) if is_reconnectable(&e) => last = e,
                 Err(e) => return Err(e),
             }
         }
@@ -269,12 +349,19 @@ pub fn run_load(
 ) -> Result<WorkloadReport, NetError> {
     let start = Instant::now();
     let mut handles = Vec::new();
-    for _ in 0..config.connections {
+    for conn in 0..config.connections {
         let mut gen = workload.fork();
         let cfg = config.clone();
         handles.push(std::thread::spawn(move || -> Result<WorkloadReport, NetError> {
-            let mut client =
-                Client::connect_with_retry(addr, cfg.connect_attempts, Duration::from_millis(5))?;
+            let mut client = Client::connect_with_backoff(
+                addr,
+                &ReconnectPolicy {
+                    attempts: cfg.connect_attempts,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(200),
+                    seed: conn as u64 + 1,
+                },
+            )?;
             let mut report = WorkloadReport::default();
             let mut remaining = cfg.txns_per_conn;
             while remaining > 0 {

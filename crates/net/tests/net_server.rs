@@ -1,7 +1,7 @@
 //! End-to-end tests: real sockets on ephemeral loopback ports.
 
 use esdb_core::{Database, EngineConfig};
-use esdb_net::{run_load, Client, LoadConfig, NetError, Server, ServerConfig};
+use esdb_net::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Server, ServerConfig};
 use esdb_workload::{Tatp, TxnSpec, WorkloadOp};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -114,6 +114,72 @@ fn session_cap_sheds_with_structured_busy() {
     assert!(stats.sessions_shed >= 1);
     assert_eq!(stats.sessions_active, 2);
     server.shutdown();
+}
+
+#[test]
+fn backoff_reconnect_rides_out_a_shedding_server() {
+    let (_db, server) = start_server(EngineConfig::conventional_baseline(), 1);
+    let addr = server.local_addr();
+
+    // The single session slot is held; a plain connect is shed immediately.
+    let holder = Client::connect(addr).expect("claim the only slot");
+    match Client::connect(addr) {
+        Err(NetError::ServerBusy) => {}
+        Ok(_) => panic!("connection admitted past the cap"),
+        Err(other) => panic!("expected ServerBusy, got {other}"),
+    }
+
+    // With the slot held for ~40ms, a backoff policy whose total budget
+    // exceeds that must ride out the Busy sheds and land the connection.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        drop(holder);
+    });
+    let policy = ReconnectPolicy {
+        attempts: 60,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(25),
+        seed: 7,
+    };
+    let mut client = Client::connect_with_backoff(addr, &policy).expect("reconnect after release");
+    client.ping().unwrap();
+    release.join().unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.sessions_shed >= 1, "the server did shed: {stats:?}");
+
+    // Bounded: with the slot held forever, the policy gives up with
+    // ServerBusy rather than hanging.
+    let policy = ReconnectPolicy {
+        attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+        seed: 7,
+    };
+    match Client::connect_with_backoff(addr, &policy) {
+        Err(NetError::ServerBusy) => {}
+        Ok(_) => panic!("connection admitted while the slot is held"),
+        Err(other) => panic!("expected bounded ServerBusy, got {other}"),
+    }
+    drop(client);
+    server.shutdown();
+
+    // Connection refused after shutdown is retryable but bounded too.
+    match Client::connect_with_backoff(addr, &ReconnectPolicy {
+        attempts: 2,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+        seed: 7,
+    }) {
+        Err(NetError::Io(e)) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+            ),
+            "unexpected io error: {e}"
+        ),
+        Ok(_) => panic!("connected to a shut-down server"),
+        Err(other) => panic!("expected io error after shutdown, got {other}"),
+    }
 }
 
 #[test]

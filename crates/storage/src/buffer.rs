@@ -40,7 +40,12 @@ pub struct PoolStats {
     pub misses: u64,
     /// Dirty pages written back during eviction.
     pub writebacks: u64,
+    /// Transient device errors absorbed by retry-with-backoff.
+    pub io_retries: u64,
 }
+
+/// Attempts per device operation before a transient error is surfaced.
+const IO_ATTEMPTS: u32 = 8;
 
 /// Callback enforcing the WAL rule: invoked with a dirty page's LSN before
 /// the page is written back; must not return until the log is durable up to
@@ -56,6 +61,7 @@ pub struct BufferPool {
     hits: AtomicU64,
     misses: AtomicU64,
     writebacks: AtomicU64,
+    io_retries: AtomicU64,
 }
 
 impl BufferPool {
@@ -82,7 +88,41 @@ impl BufferPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Reads `id` from the store, retrying transient errors with bounded
+    /// exponential backoff. Non-transient errors surface immediately.
+    fn read_retrying(&self, id: PageId, out: &mut Page) -> Result<()> {
+        let mut backoff = esdb_sync::Backoff::new();
+        for attempt in 1..=IO_ATTEMPTS {
+            match self.disk.read(id, out) {
+                Err(StorageError::TransientIo { .. }) if attempt < IO_ATTEMPTS => {
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    backoff.pause();
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
+    /// Writes `page` to the store with the same retry policy as
+    /// [`BufferPool::read_retrying`]. A retried torn write is harmless: the
+    /// successful attempt rewrites the full page image.
+    fn write_retrying(&self, id: PageId, page: &Page) -> Result<()> {
+        let mut backoff = esdb_sync::Backoff::new();
+        for attempt in 1..=IO_ATTEMPTS {
+            match self.disk.write(id, page) {
+                Err(StorageError::TransientIo { .. }) if attempt < IO_ATTEMPTS => {
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    backoff.pause();
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the last attempt")
     }
 
     /// Installs the write-ahead-logging barrier: before any dirty page is
@@ -137,7 +177,7 @@ impl BufferPool {
             if frame.dirty.swap(false, Ordering::Relaxed) {
                 let page = frame.data.read();
                 self.wal_fence(page.lsn());
-                self.disk.write(old_id, &page)?;
+                self.write_retrying(old_id, &page)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -145,7 +185,7 @@ impl BufferPool {
         // Load the new page.
         {
             let mut page = frame.data.write();
-            self.disk.read(id, &mut page)?;
+            self.read_retrying(id, &mut page)?;
         }
         frame.page_id.store(id, Ordering::Relaxed);
         frame.pin.store(1, Ordering::Relaxed);
@@ -181,7 +221,7 @@ impl BufferPool {
             if id != NO_PAGE && frame.dirty.swap(false, Ordering::Relaxed) {
                 let page = frame.data.read();
                 self.wal_fence(page.lsn());
-                self.disk.write(id, &page)?;
+                self.write_retrying(id, &page)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -194,6 +234,7 @@ impl BufferPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -331,6 +372,37 @@ mod tests {
         let page = pin.read();
         let v = u64::from_le_bytes(page.get(0).unwrap().try_into().unwrap());
         assert_eq!(v, 4 * 200); // the inserting iteration also increments 0 -> 1
+    }
+
+    #[test]
+    fn transient_io_is_retried_transparently() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let disk = Arc::new(InMemoryDisk::new());
+        let faulty = Arc::new(FaultInjector::new(
+            disk,
+            FaultConfig {
+                seed: 11,
+                read_error_per_10k: 2_500,
+                write_error_per_10k: 2_500,
+                torn_write_per_10k: 5_000,
+                ..FaultConfig::default()
+            },
+        ));
+        let pool = BufferPool::new(2, faulty.clone());
+        // Cycle enough pages through a tiny pool that reads and writebacks
+        // both hit injected errors; every operation must still succeed.
+        let mut ids = Vec::new();
+        for i in 0..8u64 {
+            let (id, p) = pool.new_page().unwrap();
+            p.write().insert(&i.to_le_bytes()).unwrap();
+            ids.push(id);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let pin = pool.pin(*id).unwrap();
+            assert_eq!(pin.read().get(0).unwrap(), (i as u64).to_le_bytes());
+        }
+        assert!(pool.stats().io_retries > 0, "faults were injected and absorbed");
+        assert!(faulty.stats().injected_write_errors + faulty.stats().injected_read_errors > 0);
     }
 
     #[test]

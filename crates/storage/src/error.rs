@@ -2,6 +2,24 @@
 
 use crate::rid::{PageId, Rid};
 
+/// Which I/O direction an injected device error hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// A page read.
+    Read,
+    /// A page write.
+    Write,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        })
+    }
+}
+
 /// Errors surfaced by the storage manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
@@ -29,6 +47,21 @@ pub enum StorageError {
         /// Columns the caller supplied.
         got: usize,
     },
+    /// An on-page row failed structural validation (not a multiple of 8
+    /// bytes, or shorter than a key): the page carries corrupt data.
+    CorruptRow {
+        /// Byte length of the rejected row image.
+        len: usize,
+    },
+    /// A transient device error: the operation did not happen but may
+    /// succeed if retried (the buffer pool retries these with backoff).
+    TransientIo {
+        /// Which direction failed.
+        op: IoOp,
+    },
+    /// The device tripped its crash latch: every subsequent operation fails
+    /// until the simulated restart ([`crate::fault::FaultInjector::heal`]).
+    DeviceFailed,
 }
 
 impl std::fmt::Display for StorageError {
@@ -45,6 +78,9 @@ impl std::fmt::Display for StorageError {
             StorageError::ArityMismatch { expected, got } => {
                 write!(f, "arity mismatch: table has {expected} columns, tuple has {got}")
             }
+            StorageError::CorruptRow { len } => write!(f, "corrupt row of {len} bytes"),
+            StorageError::TransientIo { op } => write!(f, "transient {op} error (retryable)"),
+            StorageError::DeviceFailed => write!(f, "device failed (crash latch tripped)"),
         }
     }
 }

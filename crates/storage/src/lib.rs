@@ -10,6 +10,9 @@
 //! * [`page`] — 8 KiB slotted pages with per-page LSNs.
 //! * [`disk`] — a page store abstraction with an in-memory implementation
 //!   (optionally with injected latency) standing in for a disk array.
+//! * [`fault`] — a deterministic, seeded fault-injecting decorator over any
+//!   page store (transient errors, torn writes, crash points) used by the
+//!   crash-torture harness.
 //! * [`buffer`] — a fixed-size buffer pool with clock eviction, frame pinning,
 //!   and per-frame reader–writer latches.
 //! * [`heap`] — heap files of slotted pages addressed by [`rid::Rid`].
@@ -36,6 +39,7 @@ pub mod btree;
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod hashindex;
 pub mod heap;
 pub mod page;
@@ -45,7 +49,8 @@ pub mod table;
 
 pub use buffer::BufferPool;
 pub use disk::InMemoryDisk;
-pub use error::StorageError;
+pub use error::{IoOp, StorageError};
+pub use fault::{FaultConfig, FaultInjector, FaultRng, FaultStats};
 pub use rid::{PageId, Rid};
 pub use table::Table;
 

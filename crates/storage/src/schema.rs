@@ -6,6 +6,8 @@
 //! while keeping the tuple codec a trivially fast, fixed-width copy — the
 //! storage manager, not the codec, should be what experiments measure.
 
+use crate::StorageError;
+
 /// Identifier of a table in the catalog.
 pub type TableId = u32;
 
@@ -48,22 +50,29 @@ pub fn encode_row(key: u64, row: &[i64]) -> Vec<u8> {
 
 /// Decodes a row produced by [`encode_row`]. Returns `(key, columns)`.
 ///
-/// # Panics
-/// Panics if `bytes` is not a multiple of 8 at least 8 long — on-page rows
-/// are only ever written by [`encode_row`], so a violation is corruption.
-pub fn decode_row(bytes: &[u8]) -> (u64, Vec<i64>) {
-    assert!(bytes.len() >= 8 && bytes.len().is_multiple_of(8), "corrupt row of {} bytes", bytes.len());
-    let key = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+/// On-page rows are only ever written by [`encode_row`], so a slice that is
+/// shorter than a key or not a multiple of 8 bytes is corruption — reported
+/// as [`StorageError::CorruptRow`] rather than aborting the process, so a bad
+/// heap page degrades to a failed operation.
+pub fn decode_row(bytes: &[u8]) -> crate::Result<(u64, Vec<i64>)> {
+    if bytes.len() < 8 || !bytes.len().is_multiple_of(8) {
+        return Err(StorageError::CorruptRow { len: bytes.len() });
+    }
+    let key = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte slice"));
     let row = bytes[8..]
         .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
-    (key, row)
+    Ok((key, row))
 }
 
 /// Decodes only the key of an encoded row.
-pub fn decode_key(bytes: &[u8]) -> u64 {
-    u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+pub fn decode_key(bytes: &[u8]) -> crate::Result<u64> {
+    let head: [u8; 8] = bytes
+        .get(0..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(StorageError::CorruptRow { len: bytes.len() })?;
+    Ok(u64::from_le_bytes(head))
 }
 
 #[cfg(test)]
@@ -75,16 +84,16 @@ mod tests {
         let row = vec![1, -2, i64::MAX, i64::MIN];
         let bytes = encode_row(42, &row);
         assert_eq!(bytes.len(), 8 + 32);
-        let (key, decoded) = decode_row(&bytes);
+        let (key, decoded) = decode_row(&bytes).unwrap();
         assert_eq!(key, 42);
         assert_eq!(decoded, row);
-        assert_eq!(decode_key(&bytes), 42);
+        assert_eq!(decode_key(&bytes).unwrap(), 42);
     }
 
     #[test]
     fn empty_row_is_just_a_key() {
         let bytes = encode_row(7, &[]);
-        assert_eq!(decode_row(&bytes), (7, vec![]));
+        assert_eq!(decode_row(&bytes).unwrap(), (7, vec![]));
     }
 
     #[test]
@@ -95,8 +104,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "corrupt row")]
     fn decode_rejects_garbage() {
-        decode_row(&[1, 2, 3]);
+        assert_eq!(
+            decode_row(&[1, 2, 3]).unwrap_err(),
+            StorageError::CorruptRow { len: 3 }
+        );
+        assert_eq!(
+            decode_key(&[1, 2, 3]).unwrap_err(),
+            StorageError::CorruptRow { len: 3 }
+        );
+        // Multiple of 8 but shorter than a key.
+        assert_eq!(
+            decode_row(&[]).unwrap_err(),
+            StorageError::CorruptRow { len: 0 }
+        );
     }
 }

@@ -43,12 +43,26 @@ impl Table {
         }
     }
 
-    /// Rebuilds the primary index from a full heap scan.
+    /// Rebuilds the primary index from a full heap scan. Fails with
+    /// [`StorageError::CorruptRow`] if any live slot holds an undecodable
+    /// row image.
     pub fn rebuild_index(&self) -> Result<()> {
+        let mut bad: Option<StorageError> = None;
         self.heap.scan(|rid, bytes| {
-            self.index
-                .insert(crate::schema::decode_key(bytes), rid.to_u64());
-        })
+            if bad.is_some() {
+                return;
+            }
+            match crate::schema::decode_key(bytes) {
+                Ok(key) => {
+                    self.index.insert(key, rid.to_u64());
+                }
+                Err(e) => bad = Some(e),
+            }
+        })?;
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// This table's schema.
@@ -98,7 +112,7 @@ impl Table {
     pub fn get(&self, key: u64) -> Result<Vec<i64>> {
         let rid = self.rid_of(key)?;
         let bytes = self.heap.get(rid)?;
-        Ok(decode_row(&bytes).1)
+        Ok(decode_row(&bytes)?.1)
     }
 
     /// Physical address of `key`.
@@ -119,7 +133,7 @@ impl Table {
         self.check_arity(row)?;
         let rid = self.rid_of(key)?;
         let old = self.heap.update(rid, &encode_row(key, row), lsn)?;
-        Ok(decode_row(&old).1)
+        Ok(decode_row(&old)?.1)
     }
 
     /// Deletes `key`, returning the before-image.
@@ -132,7 +146,7 @@ impl Table {
         let rid = self.rid_of(key)?;
         let old = self.heap.delete(rid, lsn)?;
         self.index.remove(key);
-        Ok(decode_row(&old).1)
+        Ok(decode_row(&old)?.1)
     }
 
     /// Inclusive primary-key range scan, returning `(key, row)` pairs in key
@@ -141,18 +155,29 @@ impl Table {
         let mut out = Vec::new();
         for (key, packed) in self.index.range(start, end) {
             let bytes = self.heap.get(Rid::from_u64(packed))?;
-            out.push((key, decode_row(&bytes).1));
+            out.push((key, decode_row(&bytes)?.1));
         }
         Ok(out)
     }
 
     /// Full scan in heap (physical) order; faster than [`Table::range`] for
-    /// whole-table reads because it avoids index traversal per tuple.
+    /// whole-table reads because it avoids index traversal per tuple. Stops
+    /// at the first corrupt row and reports it.
     pub fn scan(&self, mut f: impl FnMut(u64, &[i64])) -> Result<()> {
+        let mut bad: Option<StorageError> = None;
         self.heap.scan(|_rid, bytes| {
-            let (key, row) = decode_row(bytes);
-            f(key, &row);
-        })
+            if bad.is_some() {
+                return;
+            }
+            match decode_row(bytes) {
+                Ok((key, row)) => f(key, &row),
+                Err(e) => bad = Some(e),
+            }
+        })?;
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Number of live rows.

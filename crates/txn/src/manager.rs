@@ -665,7 +665,7 @@ mod tests {
         let recovered = Arc::new(Table::from_heap(Schema::new(1, "t", 1), heap));
         let mut tables = HashMap::new();
         tables.insert(1u32, recovered.clone());
-        let report = esdb_wal::recovery::recover(&mgr.wal().durable_records(), &tables);
+        let report = esdb_wal::recovery::recover(&mgr.wal().durable_records(), &tables).unwrap();
 
         assert_eq!(report.losers.len(), 1);
         assert_eq!(recovered.get(1).unwrap(), vec![11], "committed update kept");

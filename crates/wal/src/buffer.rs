@@ -8,6 +8,7 @@
 //! experiments sweep.
 
 use crate::Lsn;
+use esdb_storage::FaultRng;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +55,37 @@ pub trait LogBuffer: Send + Sync {
 
     /// Implementation name for benchmark output.
     fn name(&self) -> &'static str;
+
+    /// The durable log store behind this buffer (fault injection and the
+    /// crash-torture harness reach the device through here).
+    fn store(&self) -> &LogStore;
+}
+
+/// A planned log-device crash: a *lying* device that acknowledges appends
+/// but stops persisting them.
+///
+/// On append number `crash_on_append` (zero-based) the device persists only a
+/// seeded-random prefix of the payload — the torn final write — optionally
+/// flipping one bit inside it, and silently drops every byte of every later
+/// append while still acknowledging. The log buffer above keeps advancing its
+/// durable LSN, exactly like a drive whose write cache lied about fsync;
+/// recovery then finds a shorter, possibly damaged stream than the LSNs
+/// promised.
+#[derive(Debug, Clone, Copy)]
+pub struct LogFault {
+    /// Seed for the tear point and bit-flip choices.
+    pub seed: u64,
+    /// Zero-based index of the append that crashes the device.
+    pub crash_on_append: u64,
+    /// Also flip one random bit inside the persisted prefix.
+    pub flip_bit: bool,
+}
+
+struct LogFaultState {
+    config: LogFault,
+    rng: FaultRng,
+    appends: u64,
+    dead: bool,
 }
 
 /// Append-only durable destination shared by all buffer implementations.
@@ -64,6 +96,7 @@ pub struct LogStore {
     /// Artificial device latency paid once per flush call.
     flush_latency: Option<Duration>,
     flushes: AtomicU64,
+    fault: Mutex<Option<LogFaultState>>,
 }
 
 impl LogStore {
@@ -79,7 +112,24 @@ impl LogStore {
             base,
             flush_latency,
             flushes: AtomicU64::new(0),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Arms the lying-device fault. Must be set before the crash append
+    /// happens; setting it again replaces the previous plan.
+    pub fn set_fault(&self, config: LogFault) {
+        *self.fault.lock() = Some(LogFaultState {
+            rng: FaultRng::new(config.seed),
+            config,
+            appends: 0,
+            dead: false,
+        });
+    }
+
+    /// `true` once the armed fault has fired (the device stopped persisting).
+    pub fn fault_tripped(&self) -> bool {
+        self.fault.lock().as_ref().is_some_and(|s| s.dead)
     }
 
     /// Appends `data`, paying the configured device latency.
@@ -91,7 +141,58 @@ impl LogStore {
             }
         }
         self.flushes.fetch_add(1, Ordering::Relaxed);
+        let mut fault = self.fault.lock();
+        if let Some(st) = fault.as_mut() {
+            let turn = st.appends;
+            st.appends += 1;
+            if st.dead {
+                return; // acknowledged, silently dropped
+            }
+            if turn == st.config.crash_on_append {
+                st.dead = true;
+                let keep = st.rng.below(data.len() as u64 + 1) as usize;
+                let mut prefix = data[..keep].to_vec();
+                if st.config.flip_bit && !prefix.is_empty() {
+                    let byte = st.rng.below(prefix.len() as u64) as usize;
+                    let bit = st.rng.below(8);
+                    prefix[byte] ^= 1 << bit;
+                }
+                self.bytes.lock().extend_from_slice(&prefix);
+                return;
+            }
+        }
+        drop(fault);
         self.bytes.lock().extend_from_slice(data);
+    }
+
+    /// Truncates the persisted stream to its first `keep` bytes (direct
+    /// damage for torture tests; `keep` past the end is a no-op).
+    pub fn truncate_to(&self, keep: usize) {
+        let mut bytes = self.bytes.lock();
+        if keep < bytes.len() {
+            bytes.truncate(keep);
+        }
+    }
+
+    /// Flips bit `bit` of the byte at stream offset `offset` (absolute LSN).
+    /// Out-of-range offsets are a no-op.
+    pub fn flip_bit(&self, offset: Lsn, bit: u8) {
+        let mut bytes = self.bytes.lock();
+        let idx = offset.saturating_sub(self.base) as usize;
+        if let Some(b) = bytes.get_mut(idx) {
+            *b ^= 1 << (bit % 8);
+        }
+    }
+
+    /// Number of bytes actually persisted (with a tripped fault this is less
+    /// than the durable LSN the buffer advertises).
+    pub fn len(&self) -> u64 {
+        self.bytes.lock().len() as u64
+    }
+
+    /// `true` if nothing has been persisted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Copies durable bytes from stream offset `from`.
@@ -200,6 +301,34 @@ mod tests {
         assert_eq!(store.read_from(LOG_START), b"hello log");
         assert_eq!(store.read_from(LOG_START + 6), b"log");
         assert_eq!(store.flush_count(), 2);
+    }
+
+    #[test]
+    fn lying_device_drops_appends_after_crash() {
+        let store = LogStore::new(None);
+        store.append(b"aaaa");
+        store.set_fault(LogFault { seed: 5, crash_on_append: 0, flip_bit: false });
+        store.append(b"bbbb"); // crash append: only a prefix persists
+        assert!(store.fault_tripped());
+        store.append(b"cccc"); // acked, dropped
+        let persisted = store.read_from(LOG_START);
+        assert!(persisted.len() <= 8, "nothing after the crash persists");
+        assert!(persisted.starts_with(b"aaaa"));
+        assert!(b"bbbb".starts_with(&persisted[4..]), "crash append kept a prefix");
+        // The device still *acknowledged* three appends.
+        assert_eq!(store.flush_count(), 3);
+    }
+
+    #[test]
+    fn direct_damage_helpers() {
+        let store = LogStore::new(None);
+        store.append(b"hello log");
+        store.flip_bit(LOG_START, 0);
+        assert_eq!(store.read_from(LOG_START)[0], b'h' ^ 1);
+        store.truncate_to(4);
+        assert_eq!(store.len(), 4);
+        store.truncate_to(100); // past the end: no-op
+        assert_eq!(store.len(), 4);
     }
 
     #[test]

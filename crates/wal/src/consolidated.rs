@@ -25,7 +25,7 @@
 //! have to sleep through 65,536 full generations of one slot mid-protocol to
 //! be fooled, which we accept.
 
-use crate::buffer::{LogBuffer, LsnRange};
+use crate::buffer::{LogBuffer, LogStore, LsnRange};
 use crate::decoupled::DecoupledLogBuffer;
 use crate::Lsn;
 use esdb_sync::RawLock;
@@ -296,6 +296,10 @@ impl LogBuffer for ConsolidatedLogBuffer {
 
     fn start_lsn(&self) -> Lsn {
         self.inner.start_lsn()
+    }
+
+    fn store(&self) -> &LogStore {
+        self.inner.store()
     }
 }
 

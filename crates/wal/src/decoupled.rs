@@ -158,6 +158,10 @@ impl LogBuffer for DecoupledLogBuffer {
     fn start_lsn(&self) -> Lsn {
         self.store.base()
     }
+
+    fn store(&self) -> &LogStore {
+        &self.store
+    }
 }
 
 #[cfg(test)]

@@ -23,16 +23,17 @@
 
 pub mod buffer;
 pub mod consolidated;
+pub mod crc;
 pub mod decoupled;
 pub mod record;
 pub mod recovery;
 pub mod serial;
 pub mod wal;
 
-pub use buffer::{LogBuffer, LsnRange};
+pub use buffer::{LogBuffer, LogFault, LsnRange};
 pub use consolidated::ConsolidatedLogBuffer;
 pub use decoupled::DecoupledLogBuffer;
-pub use record::{LogBody, LogRecord};
+pub use record::{LogBody, LogRecord, SalvagedLog, WalError};
 pub use serial::SerialLogBuffer;
 pub use wal::{LogPolicy, Wal};
 

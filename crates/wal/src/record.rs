@@ -1,14 +1,108 @@
 //! Log record types and their wire format.
 //!
-//! Records are framed as `[len: u32][txn_id: u64][prev_lsn: u64][tag: u8]
-//! [body…]`; a record's LSN is its byte offset in the log stream, so the
-//! stream parses back into records without any side index. `prev_lsn` chains
-//! each transaction's records for rollback and undo.
+//! Records are framed as `[len: u32][crc: u32][txn_id: u64][prev_lsn: u64]
+//! [tag: u8][body…]`; a record's LSN is its byte offset in the log stream, so
+//! the stream parses back into records without any side index. `prev_lsn`
+//! chains each transaction's records for rollback and undo.
+//!
+//! The `crc` field is a CRC-32 over the `len` field and everything after the
+//! checksum itself, so a bit flip anywhere in the frame — including a
+//! corrupted length that still points inside the stream — fails verification.
+//! Decoding is *total*: [`decode_stream_checked`] never panics, salvages the
+//! longest valid prefix, and reports the first corruption with its offset and
+//! reason as a [`WalError`]. An incomplete final record (the torn tail a
+//! crash legitimately leaves behind) is not corruption and is silently
+//! dropped, exactly as before.
 
+use crate::crc::Crc32;
 use crate::{Lsn, NULL_LSN};
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use esdb_storage::rid::Rid;
 use esdb_storage::schema::TableId;
+
+/// Smallest legal frame: len(4) + crc(4) + txn(8) + prev(8) + tag(1).
+pub const MIN_RECORD: usize = 25;
+
+/// Largest legal frame. Generously above anything [`encode`] produces
+/// (bodies are a few rows of `i64`s); lengths beyond this are corruption,
+/// not data.
+pub const MAX_RECORD: usize = 1 << 22;
+
+/// Why (and where) log decoding stopped before the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// The length field is outside `[MIN_RECORD, MAX_RECORD]`.
+    BadLength {
+        /// Stream offset (LSN) of the offending frame.
+        offset: Lsn,
+        /// The length the frame claimed.
+        len: u32,
+    },
+    /// The stored CRC does not match the frame contents.
+    BadChecksum {
+        /// Stream offset (LSN) of the offending frame.
+        offset: Lsn,
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the frame.
+        computed: u32,
+    },
+    /// The frame passed its CRC but carries an unknown record tag.
+    UnknownTag {
+        /// Stream offset (LSN) of the offending frame.
+        offset: Lsn,
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
+    /// The frame passed its CRC but its body is shorter than the tag needs.
+    TruncatedBody {
+        /// Stream offset (LSN) of the offending frame.
+        offset: Lsn,
+    },
+    /// The frame passed its CRC but has bytes left over after its body.
+    TrailingGarbage {
+        /// Stream offset (LSN) of the offending frame.
+        offset: Lsn,
+    },
+}
+
+impl WalError {
+    /// Stream offset (LSN) where decoding stopped.
+    pub fn offset(&self) -> Lsn {
+        match self {
+            WalError::BadLength { offset, .. }
+            | WalError::BadChecksum { offset, .. }
+            | WalError::UnknownTag { offset, .. }
+            | WalError::TruncatedBody { offset }
+            | WalError::TrailingGarbage { offset } => *offset,
+        }
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::BadLength { offset, len } => {
+                write!(f, "bad record length {len} at lsn {offset}")
+            }
+            WalError::BadChecksum { offset, stored, computed } => write!(
+                f,
+                "checksum mismatch at lsn {offset}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WalError::UnknownTag { offset, tag } => {
+                write!(f, "unknown record tag {tag} at lsn {offset}")
+            }
+            WalError::TruncatedBody { offset } => {
+                write!(f, "record body truncated at lsn {offset}")
+            }
+            WalError::TrailingGarbage { offset } => {
+                write!(f, "trailing garbage inside record at lsn {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
 
 /// The payload of a log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +179,18 @@ pub struct LogRecord {
     pub body: LogBody,
 }
 
+/// The result of decoding a possibly-damaged log stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvagedLog {
+    /// Every record of the valid prefix, in stream order.
+    pub records: Vec<LogRecord>,
+    /// Bytes of `bytes` covered by `records` (decoding stopped here).
+    pub valid_len: u64,
+    /// Why decoding stopped early, if it hit detectable corruption. `None`
+    /// means the stream was clean or merely ended in a torn partial record.
+    pub corruption: Option<WalError>,
+}
+
 fn put_row(out: &mut Vec<u8>, row: &[i64]) {
     out.put_u16_le(row.len() as u16);
     for v in row {
@@ -92,15 +198,11 @@ fn put_row(out: &mut Vec<u8>, row: &[i64]) {
     }
 }
 
-fn get_row(buf: &mut &[u8]) -> Vec<i64> {
-    let n = buf.get_u16_le() as usize;
-    (0..n).map(|_| buf.get_i64_le()).collect()
-}
-
-/// Serializes a record body into its framed wire form.
+/// Serializes a record body into its framed, checksummed wire form.
 pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.put_u32_le(0); // length patched below
+    out.put_u32_le(0); // crc patched below
     out.put_u64_le(txn_id);
     out.put_u64_le(prev_lsn);
     out.put_u8(body.tag());
@@ -134,67 +236,188 @@ pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
     }
     let len = out.len() as u32;
     out[0..4].copy_from_slice(&len.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&out[0..4]);
+    crc.update(&out[8..]);
+    out[4..8].copy_from_slice(&crc.finish().to_le_bytes());
     out
 }
 
-/// Parses every record in `bytes`, which must start at stream offset
-/// `base_lsn`. Ignores a trailing partial record (torn final write).
-pub fn decode_stream(bytes: &[u8], base_lsn: Lsn) -> Vec<LogRecord> {
-    let mut out = Vec::new();
-    let mut off = 0usize;
-    while off + 4 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        if len < 21 || off + len > bytes.len() {
-            break; // torn tail
+/// A total (never-panicking) little-endian cursor over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
         }
-        let mut buf = &bytes[off + 4..off + len];
-        let txn_id = buf.get_u64_le();
-        let prev_lsn = buf.get_u64_le();
-        let tag = buf.get_u8();
-        let body = match tag {
-            0 => LogBody::Begin,
-            1 => {
-                let table = buf.get_u32_le();
-                let key = buf.get_u64_le();
-                let rid = Rid::from_u64(buf.get_u64_le());
-                let row = get_row(&mut buf);
-                LogBody::Insert { table, key, rid, row }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16_le(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64_le(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn i64_le(&mut self) -> Option<i64> {
+        self.u64_le().map(|v| v as i64)
+    }
+
+    fn row(&mut self) -> Option<Vec<i64>> {
+        let n = self.u16_le()? as usize;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.i64_le()?);
+        }
+        Some(row)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decodes the payload of one CRC-verified frame (everything after the crc
+/// field). Returns `None` on underflow; the caller maps that to
+/// [`WalError::TruncatedBody`].
+fn decode_payload(r: &mut Reader<'_>) -> Option<(u64, Lsn, Option<LogBody>)> {
+    let txn_id = r.u64_le()?;
+    let prev_lsn = r.u64_le()?;
+    let tag = r.u8()?;
+    let body = match tag {
+        0 => LogBody::Begin,
+        1 => {
+            let table = r.u32_le()?;
+            let key = r.u64_le()?;
+            let rid = Rid::from_u64(r.u64_le()?);
+            let row = r.row()?;
+            LogBody::Insert { table, key, rid, row }
+        }
+        2 => {
+            let table = r.u32_le()?;
+            let key = r.u64_le()?;
+            let rid = Rid::from_u64(r.u64_le()?);
+            let before = r.row()?;
+            let after = r.row()?;
+            LogBody::Update {
+                table,
+                key,
+                rid,
+                before,
+                after,
             }
-            2 => {
-                let table = buf.get_u32_le();
-                let key = buf.get_u64_le();
-                let rid = Rid::from_u64(buf.get_u64_le());
-                let before = get_row(&mut buf);
-                let after = get_row(&mut buf);
-                LogBody::Update {
-                    table,
-                    key,
-                    rid,
-                    before,
-                    after,
+        }
+        3 => {
+            let table = r.u32_le()?;
+            let key = r.u64_le()?;
+            let rid = Rid::from_u64(r.u64_le()?);
+            let before = r.row()?;
+            LogBody::Delete { table, key, rid, before }
+        }
+        4 => LogBody::Commit,
+        5 => LogBody::Abort,
+        6 => LogBody::Checkpoint,
+        _ => return Some((txn_id, prev_lsn, None)), // unknown tag
+    };
+    Some((txn_id, prev_lsn, Some(body)))
+}
+
+/// Parses `bytes` (starting at stream offset `base_lsn`) into the longest
+/// valid prefix of records. Never panics: an incomplete final record is
+/// treated as a torn tail and dropped; any detectable corruption — bad
+/// length, checksum mismatch, or a CRC-valid frame that fails structural
+/// decoding — stops the scan and is reported in
+/// [`SalvagedLog::corruption`].
+pub fn decode_stream_checked(bytes: &[u8], base_lsn: Lsn) -> SalvagedLog {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    let mut corruption = None;
+    while off < bytes.len() {
+        let lsn = base_lsn + off as u64;
+        if off + 8 > bytes.len() {
+            break; // torn tail: not even a full len+crc header
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+        if (len as usize) < MIN_RECORD || (len as usize) > MAX_RECORD {
+            corruption = Some(WalError::BadLength { offset: lsn, len });
+            break;
+        }
+        let len = len as usize;
+        if off + len > bytes.len() {
+            break; // torn tail: final record incomplete
+        }
+        let stored = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4-byte slice"));
+        let mut crc = Crc32::new();
+        crc.update(&bytes[off..off + 4]);
+        crc.update(&bytes[off + 8..off + len]);
+        let computed = crc.finish();
+        if stored != computed {
+            corruption = Some(WalError::BadChecksum {
+                offset: lsn,
+                stored,
+                computed,
+            });
+            break;
+        }
+        let mut r = Reader::new(&bytes[off + 8..off + len]);
+        match decode_payload(&mut r) {
+            None => {
+                corruption = Some(WalError::TruncatedBody { offset: lsn });
+                break;
+            }
+            Some((_, _, None)) => {
+                let tag = bytes[off + 24];
+                corruption = Some(WalError::UnknownTag { offset: lsn, tag });
+                break;
+            }
+            Some((txn_id, prev_lsn, Some(body))) => {
+                if !r.is_empty() {
+                    corruption = Some(WalError::TrailingGarbage { offset: lsn });
+                    break;
                 }
+                records.push(LogRecord {
+                    lsn,
+                    txn_id,
+                    prev_lsn,
+                    body,
+                });
             }
-            3 => {
-                let table = buf.get_u32_le();
-                let key = buf.get_u64_le();
-                let rid = Rid::from_u64(buf.get_u64_le());
-                let before = get_row(&mut buf);
-                LogBody::Delete { table, key, rid, before }
-            }
-            4 => LogBody::Commit,
-            5 => LogBody::Abort,
-            6 => LogBody::Checkpoint,
-            other => panic!("corrupt log: unknown record tag {other}"),
-        };
-        out.push(LogRecord {
-            lsn: base_lsn + off as u64,
-            txn_id,
-            prev_lsn,
-            body,
-        });
+        }
         off += len;
     }
-    out
+    SalvagedLog {
+        records,
+        valid_len: off as u64,
+        corruption,
+    }
+}
+
+/// Parses every record in `bytes`, which must start at stream offset
+/// `base_lsn`. Ignores a trailing partial record (torn final write) and, like
+/// [`decode_stream_checked`], stops at the first corrupt frame.
+pub fn decode_stream(bytes: &[u8], base_lsn: Lsn) -> Vec<LogRecord> {
+    decode_stream_checked(bytes, base_lsn).records
 }
 
 /// Convenience: `prev_lsn == NULL_LSN` means first record of its transaction.
@@ -213,7 +436,10 @@ mod tests {
             offsets.push(stream.len() as u64);
             stream.extend_from_slice(&encode(*txn, *prev, body));
         }
-        let decoded = decode_stream(&stream, 100);
+        let salvaged = decode_stream_checked(&stream, 100);
+        assert_eq!(salvaged.corruption, None);
+        assert_eq!(salvaged.valid_len, stream.len() as u64);
+        let decoded = salvaged.records;
         assert_eq!(decoded.len(), bodies.len());
         for (i, rec) in decoded.iter().enumerate() {
             assert_eq!(rec.lsn, 100 + offsets[i]);
@@ -266,16 +492,128 @@ mod tests {
 
     #[test]
     fn torn_tail_is_ignored() {
-        let mut stream = encode(1, NULL_LSN, &LogBody::Begin);
+        let first = encode(1, NULL_LSN, &LogBody::Begin);
+        let mut stream = first.clone();
         let full = encode(1, 8, &LogBody::Commit);
         stream.extend_from_slice(&full[..full.len() - 3]); // torn
-        let decoded = decode_stream(&stream, 8);
-        assert_eq!(decoded.len(), 1);
-        assert_eq!(decoded[0].body, LogBody::Begin);
+        let salvaged = decode_stream_checked(&stream, 8);
+        assert_eq!(salvaged.records.len(), 1);
+        assert_eq!(salvaged.records[0].body, LogBody::Begin);
+        assert_eq!(salvaged.corruption, None, "a torn tail is not corruption");
+        assert_eq!(salvaged.valid_len, first.len() as u64);
     }
 
     #[test]
     fn empty_stream_decodes_empty() {
         assert!(decode_stream(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected_or_torn() {
+        // Flip every bit of a two-record stream in turn: decode must never
+        // panic and must never return a *wrong* record — each flip either
+        // fails the CRC / length check or (if it hits the final record's
+        // length so the frame no longer fits) reads as a torn tail.
+        let mut stream = encode(7, NULL_LSN, &LogBody::Begin);
+        stream.extend_from_slice(&encode(
+            7,
+            0,
+            &LogBody::Insert {
+                table: 1,
+                key: 9,
+                rid: Rid::new(3, 1),
+                row: vec![5, -5],
+            },
+        ));
+        let clean = decode_stream_checked(&stream, 0);
+        assert_eq!(clean.records.len(), 2);
+        for byte in 0..stream.len() {
+            for bit in 0..8 {
+                let mut bad = stream.clone();
+                bad[byte] ^= 1 << bit;
+                let salvaged = decode_stream_checked(&bad, 0);
+                for rec in &salvaged.records {
+                    let original = clean.records.iter().find(|r| r.lsn == rec.lsn);
+                    assert_eq!(original, Some(rec), "flip {byte}:{bit} forged a record");
+                }
+                if salvaged.records.len() < 2 {
+                    // The damaged suffix must be accounted for: either
+                    // reported corruption or a frame that no longer fits.
+                    let stopped_at = salvaged.valid_len as usize;
+                    assert!(
+                        salvaged.corruption.is_some() || stopped_at + 8 > bad.len() || {
+                            let len = u32::from_le_bytes(
+                                bad[stopped_at..stopped_at + 4].try_into().unwrap(),
+                            ) as usize;
+                            stopped_at + len > bad.len()
+                        },
+                        "flip {byte}:{bit} silently dropped a record"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_stream_corruption_salvages_prefix() {
+        let mut stream = Vec::new();
+        for i in 0..5u64 {
+            stream.extend_from_slice(&encode(i + 1, NULL_LSN, &LogBody::Begin));
+        }
+        let record_len = stream.len() / 5;
+        // Corrupt a body byte of the third record.
+        stream[2 * record_len + 12] ^= 0x40;
+        let salvaged = decode_stream_checked(&stream, 0);
+        assert_eq!(salvaged.records.len(), 2, "prefix before the damage survives");
+        assert_eq!(salvaged.valid_len, (2 * record_len) as u64);
+        match salvaged.corruption {
+            Some(WalError::BadChecksum { offset, .. }) => {
+                assert_eq!(offset, (2 * record_len) as u64)
+            }
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_reported_not_panicked() {
+        // Hand-build a CRC-valid frame with tag 99.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(MIN_RECORD as u32).to_le_bytes());
+        frame.extend_from_slice(&[0; 4]); // crc placeholder
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.extend_from_slice(&NULL_LSN.to_le_bytes());
+        frame.push(99);
+        let mut crc = Crc32::new();
+        crc.update(&frame[0..4]);
+        crc.update(&frame[8..]);
+        let sum = crc.finish();
+        frame[4..8].copy_from_slice(&sum.to_le_bytes());
+        let salvaged = decode_stream_checked(&frame, 0);
+        assert!(salvaged.records.is_empty());
+        assert_eq!(
+            salvaged.corruption,
+            Some(WalError::UnknownTag { offset: 0, tag: 99 })
+        );
+    }
+
+    #[test]
+    fn bad_length_is_reported() {
+        let mut stream = encode(1, NULL_LSN, &LogBody::Begin);
+        let tail_lsn = stream.len() as u64;
+        stream.extend_from_slice(&3u32.to_le_bytes()); // impossible length
+        stream.extend_from_slice(&[0; 8]);
+        let salvaged = decode_stream_checked(&stream, 0);
+        assert_eq!(salvaged.records.len(), 1);
+        assert_eq!(
+            salvaged.corruption,
+            Some(WalError::BadLength { offset: tail_lsn, len: 3 })
+        );
+    }
+
+    #[test]
+    fn wal_error_display_carries_offset() {
+        let e = WalError::BadChecksum { offset: 1234, stored: 1, computed: 2 };
+        assert!(e.to_string().contains("1234"));
+        assert_eq!(e.offset(), 1234);
     }
 }

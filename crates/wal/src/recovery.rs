@@ -22,7 +22,7 @@
 use crate::record::{LogBody, LogRecord};
 use crate::Lsn;
 use esdb_storage::schema::{encode_row, TableId};
-use esdb_storage::Table;
+use esdb_storage::{StorageError, Table};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -71,7 +71,15 @@ pub fn analyze(records: &[LogRecord]) -> RecoveryReport {
 
 /// Full recovery over `tables` (keyed by table id). Tables must carry the
 /// post-crash heap state; their indexes are rebuilt here.
-pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> RecoveryReport {
+///
+/// Defensive against a salvaged (possibly truncated) log: a record naming a
+/// table id absent from the catalog is skipped rather than panicking, and an
+/// index rebuild that trips over a corrupt heap row surfaces as an `Err`
+/// instead of aborting the process.
+pub fn recover(
+    records: &[LogRecord],
+    tables: &HashMap<TableId, Arc<Table>>,
+) -> Result<RecoveryReport, StorageError> {
     let mut report = analyze(records);
     let mut max_lsn: Lsn = 0;
 
@@ -80,7 +88,7 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
         max_lsn = max_lsn.max(r.lsn);
         let applied = match &r.body {
             LogBody::Insert { table, rid, row, key } => {
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 t.heap()
                     .insert_at(*rid, &encode_row(*key, row), r.lsn)
                     .unwrap_or(false)
@@ -92,13 +100,13 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
                 key,
                 ..
             } => {
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 t.heap()
                     .update_if_newer(*rid, &encode_row(*key, after), r.lsn)
                     .unwrap_or(false)
             }
             LogBody::Delete { table, rid, .. } => {
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 t.heap().delete_if_newer(*rid, r.lsn).unwrap_or(false)
             }
             _ => continue,
@@ -122,7 +130,7 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
         match &r.body {
             LogBody::Insert { table, rid, .. } => {
                 // Undo insert: delete the tuple.
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().delete(*rid, undo_lsn);
                 report.undo_applied += 1;
             }
@@ -133,7 +141,7 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
                 key,
                 ..
             } => {
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().update(*rid, &encode_row(*key, before), undo_lsn);
                 report.undo_applied += 1;
             }
@@ -143,7 +151,7 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
                 before,
                 key,
             } => {
-                let t = &tables[table];
+                let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().insert_at(*rid, &encode_row(*key, before), undo_lsn);
                 report.undo_applied += 1;
             }
@@ -153,9 +161,9 @@ pub fn recover(records: &[LogRecord], tables: &HashMap<TableId, Arc<Table>>) -> 
 
     // --- Index rebuild. --------------------------------------------------
     for t in tables.values() {
-        t.rebuild_index().expect("index rebuild from recovered heap");
+        t.rebuild_index()?;
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -200,7 +208,7 @@ mod tests {
             let table = Arc::new(Table::from_heap(Schema::new(1, "t", 1), heap));
             let mut tables = HashMap::new();
             tables.insert(1u32, table.clone());
-            let report = recover(&self.wal.durable_records(), &tables);
+            let report = recover(&self.wal.durable_records(), &tables).unwrap();
             (table, report)
         }
     }

@@ -116,6 +116,10 @@ impl LogBuffer for SerialLogBuffer {
     fn start_lsn(&self) -> Lsn {
         self.store.base()
     }
+
+    fn store(&self) -> &LogStore {
+        &self.store
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,42 @@ impl Wal {
         let base = self.buffer.start_lsn();
         record::decode_stream(&self.buffer.read_durable(base), base)
     }
+
+    /// Like [`Wal::durable_records`] but keeps the salvage report: how many
+    /// bytes were valid and why decoding stopped, if it did.
+    pub fn durable_records_checked(&self) -> record::SalvagedLog {
+        let base = self.buffer.start_lsn();
+        record::decode_stream_checked(&self.buffer.read_durable(base), base)
+    }
+
+    /// Arms the lying-log-device fault on the underlying store (see
+    /// [`crate::buffer::LogFault`]).
+    pub fn inject_log_fault(&self, fault: crate::buffer::LogFault) {
+        self.buffer.store().set_fault(fault);
+    }
+
+    /// Truncates the *persisted* log to its first `keep` bytes — direct
+    /// crash damage for torture tests.
+    pub fn truncate_durable(&self, keep: usize) {
+        self.buffer.store().truncate_to(keep);
+    }
+
+    /// Flips one bit of the persisted log at absolute stream offset
+    /// `offset` — direct corruption for torture tests.
+    pub fn flip_durable_bit(&self, offset: Lsn, bit: u8) {
+        self.buffer.store().flip_bit(offset, bit);
+    }
+
+    /// Bytes actually persisted on the log device (less than
+    /// `durable_lsn() - start_lsn()` once a lying-device fault tripped).
+    pub fn durable_len(&self) -> u64 {
+        self.buffer.store().len()
+    }
+
+    /// First LSN of this log incarnation.
+    pub fn start_lsn(&self) -> Lsn {
+        self.buffer.start_lsn()
+    }
 }
 
 #[cfg(test)]

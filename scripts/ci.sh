@@ -22,4 +22,8 @@ echo "== smoke: tab3_server (short loopback run) =="
 TAB3_CONNS=2 TAB3_TXNS=200 TAB3_SUBSCRIBERS=500 \
     cargo run --release -p esdb-bench --bin tab3_server
 
+echo "== smoke: crash_torture (seeded, reduced iterations) =="
+CRASH_ITERS=10 CRASH_SEED=42 CRASH_TXNS=50 \
+    cargo run --release -p esdb-bench --bin crash_torture
+
 echo "== ci: all green =="

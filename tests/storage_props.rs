@@ -119,7 +119,7 @@ proptest! {
     #[test]
     fn row_codec_roundtrips(key in any::<u64>(), row in prop::collection::vec(any::<i64>(), 0..32)) {
         let bytes = encode_row(key, &row);
-        let (k, r) = decode_row(&bytes);
+        let (k, r) = decode_row(&bytes).unwrap();
         prop_assert_eq!(k, key);
         prop_assert_eq!(r, row);
     }
