@@ -15,7 +15,9 @@
 //! still, and the throughput gap between the two server rows is the
 //! round-trip + flush latency the pipeline amortized away.
 //!
-//! Env knobs (CI smoke): TAB3_CONNS, TAB3_TXNS, TAB3_SUBSCRIBERS.
+//! Env knobs (CI smoke): TAB3_CONNS, TAB3_TXNS, TAB3_SUBSCRIBERS, and
+//! TAB3_DEPTHS (comma-separated pipeline depths, default `1,8` — the obs
+//! overhead gate in `scripts/obs_overhead_gate.sh` runs a single depth-4).
 
 use esdb_bench::{header, row};
 use esdb_core::{Database, EngineConfig};
@@ -46,6 +48,13 @@ fn main() {
     let conns = env_u64("TAB3_CONNS", 4) as usize;
     let txns = env_u64("TAB3_TXNS", 5_000);
     let subscribers = env_u64("TAB3_SUBSCRIBERS", 10_000);
+    let depths: Vec<usize> = std::env::var("TAB3_DEPTHS")
+        .map(|s| {
+            s.split(',')
+                .map(|d| d.trim().parse().unwrap_or_else(|_| panic!("TAB3_DEPTHS: integers")))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 8]);
 
     header(
         "tab3",
@@ -66,8 +75,8 @@ fn main() {
         row(&report_row("in-process", &report, &db));
     }
 
-    // Wire-attached at two pipeline depths.
-    for depth in [1usize, 8] {
+    // Wire-attached at the configured pipeline depths.
+    for &depth in &depths {
         let mut workload = Tatp::new(subscribers, 42);
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
         db.load_population(&workload);

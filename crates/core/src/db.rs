@@ -62,6 +62,34 @@ pub struct StatsSnapshot {
     pub wal_flushes: u64,
 }
 
+/// Version tag carried by [`ObsSnapshot`] wherever it is serialized; decoders
+/// must reject snapshots with an unknown version with a typed error.
+pub const OBS_SNAPSHOT_VERSION: u32 = 1;
+
+/// The full observability surface: engine counters plus the cycle-accounting
+/// breakdown and per-component latency histograms from `esdb-obs`.
+///
+/// The breakdown and histograms come from the process-global obs aggregate
+/// (`esdb_obs::global()`), which every instrumented crate feeds; benchmark
+/// drivers reset it between cells via `esdb_obs::global().reset()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Format version ([`OBS_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The coarse monotonic counters (the original STATS surface).
+    pub stats: StatsSnapshot,
+    /// Where wall time went, summed over all profiled spans and timers.
+    pub breakdown: esdb_obs::WaitProfile,
+    /// Lock-manager blocked-wait durations (ns).
+    pub lock_wait: esdb_obs::HistogramSnapshot,
+    /// WAL durability-wait durations (ns).
+    pub wal_flush: esdb_obs::HistogramSnapshot,
+    /// Buffer-pool miss service times (ns).
+    pub pool_miss: esdb_obs::HistogramSnapshot,
+    /// Whole-transaction latencies (ns).
+    pub txn_latency: esdb_obs::HistogramSnapshot,
+}
+
 /// A running esdb database instance.
 pub struct Database {
     config: EngineConfig,
@@ -233,6 +261,21 @@ impl Database {
         }
     }
 
+    /// Counters plus the cycle-accounting breakdown and per-component
+    /// latency histograms (the versioned STATS surface).
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let g = esdb_obs::global();
+        ObsSnapshot {
+            version: OBS_SNAPSHOT_VERSION,
+            stats: self.stats_snapshot(),
+            breakdown: g.profile(),
+            lock_wait: g.component(esdb_obs::Component::LockWait),
+            wal_flush: g.component(esdb_obs::Component::WalFlush),
+            pool_miss: g.component(esdb_obs::Component::PoolMiss),
+            txn_latency: g.component(esdb_obs::Component::TxnLatency),
+        }
+    }
+
     /// Reads the latest committed row (a tiny read-only transaction on the
     /// conventional path; a direct read on DORA, where readers go through
     /// executors only for transactional reads).
@@ -297,8 +340,13 @@ impl Database {
                 let mut report = WorkloadReport::default();
                 for _ in 0..txns_per_thread {
                     let spec = gen.next_txn();
-                    let outcome = db.run_spec(&spec);
+                    let (outcome, profile) = esdb_obs::profile_scope(|| db.run_spec(&spec));
                     report.record(spec.kind, spec.may_fail, &outcome);
+                    if esdb_obs::enabled() {
+                        let latency = profile.wall();
+                        report.observe(latency, &profile);
+                        esdb_obs::record_component(esdb_obs::Component::TxnLatency, latency);
+                    }
                 }
                 report
             }));
@@ -490,6 +538,24 @@ mod tests {
             assert!(snap.current_lsn > 0);
             assert!(snap.durable_lsn <= snap.current_lsn);
         }
+    }
+
+    #[test]
+    fn obs_snapshot_reflects_profiled_work() {
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        let mut w = esdb_workload::Ycsb::new(500, 50, 0.5, 2, 7);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 2, 100);
+        let snap = db.obs_snapshot();
+        assert_eq!(snap.version, OBS_SNAPSHOT_VERSION);
+        assert_eq!(snap.stats, db.stats_snapshot());
+        // The txn-latency component histogram saw at least this run's
+        // transactions (the global aggregate is shared across tests in this
+        // process, so ≥, not ==).
+        assert!(snap.txn_latency.count >= report.attempts, "{snap:?}");
+        // The report-local histogram is exact.
+        assert_eq!(report.latency.count, report.attempts);
+        assert!(report.waits.wall() > 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Workload run reports.
 
 use crate::spec_exec::SpecOutcome;
+use esdb_obs::{HistogramSnapshot, WaitProfile};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -21,6 +22,11 @@ pub struct WorkloadReport {
     pub by_kind: BTreeMap<&'static str, (u64, u64)>,
     /// Wall-clock of the run (set by the driver).
     pub elapsed: Duration,
+    /// Per-transaction latency distribution (nanoseconds; empty when the
+    /// driver did not observe latencies, or under `obs_disabled`).
+    pub latency: HistogramSnapshot,
+    /// Aggregate wait breakdown across all observed transactions.
+    pub waits: WaitProfile,
 }
 
 impl WorkloadReport {
@@ -39,7 +45,16 @@ impl WorkloadReport {
         }
     }
 
-    /// Merges another report (from a worker thread).
+    /// Records one observed transaction latency plus its wait breakdown.
+    pub fn observe(&mut self, latency_nanos: u64, waits: &WaitProfile) {
+        self.latency.record(latency_nanos);
+        self.waits.merge(waits);
+    }
+
+    /// Merges another report (from a worker thread). Counters and
+    /// distributions sum; `elapsed` takes the maximum — workers run
+    /// concurrently, so the slowest one bounds the wall clock (summing
+    /// would double-count time, and dropping it loses it entirely).
     pub fn merge(&mut self, other: WorkloadReport) {
         self.attempts += other.attempts;
         self.committed += other.committed;
@@ -50,6 +65,9 @@ impl WorkloadReport {
             e.0 += a;
             e.1 += c;
         }
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.latency.merge(&other.latency);
+        self.waits.merge(&other.waits);
     }
 
     /// Committed transactions per second (0 if untimed).
@@ -133,6 +151,42 @@ mod tests {
         assert_eq!(a.committed, 2);
         assert_eq!(a.expected_failures, 1);
         assert_eq!(a.failed, 2);
+    }
+
+    #[test]
+    fn merge_takes_max_elapsed() {
+        // Regression: merge used to discard the merged-in report's elapsed,
+        // so a timed worker report merged into a fresh aggregate lost its
+        // wall clock (and with it, throughput).
+        let mut agg = WorkloadReport::default();
+        let mut worker = WorkloadReport::default();
+        worker.record("x", false, &SpecOutcome::Committed { reads: vec![] });
+        worker.elapsed = Duration::from_secs(2);
+        agg.merge(worker);
+        assert_eq!(agg.elapsed, Duration::from_secs(2));
+        assert_eq!(agg.throughput(), 0.5);
+
+        // Concurrent workers: the slowest bounds the wall clock.
+        let mut fast = WorkloadReport::default();
+        fast.elapsed = Duration::from_secs(1);
+        agg.merge(fast);
+        assert_eq!(agg.elapsed, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn merge_accumulates_latency_and_waits() {
+        let mut a = WorkloadReport::default();
+        a.observe(100, &WaitProfile { useful: 60, lock_wait: 40, ..Default::default() });
+        let mut b = WorkloadReport::default();
+        b.observe(200, &WaitProfile { useful: 150, commit_flush: 50, ..Default::default() });
+        b.observe(300, &WaitProfile { useful: 300, ..Default::default() });
+        a.merge(b);
+        assert_eq!(a.latency.count, 3);
+        assert_eq!(a.latency.sum, 600);
+        assert_eq!(a.waits.useful, 510);
+        assert_eq!(a.waits.lock_wait, 40);
+        assert_eq!(a.waits.commit_flush, 50);
+        assert_eq!(a.waits.wall(), 600);
     }
 
     #[test]

@@ -80,6 +80,26 @@ impl SimRunConfig {
     }
 }
 
+/// Renders a simulated run's cycle accounting in the shared observability
+/// vocabulary ([`esdb_obs::WaitProfile`], in cycles instead of nanoseconds),
+/// so figures print modeled and measured breakdowns through one code path.
+///
+/// `useful` covers compute plus memory stalls (the obs vocabulary has no
+/// stall class; on the native engine they are likewise inside `useful`).
+/// Context-switch overhead and idle capacity are deliberately excluded —
+/// they are chip-level costs, not transaction wait time, so the profile
+/// keeps the per-txn conservation property (`sum ≤ task wall time`).
+pub fn sim_wait_profile(r: &SimReport) -> esdb_obs::WaitProfile {
+    esdb_obs::WaitProfile {
+        useful: r.breakdown.compute + r.breakdown.mem_stall,
+        lock_wait: r.waits.lock_wait,
+        latch_spin: r.waits.latch_spin,
+        log_wait: r.waits.log_wait,
+        io_retry: 0,
+        commit_flush: r.breakdown.flush_wait,
+    }
+}
+
 /// Runs `workload` on the simulator under `engine_cfg` and returns the
 /// report. Deterministic for a given workload seed.
 pub fn run_sim_workload(
@@ -152,6 +172,38 @@ mod tests {
             "16 ctx {:.0} vs 4 ctx {:.0}",
             t16.tpmc(),
             t4.tpmc()
+        );
+    }
+
+    #[test]
+    fn claim6_log_wait_grows_under_serial_log_and_stays_flat_consolidated() {
+        // The keynote's claim 6, as a deterministic harness: with execution
+        // partitioned away (DORA, ample partitions) the log is the only
+        // shared structure left. Under a serial log head its wait share must
+        // grow with contexts; the consolidation array must hold it near zero.
+        use esdb_workload::Tpcb;
+        let share = |log: LogChoice, contexts: usize| {
+            let cfg = EngineConfig {
+                execution: ExecutionModel::Dora { partitions: 64 },
+                log,
+                elr: false,
+                ..EngineConfig::default()
+            };
+            let mut w = Tpcb::new(1024, 11);
+            let r = run_sim_workload(&mut w, &cfg, &SimRunConfig::at_contexts(contexts));
+            let p = sim_wait_profile(&r);
+            p.log_wait as f64 / p.wall().max(1) as f64
+        };
+        let serial_small = share(LogChoice::Serial, 4);
+        let serial_big = share(LogChoice::Serial, 32);
+        let consolidated_big = share(LogChoice::Consolidated, 32);
+        assert!(
+            serial_big > serial_small * 2.0 && serial_big > 0.10,
+            "serial log share must grow: {serial_small:.3} -> {serial_big:.3}"
+        );
+        assert!(
+            consolidated_big < serial_big / 4.0,
+            "consolidation must absorb the log-head wait: {consolidated_big:.3} vs serial {serial_big:.3}"
         );
     }
 

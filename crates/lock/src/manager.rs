@@ -255,6 +255,7 @@ impl LockManager {
 
         // Blocked: wait for grant or timeout.
         self.waits.fetch_add(1, Ordering::Relaxed);
+        let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LockWait);
         let start = std::time::Instant::now();
         let mut st = slot.slot_state();
         while *st == WaitState::Waiting {
@@ -284,8 +285,9 @@ impl LockManager {
                     }
                     self.graph.clear(txn);
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
-                    self.wait_nanos
-                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let waited = start.elapsed().as_nanos() as u64;
+                    self.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+                    esdb_obs::record_component(esdb_obs::Component::LockWait, waited);
                     return Err(LockError::Timeout);
                 }
                 drop(part);
@@ -293,8 +295,9 @@ impl LockManager {
             }
         }
         self.graph.clear(txn);
-        self.wait_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let waited = start.elapsed().as_nanos() as u64;
+        self.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+        esdb_obs::record_component(esdb_obs::Component::LockWait, waited);
         drop(st);
         if !upgrade {
             self.record_held(txn, id);

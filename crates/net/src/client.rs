@@ -218,6 +218,17 @@ impl Client {
         }
     }
 
+    /// Full observability snapshot: counters plus the server's wait
+    /// breakdown and per-component latency histograms.
+    pub fn obs_stats(&mut self) -> Result<esdb_core::ObsSnapshot, NetError> {
+        self.send(&Request::ObsStats)?;
+        match self.recv()? {
+            Response::ObsStats(snap) => Ok(*snap),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("obs stats")),
+        }
+    }
+
     /// Executes one one-shot transaction and waits for its outcome. The
     /// acknowledgment implies the commit is durable on the server.
     pub fn one_shot(&mut self, spec: &TxnSpec) -> Result<SpecOutcome, NetError> {

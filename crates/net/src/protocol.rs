@@ -13,7 +13,8 @@
 
 use bytes::{Buf, BufMut};
 use esdb_core::spec_exec::SpecOutcome;
-use esdb_core::StatsSnapshot;
+use esdb_core::{ObsSnapshot, StatsSnapshot, OBS_SNAPSHOT_VERSION};
+use esdb_obs::{HistogramSnapshot, WaitProfile, BUCKETS};
 use esdb_workload::{TxnSpec, WorkloadOp};
 
 /// Frame header size: the `u32` payload length.
@@ -31,6 +32,10 @@ pub enum FrameError {
     /// The payload's structure is invalid (unknown tag, truncated field,
     /// trailing garbage, row too wide).
     Malformed(&'static str),
+    /// A versioned snapshot frame from a peer speaking a format this build
+    /// does not understand. Typed (not a panic, not `Malformed`) so callers
+    /// can distinguish skew from corruption.
+    UnsupportedVersion(u32),
 }
 
 impl std::fmt::Display for FrameError {
@@ -38,6 +43,9 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
             FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            FrameError::UnsupportedVersion(v) => {
+                write!(f, "obs snapshot version {v} not supported (this build speaks {OBS_SNAPSHOT_VERSION})")
+            }
         }
     }
 }
@@ -51,6 +59,9 @@ pub enum Request {
     Ping,
     /// Engine + server counters.
     Stats,
+    /// Full observability snapshot: counters plus the cycle-accounting
+    /// breakdown and per-component latency histograms.
+    ObsStats,
     /// One-shot transaction: the whole op list in one frame. The server
     /// executes, commits (deferred, riding the session batch's single WAL
     /// flush) and replies with an [`Response::Outcome`].
@@ -126,6 +137,9 @@ pub enum Response {
     Pong,
     /// STATS reply.
     Stats(ServerStats),
+    /// OBS_STATS reply: the versioned snapshot (boxed — it carries four
+    /// histograms and would otherwise dominate every `Response`'s size).
+    ObsStats(Box<ObsSnapshot>),
     /// One-shot transaction result.
     Outcome(SpecOutcome),
     /// A row, from an interactive [`Request::Read`].
@@ -141,6 +155,7 @@ pub enum Response {
 const T_PING: u8 = 0x01;
 const T_STATS: u8 = 0x02;
 const T_ONE_SHOT: u8 = 0x03;
+const T_OBS_STATS: u8 = 0x04;
 const T_BEGIN: u8 = 0x10;
 const T_READ: u8 = 0x11;
 const T_UPDATE: u8 = 0x12;
@@ -155,6 +170,7 @@ const T_OUTCOME: u8 = 0x84;
 const T_ROW: u8 = 0x85;
 const T_OK: u8 = 0x86;
 const T_ERROR: u8 = 0x87;
+const T_OBS_REPLY: u8 = 0x88;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -240,6 +256,60 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn put_stats(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    out.put_u64_le(s.commits);
+    out.put_u64_le(s.aborts);
+    out.put_u64_le(s.durable_lsn);
+    out.put_u64_le(s.current_lsn);
+    out.put_u64_le(s.wal_flushes);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<StatsSnapshot, FrameError> {
+    Ok(StatsSnapshot {
+        commits: r.u64()?,
+        aborts: r.u64()?,
+        durable_lsn: r.u64()?,
+        current_lsn: r.u64()?,
+        wal_flushes: r.u64()?,
+    })
+}
+
+fn put_profile(out: &mut Vec<u8>, p: &WaitProfile) {
+    out.put_u64_le(p.useful);
+    out.put_u64_le(p.lock_wait);
+    out.put_u64_le(p.latch_spin);
+    out.put_u64_le(p.log_wait);
+    out.put_u64_le(p.io_retry);
+    out.put_u64_le(p.commit_flush);
+}
+
+fn get_profile(r: &mut Reader<'_>) -> Result<WaitProfile, FrameError> {
+    Ok(WaitProfile {
+        useful: r.u64()?,
+        lock_wait: r.u64()?,
+        latch_spin: r.u64()?,
+        log_wait: r.u64()?,
+        io_retry: r.u64()?,
+        commit_flush: r.u64()?,
+    })
+}
+
+fn put_hist(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    out.put_u64_le(h.count);
+    out.put_u64_le(h.sum);
+    for b in &h.buckets {
+        out.put_u64_le(*b);
+    }
+}
+
+fn get_hist(r: &mut Reader<'_>) -> Result<HistogramSnapshot, FrameError> {
+    let mut h = HistogramSnapshot { count: r.u64()?, sum: r.u64()?, ..Default::default() };
+    for i in 0..BUCKETS {
+        h.buckets[i] = r.u64()?;
+    }
+    Ok(h)
+}
+
 fn put_row(out: &mut Vec<u8>, row: &[i64]) {
     debug_assert!(row.len() <= u16::MAX as usize);
     out.put_u16_le(row.len() as u16);
@@ -310,6 +380,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Ping => out.put_u8(T_PING),
         Request::Stats => out.put_u8(T_STATS),
+        Request::ObsStats => out.put_u8(T_OBS_STATS),
         Request::OneShot { may_fail, ops } => {
             out.put_u8(T_ONE_SHOT);
             out.put_u8(u8::from(*may_fail));
@@ -362,17 +433,23 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Pong => out.put_u8(T_PONG),
         Response::Stats(s) => {
             out.put_u8(T_STATS_REPLY);
-            out.put_u64_le(s.engine.commits);
-            out.put_u64_le(s.engine.aborts);
-            out.put_u64_le(s.engine.durable_lsn);
-            out.put_u64_le(s.engine.current_lsn);
-            out.put_u64_le(s.engine.wal_flushes);
+            put_stats(out, &s.engine);
             out.put_u64_le(s.sessions_accepted);
             out.put_u64_le(s.sessions_shed);
             out.put_u64_le(s.sessions_active);
             out.put_u64_le(s.txns_executed);
             out.put_u64_le(s.txns_committed);
             out.put_u64_le(s.batches);
+        }
+        Response::ObsStats(snap) => {
+            out.put_u8(T_OBS_REPLY);
+            out.put_u32_le(snap.version);
+            put_stats(out, &snap.stats);
+            put_profile(out, &snap.breakdown);
+            put_hist(out, &snap.lock_wait);
+            put_hist(out, &snap.wal_flush);
+            put_hist(out, &snap.pool_miss);
+            put_hist(out, &snap.txn_latency);
         }
         Response::Outcome(outcome) => {
             out.put_u8(T_OUTCOME);
@@ -456,6 +533,7 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
     let req = match r.u8()? {
         T_PING => Request::Ping,
         T_STATS => Request::Stats,
+        T_OBS_STATS => Request::ObsStats,
         T_ONE_SHOT => {
             let may_fail = match r.u8()? {
                 0 => false,
@@ -492,13 +570,7 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
         T_BUSY => Response::Busy,
         T_PONG => Response::Pong,
         T_STATS_REPLY => Response::Stats(ServerStats {
-            engine: StatsSnapshot {
-                commits: r.u64()?,
-                aborts: r.u64()?,
-                durable_lsn: r.u64()?,
-                current_lsn: r.u64()?,
-                wal_flushes: r.u64()?,
-            },
+            engine: get_stats(&mut r)?,
             sessions_accepted: r.u64()?,
             sessions_shed: r.u64()?,
             sessions_active: r.u64()?,
@@ -506,6 +578,23 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
             txns_committed: r.u64()?,
             batches: r.u64()?,
         }),
+        T_OBS_REPLY => {
+            // Version gate first: a snapshot from a newer build decodes to a
+            // typed error, never a guess at its layout (and never a panic).
+            let version = r.u32()?;
+            if version != OBS_SNAPSHOT_VERSION {
+                return Err(FrameError::UnsupportedVersion(version));
+            }
+            Response::ObsStats(Box::new(ObsSnapshot {
+                version,
+                stats: get_stats(&mut r)?,
+                breakdown: get_profile(&mut r)?,
+                lock_wait: get_hist(&mut r)?,
+                wal_flush: get_hist(&mut r)?,
+                pool_miss: get_hist(&mut r)?,
+                txn_latency: get_hist(&mut r)?,
+            }))
+        }
         T_OUTCOME => {
             let outcome = match r.u8()? {
                 OUT_COMMITTED => {
@@ -605,6 +694,55 @@ mod tests {
             txns_committed: 10,
             batches: 11,
         }));
+    }
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let mut lock_wait = HistogramSnapshot::default();
+        lock_wait.record(1);
+        lock_wait.record(100);
+        let mut txn_latency = HistogramSnapshot::default();
+        for v in [0u64, 1, 2, 4_096, u64::MAX] {
+            txn_latency.record(v);
+        }
+        ObsSnapshot {
+            version: OBS_SNAPSHOT_VERSION,
+            stats: StatsSnapshot {
+                commits: 10,
+                aborts: 1,
+                durable_lsn: 900,
+                current_lsn: 1000,
+                wal_flushes: 4,
+            },
+            breakdown: WaitProfile {
+                useful: 500,
+                lock_wait: 40,
+                latch_spin: 3,
+                log_wait: 70,
+                io_retry: 0,
+                commit_flush: 120,
+            },
+            lock_wait,
+            wal_flush: HistogramSnapshot::default(),
+            pool_miss: HistogramSnapshot::default(),
+            txn_latency,
+        }
+    }
+
+    #[test]
+    fn obs_frames_roundtrip() {
+        roundtrip_request(Request::ObsStats);
+        roundtrip_response(Response::ObsStats(Box::new(sample_snapshot())));
+    }
+
+    #[test]
+    fn unknown_snapshot_version_is_a_typed_error() {
+        let mut buf = Vec::new();
+        encode_response(&Response::ObsStats(Box::new(sample_snapshot())), &mut buf);
+        // Pretend a newer peer sent this: bump the version field (first 4
+        // payload bytes after the length prefix and tag).
+        let evil = OBS_SNAPSHOT_VERSION + 7;
+        buf[5..9].copy_from_slice(&evil.to_le_bytes());
+        assert_eq!(decode_response(&buf), Err(FrameError::UnsupportedVersion(evil)));
     }
 
     #[test]

@@ -276,10 +276,21 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
         let resp = match req {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(shared.stats()),
+            Request::ObsStats => Response::ObsStats(Box::new(db.obs_snapshot())),
             Request::OneShot { may_fail, ops } => {
                 shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
                 let spec = TxnSpec { kind: "net", ops: ops.clone(), may_fail: *may_fail };
-                let (outcome, lsn) = db.run_spec_deferred(&spec);
+                // Per-txn profile covers execution only; the batch's shared
+                // group-commit flush below is accounted once as CommitFlush
+                // rather than attributed to any single transaction.
+                let ((outcome, lsn), profile) =
+                    esdb_obs::profile_scope(|| db.run_spec_deferred(&spec));
+                if esdb_obs::enabled() {
+                    esdb_obs::record_component(
+                        esdb_obs::Component::TxnLatency,
+                        profile.wall(),
+                    );
+                }
                 if outcome.is_committed() {
                     shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -342,7 +353,10 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
     // The group-commit point: every deferred commit in this batch becomes
     // durable under one wait before any acknowledgment leaves the server.
+    // Accounted as commit-flush wait: the batch's commits are what block on
+    // it (the nested log-wait timer inside wait_durable records nothing).
     if let Some(lsn) = flush_to {
+        let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
         db.wal().wait_durable(lsn);
     }
     let mut outbox = Vec::new();

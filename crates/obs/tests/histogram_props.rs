@@ -1,0 +1,108 @@
+//! Property tests for the log-bucketed histogram: the algebra the
+//! observability layer leans on (mergeability, monotone quantiles,
+//! conservative bucketing) must hold for arbitrary inputs, not just the
+//! hand-picked unit-test values.
+
+use esdb_obs::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+fn values() -> BoxedStrategy<Vec<u64>> {
+    // Mix small values (dense low buckets) with full-range ones so the
+    // tests exercise both ends of the bucket table.
+    prop::collection::vec(
+        prop_oneof![0u64..1024, any::<u64>()],
+        0..64,
+    )
+    .boxed()
+}
+
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ∪ b) ∪ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ∪ (b ∪ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_never_loses_counts(a in values(), b in values()) {
+        let mut merged = snap(&a);
+        merged.merge(&snap(&b));
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        let bucket_total: u64 = merged.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, merged.count);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(vs in values()) {
+        let s = snap(&vs);
+        let qs = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                s.quantile(pair[0]) <= s.quantile(pair[1]),
+                "q{} = {} > q{} = {}",
+                pair[0], s.quantile(pair[0]), pair[1], s.quantile(pair[1]),
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_never_exceeds_any_recorded_ceiling(vs in values()) {
+        // A quantile is reported as its bucket's lower bound, so it can never
+        // exceed the largest recorded value.
+        if let Some(&max) = vs.iter().max() {
+            let s = snap(&vs);
+            for q in [0.5, 0.95, 0.99, 1.0] {
+                prop_assert!(s.quantile(q) <= max);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_values_never_fall_below_their_bucket_lower_bound(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v, "bucket {} lb {} > {}", i, bucket_lower_bound(i), v);
+        // ...and below the next bucket's lower bound (bucketing is a partition).
+        if i + 1 < BUCKETS {
+            prop_assert!(v < bucket_lower_bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_atomic_totals(vs in values()) {
+        let s = snap(&vs);
+        prop_assert_eq!(s.count, vs.len() as u64);
+        // The atomic sum wraps on overflow (fetch_add semantics).
+        let expected_sum = vs.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(s.sum, expected_sum);
+    }
+}

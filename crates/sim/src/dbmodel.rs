@@ -24,7 +24,9 @@ use crate::program::{Op, Program};
 /// Per-partition action group: `(partition, [(table, key, is_write)])`.
 type PartitionGroup = (u64, Vec<(u32, u64, bool)>);
 
-/// Lock-id and line-id address-space bases (disjoint regions).
+/// Lock-id and line-id address-space bases (disjoint regions). The high-bit
+/// tag doubles as the wait class ([`crate::program::lock_class`]): regions 1
+/// and 2 are logical locks, 3 is the log head, 10 and 11 are latches.
 const ROW_LOCK_BASE: u64 = 1 << 40;
 const PART_LOCK_BASE: u64 = 2 << 40;
 const LOG_LOCK: u64 = (3 << 40) + 1;

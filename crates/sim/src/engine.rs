@@ -9,8 +9,8 @@
 //! measurable.
 
 use crate::cache::CacheModel;
-use crate::program::{Op, Program};
-use crate::stats::{CycleBreakdown, SimReport};
+use crate::program::{lock_class, LockClass, Op, Program};
+use crate::stats::{CycleBreakdown, SimReport, WaitByClass};
 use crate::topology::ChipConfig;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -110,6 +110,7 @@ pub struct Simulation {
     seq: u64,
     now: u64,
     breakdown: CycleBreakdown,
+    waits: WaitByClass,
     port: FlushPort,
 }
 
@@ -155,7 +156,17 @@ impl Simulation {
             seq: 0,
             now: 0,
             breakdown: CycleBreakdown::default(),
+            waits: WaitByClass::default(),
             port: FlushPort::default(),
+        }
+    }
+
+    /// Attributes `waited` cycles against lock `l`'s subsystem class.
+    fn account_wait(&mut self, l: u64, waited: u64) {
+        match lock_class(l) {
+            LockClass::Lock => self.waits.lock_wait += waited,
+            LockClass::Latch => self.waits.latch_spin += waited,
+            LockClass::Log => self.waits.log_wait += waited,
         }
     }
 
@@ -240,6 +251,7 @@ impl Simulation {
             contexts: self.chip.contexts,
             txns,
             breakdown: self.breakdown,
+            waits: self.waits,
             cache: self.cache.stats(),
             flushes: self.port.flushes,
         }
@@ -398,6 +410,7 @@ impl Simulation {
             lock.held_by = Some(next);
             let waited = self.now - self.tasks[next].wait_start;
             self.breakdown.spin += waited;
+            self.account_wait(l, waited);
             self.tasks[next].wait_gen += 1; // cancel any hybrid timeout
             self.tasks[next].state = TaskState::Running;
             self.tasks[next].pc += 1; // the acquire op completes
@@ -409,6 +422,7 @@ impl Simulation {
             lock.held_by = Some(next);
             let waited = self.now - self.tasks[next].wait_start;
             self.breakdown.lock_blocked += waited;
+            self.account_wait(l, waited);
             self.tasks[next].pc += 1;
             self.make_ready(next);
         }
@@ -426,7 +440,9 @@ impl Simulation {
         let lock = self.locks.get_mut(&l).unwrap();
         lock.spinners.retain(|&t| t != task);
         lock.blocked.push_back(task);
-        self.breakdown.spin += self.now - self.tasks[task].wait_start;
+        let spun = self.now - self.tasks[task].wait_start;
+        self.breakdown.spin += spun;
+        self.account_wait(l, spun);
         self.tasks[task].wait_start = self.now;
         self.tasks[task].state = TaskState::Blocked(l);
         let ctx = self.tasks[task].ctx.expect("spinner had a context");

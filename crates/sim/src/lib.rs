@@ -40,6 +40,6 @@ pub mod topology;
 
 pub use dbmodel::{DbModelConfig, EngineKind, LogKind, SimTxn};
 pub use engine::{Simulation, WaitPolicy};
-pub use program::{Op, Program};
-pub use stats::{CycleBreakdown, SimReport};
+pub use program::{lock_class, LockClass, Op, Program};
+pub use stats::{CycleBreakdown, SimReport, WaitByClass};
 pub use topology::ChipConfig;

@@ -26,6 +26,31 @@ pub enum Op {
     Commit,
 }
 
+/// Subsystem a lock id belongs to, for per-class wait attribution.
+///
+/// Lock ids carry a namespace tag in bits 40+ (see the id-space constants in
+/// [`crate::dbmodel`]); the engine uses this to attribute wait cycles to the
+/// same classes the native engine's observability layer (`esdb-obs`) uses.
+/// Ids with no tag (hand-built test programs) count as generic lock waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockClass {
+    /// Logical row / partition locks (the lock manager).
+    Lock,
+    /// Physical latches (lock-table shards, intention tables).
+    Latch,
+    /// The log-head lock.
+    Log,
+}
+
+/// Classifies a lock id by its namespace tag.
+pub fn lock_class(id: u64) -> LockClass {
+    match id >> 40 {
+        3 => LockClass::Log,
+        10 | 11 => LockClass::Latch,
+        _ => LockClass::Lock,
+    }
+}
+
 /// A transaction's op sequence.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {

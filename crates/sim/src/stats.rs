@@ -42,6 +42,22 @@ impl CycleBreakdown {
     }
 }
 
+/// Task wait-time split by the subsystem waited on (cycles).
+///
+/// Each bucket is the sum of spin *and* parked waits against locks of that
+/// class (see [`crate::program::lock_class`]) — the same vocabulary the
+/// native engine's observability layer reports, so simulated and measured
+/// breakdowns render through one code path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitByClass {
+    /// Waits on logical row / partition locks.
+    pub lock_wait: u64,
+    /// Waits on physical latches.
+    pub latch_spin: u64,
+    /// Waits on the log-head lock.
+    pub log_wait: u64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimReport {
@@ -53,6 +69,8 @@ pub struct SimReport {
     pub txns: u64,
     /// Cycle accounting.
     pub breakdown: CycleBreakdown,
+    /// Wait cycles per subsystem class (spin + parked).
+    pub waits: WaitByClass,
     /// Cache behaviour.
     pub cache: CacheStats,
     /// Physical commit flushes issued.
@@ -78,6 +96,7 @@ mod tests {
             contexts: 4,
             txns: 500,
             breakdown: CycleBreakdown::default(),
+            waits: WaitByClass::default(),
             cache: CacheStats::default(),
             flushes: 0,
         };

@@ -96,10 +96,14 @@ impl BufferPool {
     /// exponential backoff. Non-transient errors surface immediately.
     fn read_retrying(&self, id: PageId, out: &mut Page) -> Result<()> {
         let mut backoff = esdb_sync::Backoff::new();
+        // Started lazily: the no-error path pays nothing.
+        let mut retry_wait = None;
         for attempt in 1..=IO_ATTEMPTS {
             match self.disk.read(id, out) {
                 Err(StorageError::TransientIo { .. }) if attempt < IO_ATTEMPTS => {
                     self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    retry_wait
+                        .get_or_insert_with(|| esdb_obs::wait_timer(esdb_obs::WaitClass::IoRetry));
                     backoff.pause();
                 }
                 other => return other,
@@ -113,10 +117,13 @@ impl BufferPool {
     /// successful attempt rewrites the full page image.
     fn write_retrying(&self, id: PageId, page: &Page) -> Result<()> {
         let mut backoff = esdb_sync::Backoff::new();
+        let mut retry_wait = None;
         for attempt in 1..=IO_ATTEMPTS {
             match self.disk.write(id, page) {
                 Err(StorageError::TransientIo { .. }) if attempt < IO_ATTEMPTS => {
                     self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    retry_wait
+                        .get_or_insert_with(|| esdb_obs::wait_timer(esdb_obs::WaitClass::IoRetry));
                     backoff.pause();
                 }
                 other => return other,
@@ -167,6 +174,7 @@ impl BufferPool {
             return Ok(PinnedPage { pool: self, idx });
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let miss_start = esdb_obs::enabled().then(std::time::Instant::now);
         let idx = self.find_victim(&mut map)?;
 
         // Evict the old occupant (unpinned by construction).
@@ -191,6 +199,12 @@ impl BufferPool {
         frame.pin.store(1, Ordering::Relaxed);
         frame.refbit.store(true, Ordering::Relaxed);
         map.table.insert(id, idx);
+        if let Some(start) = miss_start {
+            esdb_obs::record_component(
+                esdb_obs::Component::PoolMiss,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(PinnedPage { pool: self, idx })
     }
 

@@ -32,12 +32,17 @@ impl RwLatch {
 
     /// Acquires in shared mode.
     pub fn lock_shared(&self) {
+        // Fast path: uncontended acquisition pays no timer.
+        if self.try_lock_shared() {
+            return;
+        }
+        let _spin = esdb_obs::wait_timer(esdb_obs::WaitClass::LatchSpin);
         let mut backoff = Backoff::new();
         loop {
+            backoff.pause();
             if self.try_lock_shared() {
                 return;
             }
-            backoff.pause();
         }
     }
 
@@ -63,6 +68,11 @@ impl RwLatch {
 
     /// Acquires in exclusive mode.
     pub fn lock_exclusive(&self) {
+        // Fast path: uncontended acquisition pays no timer.
+        if self.try_lock_exclusive() {
+            return;
+        }
+        let _spin = esdb_obs::wait_timer(esdb_obs::WaitClass::LatchSpin);
         self.writers_waiting.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new();
         while self

@@ -72,14 +72,19 @@ impl TatasLock {
 impl RawLock for TatasLock {
     #[inline]
     fn lock(&self) {
+        // Fast path: uncontended acquisition stays a single swap, no timer.
+        if !self.locked.swap(true, Ordering::Acquire) {
+            return;
+        }
+        let _spin = esdb_obs::wait_timer(esdb_obs::WaitClass::LatchSpin);
         let mut backoff = Backoff::new();
         loop {
-            if !self.locked.swap(true, Ordering::Acquire) {
-                return;
-            }
             // Wait until the lock at least looks free before swapping again.
             while self.locked.load(Ordering::Relaxed) {
                 backoff.pause();
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
             }
         }
     }

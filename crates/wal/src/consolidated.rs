@@ -163,7 +163,10 @@ impl ConsolidatedLogBuffer {
 
     fn lead(&self, slot: &Slot, gen: u16, payload: &[u8]) -> LsnRange {
         let len = payload.len() as u64;
-        self.inner.alloc_lock.lock();
+        if !self.inner.alloc_lock.try_lock() {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LogWait);
+            self.inner.alloc_lock.lock();
+        }
         // Close the slot: no more joiners for this generation. Whatever size
         // accumulated by now is the group.
         let (count, total) = loop {
@@ -212,14 +215,18 @@ impl ConsolidatedLogBuffer {
     fn follow(&self, slot: &Slot, gen: u16, rel: u32, payload: &[u8]) -> LsnRange {
         self.consolidations.fetch_add(1, Ordering::Relaxed);
         // Bounded spin, then yield: on an oversubscribed host the leader may
-        // be descheduled between our join and its publish.
-        let mut spins = 0u32;
-        while slot.base_gen.load(Ordering::Acquire) != gen as u64 {
-            spins += 1;
-            if spins > 128 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+        // be descheduled between our join and its publish. Waiting on the
+        // leader is time spent in the log subsystem.
+        if slot.base_gen.load(Ordering::Acquire) != gen as u64 {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LogWait);
+            let mut spins = 0u32;
+            while slot.base_gen.load(Ordering::Acquire) != gen as u64 {
+                spins += 1;
+                if spins > 128 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
             }
         }
         let base = slot.base.load(Ordering::Acquire);

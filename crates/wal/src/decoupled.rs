@@ -112,7 +112,12 @@ impl DecoupledLogBuffer {
 impl LogBuffer for DecoupledLogBuffer {
     fn insert(&self, payload: &[u8]) -> LsnRange {
         let len = payload.len() as u64;
-        self.alloc_lock.lock();
+        // Contended allocation is log-subsystem queueing, not generic latch
+        // spin (the nested LatchSpin timer inside the lock records nothing).
+        if !self.alloc_lock.try_lock() {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LogWait);
+            self.alloc_lock.lock();
+        }
         let start = self.allocate_locked(len);
         self.alloc_lock.unlock();
         self.fill(start, payload);

@@ -62,7 +62,15 @@ impl Default for SerialLogBuffer {
 
 impl LogBuffer for SerialLogBuffer {
     fn insert(&self, payload: &[u8]) -> LsnRange {
-        let mut st = self.state.lock();
+        // A contended acquisition here IS the serial-log-head bottleneck the
+        // keynote describes: attribute the queueing delay to the log.
+        let mut st = match self.state.try_lock() {
+            Some(guard) => guard,
+            None => {
+                let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LogWait);
+                self.state.lock()
+            }
+        };
         let start = st.tail;
         st.pending.extend_from_slice(payload);
         st.tail += payload.len() as u64;

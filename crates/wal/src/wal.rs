@@ -98,7 +98,17 @@ impl Wal {
     /// physical flush may cover many concurrent committers).
     pub fn commit(&self, txn_id: u64, prev_lsn: Lsn) -> Lsn {
         let range = self.append(txn_id, prev_lsn, &LogBody::Commit);
-        self.buffer.flush(range.end);
+        if esdb_obs::enabled() {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
+            let start = std::time::Instant::now();
+            self.buffer.flush(range.end);
+            esdb_obs::record_component(
+                esdb_obs::Component::WalFlush,
+                start.elapsed().as_nanos() as u64,
+            );
+        } else {
+            self.buffer.flush(range.end);
+        }
         range.start
     }
 
@@ -110,7 +120,17 @@ impl Wal {
 
     /// Blocks until everything up to `lsn` is durable.
     pub fn wait_durable(&self, lsn: Lsn) {
-        self.buffer.flush(lsn);
+        if esdb_obs::enabled() {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LogWait);
+            let start = std::time::Instant::now();
+            self.buffer.flush(lsn);
+            esdb_obs::record_component(
+                esdb_obs::Component::WalFlush,
+                start.elapsed().as_nanos() as u64,
+            );
+        } else {
+            self.buffer.flush(lsn);
+        }
     }
 
     /// Highest durable LSN.

@@ -26,4 +26,7 @@ echo "== smoke: crash_torture (seeded, reduced iterations) =="
 CRASH_ITERS=10 CRASH_SEED=42 CRASH_TXNS=50 \
     cargo run --release -p esdb-bench --bin crash_torture
 
+echo "== gate: obs overhead (tab3 loopback, depth-4, enabled within 5% of compiled-out) =="
+scripts/obs_overhead_gate.sh
+
 echo "== ci: all green =="

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Observability must be (nearly) free: tab3_server loopback throughput with
+# esdb-obs enabled must stay within 5% of a build with it compiled out
+# (RUSTFLAGS="--cfg obs_disabled", separate target dir so the two builds
+# never thrash each other's caches). Seeded TATP, depth-4 pipeline,
+# best-of-N per variant to tame single-CPU scheduler noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=${OBS_GATE_RUNS:-3}
+TOLERANCE=${OBS_GATE_TOLERANCE:-0.95}
+export TAB3_CONNS=${OBS_GATE_CONNS:-2}
+export TAB3_TXNS=${OBS_GATE_TXNS:-400}
+export TAB3_SUBSCRIBERS=${OBS_GATE_SUBSCRIBERS:-500}
+export TAB3_DEPTHS=4
+
+echo "-- building tab3_server, obs enabled --"
+cargo build --release -q -p esdb-bench --bin tab3_server
+echo "-- building tab3_server, obs compiled out --"
+RUSTFLAGS="--cfg obs_disabled" CARGO_TARGET_DIR=target/obs-off \
+    cargo build --release -q -p esdb-bench --bin tab3_server
+
+best_tps() {
+    local bin=$1 best=0 tps
+    for _ in $(seq "$RUNS"); do
+        tps=$("$bin" | awk -F'\t' '$1 == "server/depth-4" { print $4 }')
+        if [ -z "$tps" ]; then
+            echo "no server/depth-4 row in $bin output" >&2
+            exit 1
+        fi
+        best=$(awk -v a="$best" -v b="$tps" 'BEGIN { print (b > a) ? b : a }')
+    done
+    echo "$best"
+}
+
+on=$(best_tps target/release/tab3_server)
+off=$(best_tps target/obs-off/release/tab3_server)
+echo "obs-enabled best-of-$RUNS: $on tps; obs-disabled best-of-$RUNS: $off tps"
+awk -v on="$on" -v off="$off" -v tol="$TOLERANCE" 'BEGIN {
+    if (on < tol * off) {
+        printf "FAIL: obs overhead exceeds budget (enabled %.0f < %.2f x disabled %.0f)\n", on, tol, off
+        exit 1
+    }
+    printf "OK: enabled/disabled = %.3f (>= %.2f)\n", on / off, tol
+}'

@@ -82,6 +82,49 @@ fn ycsb_hot_skew_survives_every_config() {
 }
 
 #[test]
+fn cycle_accounting_is_conservative_under_every_config() {
+    // The observability layer must stay honest across the whole engine
+    // matrix: accounted time (useful + waits) can never exceed measured
+    // wall clock, and the latency histogram must see every attempt.
+    if !esdb::obs::enabled() {
+        return; // compiled out: nothing to check
+    }
+    let threads = 3usize;
+    for cfg in configs() {
+        let label = cfg.label();
+        let db = Arc::new(Database::open(cfg));
+        let mut w = Tpcb::new(2, 7);
+        db.load_population(&w);
+        let start = std::time::Instant::now();
+        let report = db.run_workload(&mut w, threads, 60);
+        let harness_wall = start.elapsed().as_nanos() as u64;
+
+        // Every attempt was profiled exactly once (worker-local histogram,
+        // merged at join — no sampling, no drops).
+        assert_eq!(report.latency.count, report.attempts, "[{label}]");
+
+        // Per-transaction conservation, summed: each txn's useful + waits is
+        // capped by its own wall clock, so the aggregate is capped by total
+        // worker run time, itself capped by the harness wall clock per worker.
+        let accounted = report.waits.wall();
+        assert!(accounted > 0, "[{label}] profiled work must be visible");
+        let budget = harness_wall.saturating_mul(threads as u64);
+        assert!(
+            accounted <= budget,
+            "[{label}] accounted {accounted}ns exceeds {threads}x wall {harness_wall}ns"
+        );
+        // Each wait class alone also fits the budget.
+        for class in esdb::obs::WaitClass::ALL {
+            assert!(report.waits.get(class) <= budget, "[{label}] {}", class.name());
+        }
+
+        // The per-txn latency each worker recorded is that txn's wall clock,
+        // so the histogram total equals the accounted total.
+        assert_eq!(report.latency.sum, accounted, "[{label}]");
+    }
+}
+
+#[test]
 fn wal_contains_commit_per_update_txn() {
     let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
     let mut w = Tpcb::new(1, 5);
