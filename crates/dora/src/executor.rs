@@ -105,10 +105,14 @@ impl Executor {
         }
     }
 
+    /// Stable virtual-thread tags for executors under deterministic checking
+    /// (client threads use small tags; executors live in their own range).
+    pub const SCHED_TAG_BASE: u64 = 1_000;
+
     /// The executor main loop.
     pub(crate) fn run(mut self) -> ExecutorStats {
-        let _ = self.id;
-        while let Ok(msg) = self.rx.recv() {
+        let hooked = esdb_sync::sched::register_spawned(Self::SCHED_TAG_BASE + self.id as u64);
+        while let Some(msg) = Self::next_msg(&self.rx) {
             match msg {
                 Msg::Package(pkg) => self.handle_package(pkg),
                 Msg::Complete { txn, commit, ack } => {
@@ -120,7 +124,34 @@ impl Executor {
                 Msg::Stop => break,
             }
         }
+        if hooked {
+            esdb_sync::sched::deregister_spawned();
+        }
         self.stats
+    }
+
+    /// Receives the next message. Under deterministic checking this blocks on
+    /// the scheduler seam (one message handled per scheduler step); otherwise
+    /// it is a plain blocking receive.
+    fn next_msg(rx: &Receiver<Msg>) -> Option<Msg> {
+        if !esdb_sync::sched::active() {
+            return rx.recv().ok();
+        }
+        loop {
+            let governed = esdb_sync::sched::block_until(
+                esdb_sync::YieldPoint::ExecutorRecv,
+                || !rx.is_empty() || rx.is_disconnected(),
+            );
+            if !governed {
+                return rx.recv().ok();
+            }
+            match rx.try_recv() {
+                Ok(msg) => return Some(msg),
+                Err(crossbeam::channel::TryRecvError::Disconnected) => return None,
+                // Lost a race with nobody (single scheduler): just re-block.
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
+            }
+        }
     }
 
     fn handle_package(&mut self, pkg: Package) {
@@ -134,6 +165,13 @@ impl Executor {
                 }
                 Some(&(owner, _)) if owner == pkg.txn => {}
                 Some(&(_, owner_prio)) => {
+                    #[cfg(feature = "chaos")]
+                    if crate::chaos::wait_die_disabled() {
+                        // Chaos mutation: ignore the conflict and co-own the
+                        // key — two transactions now race on the same rows.
+                        self.owned.entry(pkg.txn).or_default().push(k);
+                        continue;
+                    }
                     if pkg.priority < owner_prio {
                         // Older requester: park behind the key (keeps the
                         // keys it already owns — wait-die makes this safe).

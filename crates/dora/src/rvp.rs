@@ -77,6 +77,18 @@ impl Rvp {
 
     /// Client wait: blocks until every package completed or any failed.
     pub fn wait(&self) -> Verdict {
+        // Deterministic checking: a virtual client blocks on the scheduler
+        // seam so the rendezvous becomes an explorable interleaving edge.
+        if esdb_sync::sched::block_until(esdb_sync::YieldPoint::RvpWait, || {
+            let st = self.state.lock().unwrap();
+            st.remaining == 0 || st.aborted.is_some()
+        }) {
+            let st = self.state.lock().unwrap();
+            return match st.aborted {
+                Some(kind) => Verdict::Abort(kind),
+                None => Verdict::Commit,
+            };
+        }
         let mut st = self.state.lock().unwrap();
         while st.remaining > 0 && st.aborted.is_none() {
             st = self.cv.wait(st).unwrap();

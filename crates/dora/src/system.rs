@@ -82,6 +82,9 @@ impl DoraSystem {
             senders.push(tx);
             handles.push(std::thread::spawn(move || exec.run()));
         }
+        // Deterministic checking: wait until every executor registered with
+        // the scheduler, so executor admission cannot race the first package.
+        esdb_sync::sched::sync_spawned(partitions);
         DoraSystem {
             senders,
             handles,
@@ -115,15 +118,20 @@ impl DoraSystem {
                     .or_default()
                     .push((idx, a.clone()));
             }
-            let involved: Vec<usize> = groups.keys().copied().collect();
+            let mut involved: Vec<usize> = groups.keys().copied().collect();
+            involved.sort_unstable();
             let rvp = Arc::new(Rvp::new(groups.len(), actions.len()));
-            for (part, acts) in groups {
+            // Sorted dispatch with a yield before every send: under
+            // deterministic checking the scheduler can interleave other
+            // clients between a transaction's per-partition packages.
+            for &part in &involved {
+                esdb_sync::sched::yield_now(esdb_sync::YieldPoint::DoraDispatch);
                 self.senders[part]
                     .send(Msg::Package(Package {
                         txn: attempt_txn,
                         priority,
                         rvp: Arc::clone(&rvp),
-                        actions: acts,
+                        actions: groups.remove(&part).expect("sorted key"),
                     }))
                     .expect("executor alive");
             }
@@ -170,6 +178,7 @@ impl DoraSystem {
 
     fn broadcast_complete(&self, involved: &[usize], txn: u64, commit: bool, ack: Option<&Arc<Rvp>>) {
         for &p in involved {
+            esdb_sync::sched::yield_now(esdb_sync::YieldPoint::DoraDispatch);
             self.senders[p]
                 .send(Msg::Complete {
                     txn,

@@ -169,6 +169,7 @@ impl LockManager {
     /// Acquires `id` in `mode` for `txn`, blocking as needed. Re-acquiring a
     /// covered mode is a no-op; a stronger mode upgrades.
     pub fn acquire(&self, txn: TxnId, id: LockId, mode: LockMode) -> Result<(), LockError> {
+        esdb_sync::sched::yield_now(esdb_sync::YieldPoint::LockAcquire);
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let slot;
         let upgrade;
@@ -257,6 +258,21 @@ impl LockManager {
         self.waits.fetch_add(1, Ordering::Relaxed);
         let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::LockWait);
         let start = std::time::Instant::now();
+        // Deterministic checking: a virtual thread parks on the scheduler seam
+        // and never times out — wait-die/at-block detection already ran above,
+        // and the checker's stuck detection subsumes the wall-clock timeout.
+        if esdb_sync::sched::block_until(esdb_sync::YieldPoint::LockWait, || {
+            *slot.state.lock().unwrap() == WaitState::Granted
+        }) {
+            self.graph.clear(txn);
+            let waited = start.elapsed().as_nanos() as u64;
+            self.wait_nanos.fetch_add(waited, Ordering::Relaxed);
+            esdb_obs::record_component(esdb_obs::Component::LockWait, waited);
+            if !upgrade {
+                self.record_held(txn, id);
+            }
+            return Ok(());
+        }
         let mut st = slot.slot_state();
         while *st == WaitState::Waiting {
             let (guard, timed_out) = slot
@@ -322,6 +338,7 @@ impl LockManager {
     /// Releases every lock held by `txn` (strict 2PL release point) and
     /// wakes newly grantable waiters.
     pub fn release_all(&self, txn: TxnId) {
+        esdb_sync::sched::yield_now(esdb_sync::YieldPoint::LockRelease);
         let ids = self
             .held_shard(txn)
             .lock()

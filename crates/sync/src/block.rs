@@ -40,6 +40,29 @@ impl RawLock for BlockLock {
         let mut held = self.inner.lock().unwrap();
         if *held {
             self.parks.fetch_add(1, Ordering::Relaxed);
+            drop(held);
+            // Deterministic checking: a virtual thread parks on the scheduler
+            // seam instead of the condvar, so the interleaving is explorable.
+            if crate::sched::block_until(crate::sched::YieldPoint::Park, || {
+                !*self.inner.lock().unwrap()
+            }) {
+                // The scheduler saw the lock free; race for it like any
+                // condvar wakeup would.
+                loop {
+                    let mut held = self.inner.lock().unwrap();
+                    if !*held {
+                        *held = true;
+                        return;
+                    }
+                    drop(held);
+                    if !crate::sched::block_until(crate::sched::YieldPoint::Park, || {
+                        !*self.inner.lock().unwrap()
+                    }) {
+                        break;
+                    }
+                }
+            }
+            held = self.inner.lock().unwrap();
             while *held {
                 held = self.cv.wait(held).unwrap();
             }
@@ -63,6 +86,7 @@ impl RawLock for BlockLock {
         *held = false;
         drop(held);
         self.cv.notify_one();
+        crate::sched::yield_now(crate::sched::YieldPoint::Unpark);
     }
 
     fn name(&self) -> &'static str {

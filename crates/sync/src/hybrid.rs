@@ -85,6 +85,13 @@ impl HybridLock {
         // releaser knows to wake someone.
         while self.state.swap(CONTENDED, Ordering::Acquire) != FREE {
             self.parks.fetch_add(1, Ordering::Relaxed);
+            // Deterministic checking: virtual threads park on the scheduler
+            // seam; the swap above re-races for the lock once it looks free.
+            if crate::sched::block_until(crate::sched::YieldPoint::Park, || {
+                self.state.load(Ordering::Acquire) != CONTENDED
+            }) {
+                continue;
+            }
             let mut guard = self.queue.lock().unwrap();
             // Re-check under the queue mutex to avoid a missed wakeup: the
             // releaser notifies while holding this mutex.
@@ -118,8 +125,11 @@ impl RawLock for HybridLock {
     fn unlock(&self) {
         if self.state.swap(FREE, Ordering::Release) == CONTENDED {
             // Serialize with waiters' re-check, then wake one.
-            let _guard = self.queue.lock().unwrap();
-            self.cv.notify_one();
+            {
+                let _guard = self.queue.lock().unwrap();
+                self.cv.notify_one();
+            }
+            crate::sched::yield_now(crate::sched::YieldPoint::Unpark);
         }
     }
 

@@ -44,6 +44,7 @@ pub mod hybrid;
 pub mod mcs;
 pub mod policy;
 pub mod rwlatch;
+pub mod sched;
 pub mod spin;
 pub mod stats;
 
@@ -53,6 +54,7 @@ pub use hybrid::HybridLock;
 pub use mcs::McsLock;
 pub use policy::{LatchPolicy, PolicyLock};
 pub use rwlatch::{RwLatch, RwReadGuard, RwWriteGuard};
+pub use sched::{SchedHook, YieldPoint};
 pub use spin::{TasLock, TatasLock, TicketLock};
 pub use stats::LockStats;
 

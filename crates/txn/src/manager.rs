@@ -205,11 +205,27 @@ impl Txn {
         r.start
     }
 
+    /// Test-only fault seam: with the `chaos` feature on and the flag set,
+    /// drop every lock after each op — deliberately breaking strict 2PL so
+    /// the deterministic checker can prove its oracle detects the damage.
+    #[cfg(feature = "chaos")]
+    fn chaos_release_early(&self) {
+        if crate::chaos::release_locks_early() {
+            self.mgr.locks.release_all(self.id);
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    fn chaos_release_early(&self) {}
+
     /// Reads the row for `key` under a shared lock.
     pub fn read(&mut self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
         let t = self.mgr.table(table)?;
         self.mgr.locks.lock_row(self.id, table, key, LockMode::S)?;
-        Ok(t.get(key)?)
+        let row = t.get(key)?;
+        self.chaos_release_early();
+        Ok(row)
     }
 
     /// Reads the row for `key` under an exclusive lock (read-for-update;
@@ -217,7 +233,9 @@ impl Txn {
     pub fn read_for_update(&mut self, table: TableId, key: u64) -> TxnResult<Vec<i64>> {
         let t = self.mgr.table(table)?;
         self.mgr.locks.lock_row(self.id, table, key, LockMode::X)?;
-        Ok(t.get(key)?)
+        let row = t.get(key)?;
+        self.chaos_release_early();
+        Ok(row)
     }
 
     /// Inserts `key → row`.
@@ -233,6 +251,7 @@ impl Txn {
         });
         let _ = t.heap().stamp_page_lsn(rid.page, lsn);
         self.undo.push(UndoOp::Insert { table, key });
+        self.chaos_release_early();
         Ok(())
     }
 
@@ -255,6 +274,7 @@ impl Txn {
             key,
             before: before.clone(),
         });
+        self.chaos_release_early();
         Ok(before)
     }
 
@@ -276,6 +296,7 @@ impl Txn {
             key,
             before: before.clone(),
         });
+        self.chaos_release_early();
         Ok(before)
     }
 
@@ -288,6 +309,7 @@ impl Txn {
 
     /// Commits. Read-only transactions skip the log entirely.
     pub fn commit(mut self) {
+        esdb_sync::sched::yield_now(esdb_sync::YieldPoint::CommitLog);
         self.finished = true;
         self.mgr.commits.fetch_add(1, Ordering::Relaxed);
         if self.last_lsn == NULL_LSN {
@@ -314,6 +336,7 @@ impl Txn {
     /// hook: a batch of sequential transactions can all commit deferred and
     /// then ride a single physical flush of the highest returned LSN.
     pub fn commit_deferred(mut self) -> Option<Lsn> {
+        esdb_sync::sched::yield_now(esdb_sync::YieldPoint::CommitLog);
         self.finished = true;
         self.mgr.commits.fetch_add(1, Ordering::Relaxed);
         if self.last_lsn == NULL_LSN {

@@ -22,6 +22,15 @@ echo "== smoke: tab3_server (short loopback run) =="
 TAB3_CONNS=2 TAB3_TXNS=200 TAB3_SUBSCRIBERS=500 \
     cargo run --release -p esdb-bench --bin tab3_server
 
+echo "== smoke: checker (300 seeded schedules + mutation detection) =="
+# Clean sweep over ~300 deterministic schedules plus one chaos-mutation run
+# that must be caught with a replayable shrunk trace. Release mode keeps the
+# whole stage well under a minute.
+CHECK_SCHEDULES=300 cargo test --release -q -p esdb-check --test check_engine \
+    clean_engine_passes_seeded_schedules
+cargo test --release -q -p esdb-check --test check_engine \
+    detects_early_lock_release_mutation
+
 echo "== smoke: crash_torture (seeded, reduced iterations) =="
 CRASH_ITERS=10 CRASH_SEED=42 CRASH_TXNS=50 \
     cargo run --release -p esdb-bench --bin crash_torture

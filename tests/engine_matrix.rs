@@ -6,7 +6,7 @@
 
 use esdb::core::{Database, EngineConfig, ExecutionModel};
 use esdb::core::config::LogChoice;
-use esdb::workload::{Tpcb, Ycsb};
+use esdb::workload::{Tatp, Tpcb, Ycsb};
 use std::sync::Arc;
 
 fn configs() -> Vec<EngineConfig> {
@@ -78,6 +78,71 @@ fn ycsb_hot_skew_survives_every_config() {
         let mut total = 0i64;
         t.scan(|_, row| total += row[1]).unwrap();
         assert!(total > 0, "[{label}] some updates must have landed");
+    }
+}
+
+#[test]
+fn tatp_row_counts_stable_under_every_config() {
+    // Only InsertCallForwarding / DeleteCallForwarding mutate row counts, and
+    // both touch CALL_FORWARDING exclusively. The other three tables must end
+    // with exactly their populated row counts, and the failure accounting must
+    // balance: every attempt is committed, an expected (spec-sanctioned)
+    // failure, or a hard failure — and hard failures are forbidden.
+    for cfg in configs() {
+        let label = cfg.label();
+        let db = Arc::new(Database::open(cfg));
+        let mut w = Tatp::new(40, 11);
+        db.load_population(&w);
+        let fixed_tables = [
+            esdb::workload::tatp::SUBSCRIBER,
+            esdb::workload::tatp::ACCESS_INFO,
+            esdb::workload::tatp::SPECIAL_FACILITY,
+        ];
+        let before: Vec<u64> = fixed_tables
+            .iter()
+            .map(|&t| db.table(t).unwrap().len())
+            .collect();
+
+        let report = db.run_workload(&mut w, 3, 200);
+        assert_eq!(report.failed, 0, "[{label}] {report}");
+        assert_eq!(
+            report.committed + report.expected_failures,
+            report.attempts,
+            "[{label}] {report}"
+        );
+        // The mix is 80% reads; the huge may-fail share still commits mostly.
+        assert!(report.committed > report.expected_failures, "[{label}] {report}");
+
+        for (&t, &n) in fixed_tables.iter().zip(&before) {
+            assert_eq!(db.table(t).unwrap().len(), n, "[{label}] table {t}");
+        }
+    }
+}
+
+#[test]
+fn ycsb_write_heavy_counts_exact_under_every_config() {
+    // read_pct = 0: every op of every transaction is an Add of +1 to column 1
+    // of an existing row, and the spec never legitimately fails. The final
+    // sum over column 1 must therefore equal committed transactions times
+    // ops_per_txn exactly — any lost or double-applied update shows up.
+    for cfg in configs() {
+        let label = cfg.label();
+        let db = Arc::new(Database::open(cfg));
+        let ops_per_txn = 3usize;
+        let mut w = Ycsb::new(48, 0, 0.9, ops_per_txn, 17);
+        db.load_population(&w);
+        let report = db.run_workload(&mut w, 3, 120);
+        assert_eq!(report.failed, 0, "[{label}] {report}");
+        assert_eq!(report.committed, 360, "[{label}] {report}");
+
+        let t = db.table(esdb::workload::ycsb::USERTABLE).unwrap();
+        let mut total = 0i64;
+        t.scan(|_, row| total += row[1]).unwrap();
+        assert_eq!(
+            total,
+            report.committed as i64 * ops_per_txn as i64,
+            "[{label}] update count drifted from committed ops"
+        );
     }
 }
 

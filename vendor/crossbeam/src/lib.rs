@@ -139,6 +139,26 @@ pub mod channel {
                 Err(TryRecvError::Empty)
             }
         }
+
+        /// Returns `true` if the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.0
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .is_empty()
+        }
+
+        /// Returns `true` if every sender has been dropped.
+        pub fn is_disconnected(&self) -> bool {
+            self.0
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders
+                == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
