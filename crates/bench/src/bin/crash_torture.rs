@@ -71,7 +71,7 @@ fn torture_iteration(
     let config = EngineConfig { log, ..EngineConfig::conventional_baseline() };
     let db = Arc::new(Database::open(config));
     let mut w = Tpcb::new(branches, rng.next_u64());
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
 
     let first = db.run_workload(&mut w, threads, txns);
     assert_eq!(first.failed, 0, "pre-damage workload must be clean");

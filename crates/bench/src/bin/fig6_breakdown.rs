@@ -61,7 +61,7 @@ fn cell(label: &str, log: LogChoice, threads: usize) -> Vec<String> {
     // Branches scale with threads so data conflicts stay rare and the log
     // path — the variable under study — dominates the contention signal.
     let mut w = Tpcb::new((threads * 4).max(2) as u64, 42);
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
 
     esdb_obs::global().reset();
     let report = db.run_workload(&mut w, threads, TXNS_PER_THREAD);

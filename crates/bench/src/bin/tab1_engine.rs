@@ -15,7 +15,7 @@ use std::sync::Arc;
 fn run(cfg: EngineConfig, workload: &mut dyn Workload, threads: usize, txns: u64) -> Vec<String> {
     let label = cfg.label();
     let db = Arc::new(Database::open(cfg));
-    db.load_population(workload);
+    db.load_population(workload).expect("population load");
     let report = db.run_workload(workload, threads, txns);
     assert_eq!(report.failed, 0, "[{label}] unexpected failures: {report}");
     vec![

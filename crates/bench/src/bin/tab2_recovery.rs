@@ -20,7 +20,7 @@ fn main() {
     for flush_pages in [false, true] {
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
         let mut w = Tpcb::new(4, 77);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 4, 2_000);
         assert_eq!(report.failed, 0);
 

@@ -69,7 +69,7 @@ fn main() {
     {
         let mut workload = Tatp::new(subscribers, 42);
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
-        db.load_population(&workload);
+        db.load_population(&workload).expect("population load");
         let report = db.run_workload(&mut workload, conns, txns);
         assert_eq!(report.failed, 0, "in-process failures: {report}");
         row(&report_row("in-process", &report, &db));
@@ -79,7 +79,7 @@ fn main() {
     for &depth in &depths {
         let mut workload = Tatp::new(subscribers, 42);
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
-        db.load_population(&workload);
+        db.load_population(&workload).expect("population load");
         let server = Server::start(
             Arc::clone(&db),
             "127.0.0.1:0",

@@ -1,0 +1,238 @@
+//! tab_repl — read scaling by adding replicas, with replication lag held in
+//! check.
+//!
+//! A primary runs a steady TPC-B write stream over the wire while closed-loop
+//! reader threads hammer `ReadAt` point lookups. Three configurations:
+//!
+//! * **0 replicas** — readers share the primary's server: the baseline, where
+//!   reads and writes contend for the same sessions and engine;
+//! * **1 replica / 2 replicas** — readers move to follower servers fed by WAL
+//!   log shipping; the primary's write path is untouched.
+//!
+//! Columns: read throughput (the scaling claim), write throughput (must not
+//! degrade as replicas attach), and replication lag sampled in log *bytes*
+//! (`primary durable LSN − replica applied LSN`) at p50/p99/max — the
+//! freshness price of the offload. A final read-your-writes probe commits on
+//! the primary, takes a token, and requires every follower to serve the new
+//! value under that token.
+//!
+//! Env knobs (CI smoke): TABR_READERS, TABR_READS (total per config),
+//! TABR_WRITES, TABR_REPLICAS (comma-separated counts, default `0,1,2`).
+
+use esdb_bench::{header, row};
+use esdb_core::{Database, EngineConfig};
+use esdb_net::{Client, ReconnectPolicy, Server, ServerConfig};
+use esdb_repl::start_replica;
+use esdb_workload::tpcb::{ACCOUNTS, ACCOUNTS_PER_BRANCH};
+use esdb_workload::{Tpcb, Workload};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{name}: integer")))
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct ConfigResult {
+    read_tps: f64,
+    write_tps: f64,
+    lag_p50: u64,
+    lag_p99: u64,
+    lag_max: u64,
+    ryw_ok: bool,
+}
+
+fn run_config(n_replicas: usize, readers: usize, reads: u64, writes: u64) -> ConfigResult {
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    let mut workload = Tpcb::new(1, 42);
+    db.load_population(&workload).expect("population load");
+    let primary = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: readers + n_replicas + 4, ..ServerConfig::default() },
+    )
+    .expect("bind primary");
+    let primary_addr = primary.local_addr();
+
+    let mut replicas = Vec::new();
+    let mut followers = Vec::new();
+    for _ in 0..n_replicas {
+        let handle = start_replica(
+            primary_addr,
+            EngineConfig::conventional_baseline(),
+            ReconnectPolicy::default(),
+        )
+        .expect("replica bootstrap");
+        let follower = Server::start(
+            Arc::clone(handle.db()),
+            "127.0.0.1:0",
+            ServerConfig {
+                applied_watermark: Some(handle.watermark()),
+                max_sessions: readers + 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind follower");
+        replicas.push(handle);
+        followers.push(follower);
+    }
+    let read_endpoints: Vec<SocketAddr> = if n_replicas == 0 {
+        vec![primary_addr]
+    } else {
+        followers.iter().map(|f| f.local_addr()).collect()
+    };
+
+    // Steady write stream on its own connection for the whole read phase.
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let done = Arc::clone(&writer_done);
+        let mut gen = workload.fork();
+        std::thread::spawn(move || {
+            let mut client =
+                Client::connect_with_backoff(primary_addr, &ReconnectPolicy::default())
+                    .expect("writer connect");
+            let start = Instant::now();
+            for _ in 0..writes {
+                client.one_shot(&gen.next_txn()).expect("write txn");
+            }
+            done.store(true, Ordering::SeqCst);
+            writes as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+
+    // Lag sampler: worst replica lag in bytes, sampled while writes run.
+    let sampler = {
+        let db = Arc::clone(&db);
+        let watermarks: Vec<_> = replicas.iter().map(|r| r.watermark()).collect();
+        let done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while !done.load(Ordering::SeqCst) {
+                let durable = db.wal().durable_lsn();
+                let worst = watermarks
+                    .iter()
+                    .map(|w| durable.saturating_sub(w.load(Ordering::Acquire)))
+                    .max()
+                    .unwrap_or(0);
+                samples.push(worst);
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            samples
+        })
+    };
+
+    // Closed-loop readers round-robin over the read endpoints.
+    let read_start = Instant::now();
+    let mut handles = Vec::new();
+    for r in 0..readers {
+        let endpoint = read_endpoints[r % read_endpoints.len()];
+        let per_thread = reads / readers as u64;
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_with_backoff(endpoint, &ReconnectPolicy::default())
+                .expect("reader connect");
+            // Simple LCG over the account keys; min_lsn 0 = any committed state.
+            let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64 + 1);
+            for _ in 0..per_thread {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (state >> 33) % ACCOUNTS_PER_BRANCH;
+                let got = client.read_at(ACCOUNTS, key, 0).expect("follower read");
+                assert!(got.is_ok(), "min_lsn 0 can never lag");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    let read_secs = read_start.elapsed().as_secs_f64();
+
+    let write_tps = writer.join().expect("writer thread");
+    let mut lag = sampler.join().expect("sampler thread");
+    lag.sort_unstable();
+
+    // Read-your-writes probe across every follower.
+    let mut ryw_ok = true;
+    if n_replicas > 0 {
+        let mut client = Client::connect(primary_addr).expect("ryw writer");
+        client.one_shot(&workload.next_txn()).expect("ryw txn");
+        let token = client.commit_token().expect("token");
+        for follower in &followers {
+            let mut reader = Client::connect(follower.local_addr()).expect("ryw reader");
+            match reader.read_at(ACCOUNTS, 0, token) {
+                Ok(Ok(_)) => {}
+                _ => ryw_ok = false,
+            }
+        }
+    }
+
+    let result = ConfigResult {
+        read_tps: reads as f64 / read_secs,
+        write_tps,
+        lag_p50: percentile(&lag, 0.50),
+        lag_p99: percentile(&lag, 0.99),
+        lag_max: lag.last().copied().unwrap_or(0),
+        ryw_ok,
+    };
+    for follower in followers {
+        follower.shutdown();
+    }
+    for replica in replicas {
+        replica.shutdown().expect("clean replica stop");
+    }
+    primary.shutdown();
+    result
+}
+
+fn main() {
+    let readers = env_u64("TABR_READERS", 4) as usize;
+    let reads = env_u64("TABR_READS", 20_000);
+    let writes = env_u64("TABR_WRITES", 2_000);
+    let replica_counts: Vec<usize> = std::env::var("TABR_REPLICAS")
+        .map(|s| {
+            s.split(',')
+                .map(|d| d.trim().parse().unwrap_or_else(|_| panic!("TABR_REPLICAS: integers")))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![0, 1, 2]);
+
+    header(
+        "tab_repl",
+        &format!(
+            "TPC-B writes + ReadAt point reads, {readers} reader threads, {reads} reads \
+             and {writes} writes per config"
+        ),
+        &["replicas", "read_tps", "write_tps", "lag_p50_B", "lag_p99_B", "lag_max_B", "ryw"],
+    );
+    for &n in &replica_counts {
+        let r = run_config(n, readers, reads, writes);
+        assert!(r.ryw_ok, "{n} replicas: a follower broke read-your-writes");
+        row(&[
+            format!("{n}"),
+            format!("{:.0}", r.read_tps),
+            format!("{:.0}", r.write_tps),
+            format!("{}", r.lag_p50),
+            format!("{}", r.lag_p99),
+            format!("{}", r.lag_max),
+            if r.ryw_ok { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+
+    println!(
+        "\nreading guide: 0 replicas is the contended baseline (reads and writes\n\
+         share the primary). Adding replicas moves reads onto followers fed by\n\
+         log shipping: read throughput grows with replica count while write\n\
+         throughput holds, and the lag columns bound how stale a follower can\n\
+         be (bytes of log shipped-but-not-applied; the read-your-writes token\n\
+         turns that bound into a per-session freshness guarantee)."
+    );
+}

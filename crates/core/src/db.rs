@@ -29,6 +29,18 @@ pub enum DbError {
         /// Name of the table whose creation was rejected.
         name: String,
     },
+    /// A checkpoint or bulk-load page flush hit the page store's error path.
+    CheckpointIo(esdb_storage::StorageError),
+    /// Checkpointing requires the conventional execution model: DORA
+    /// executors log outside the transaction manager, so the redo low-water
+    /// mark over active transactions cannot be computed.
+    CheckpointUnsupported,
+}
+
+impl From<esdb_storage::StorageError> for DbError {
+    fn from(e: esdb_storage::StorageError) -> Self {
+        DbError::CheckpointIo(e)
+    }
 }
 
 impl std::fmt::Display for DbError {
@@ -38,6 +50,12 @@ impl std::fmt::Display for DbError {
                 f,
                 "cannot create table {name:?}: DORA executors already started \
                  (the table set is frozen at executor startup)"
+            ),
+            DbError::CheckpointIo(e) => write!(f, "checkpoint page flush failed: {e}"),
+            DbError::CheckpointUnsupported => write!(
+                f,
+                "checkpointing requires the conventional execution model \
+                 (DORA transactions log outside the transaction manager)"
             ),
         }
     }
@@ -299,11 +317,12 @@ impl Database {
     }
 
     /// Loads a workload's initial population (bulk, unlogged, pre-freeze).
-    pub fn load_population(&self, workload: &dyn esdb_workload::Workload) {
+    /// The closing page flush is a real checkpoint: population pages must be
+    /// durable before any crash is survivable, and a fault-injecting page
+    /// store can legitimately fail it — hence the typed error.
+    pub fn load_population(&self, workload: &dyn esdb_workload::Workload) -> Result<(), DbError> {
         for def in workload.tables() {
-            let id = self
-                .create_table(&def.name, def.arity)
-                .expect("population loads before any transaction runs");
+            let id = self.create_table(&def.name, def.arity)?;
             debug_assert_eq!(id, def.id, "workload table ids must be dense from 0");
         }
         {
@@ -311,12 +330,87 @@ impl Database {
             for (table, key, row) in workload.population() {
                 tables[&table]
                     .insert(key, &row)
-                    .expect("population keys are unique");
+                    .map_err(DbError::CheckpointIo)?;
             }
         }
-        // Checkpoint: population loads are unlogged bulk inserts, so their
-        // pages must be durable before any crash is survivable.
-        self.pool.flush_all().expect("population checkpoint");
+        self.pool.flush_all().map_err(DbError::CheckpointIo)
+    }
+
+    /// Takes a fuzzy checkpoint: captures the redo low-water mark over the
+    /// transactions active right now, flushes every dirty page, then appends
+    /// a durable [`esdb_wal::LogBody::Checkpoint`] marker carrying that mark.
+    /// Returns the marker's `redo_lsn`.
+    ///
+    /// Correctness of the mark: any record below it belongs to a transaction
+    /// that finished *before* the flush began, so the flush persisted its
+    /// page effects; recovery may start redo there, and
+    /// [`esdb_wal::Wal::truncate_before`] may reclaim the log prefix below
+    /// it. The checkpoint is fuzzy — transactions keep running throughout.
+    pub fn checkpoint(&self) -> Result<esdb_wal::Lsn, DbError> {
+        if matches!(self.config.execution, ExecutionModel::Dora { .. }) {
+            return Err(DbError::CheckpointUnsupported);
+        }
+        let redo_lsn = self.txn_mgr.checkpoint_redo_floor();
+        self.pool.flush_all().map_err(DbError::CheckpointIo)?;
+        let wal = self.wal();
+        let range = wal.append(
+            0,
+            esdb_wal::NULL_LSN,
+            &esdb_wal::LogBody::Checkpoint { redo_lsn },
+        );
+        wal.wait_durable(range.end);
+        Ok(redo_lsn)
+    }
+
+    /// The page store beneath this database (replication snapshots read
+    /// checkpointed pages straight off it).
+    pub fn disk(&self) -> &Arc<dyn PageStore> {
+        &self.disk
+    }
+
+    /// The table catalog as plain data: `(id, name, arity, heap page ids)`
+    /// per table — what a replica needs to rebuild the same tables over
+    /// shipped pages.
+    pub fn catalog(&self) -> Vec<(TableId, String, usize, Vec<u64>)> {
+        let tables = self.tables.read();
+        let mut out: Vec<_> = tables
+            .values()
+            .map(|t| {
+                let s = t.schema();
+                (s.id, s.name.clone(), s.arity, t.heap().pages())
+            })
+            .collect();
+        out.sort_by_key(|(id, ..)| *id);
+        out
+    }
+
+    /// Rebuilds a database from a shipped snapshot: a page store already
+    /// populated with checkpoint-consistent pages plus the primary's
+    /// [`Database::catalog`]. Indexes are rebuilt from heap scans. The local
+    /// WAL starts far past any primary LSN so page-LSN ordering (and the
+    /// pool's flush barrier) stay trivially satisfied on the replica.
+    pub fn restore_from_snapshot(
+        config: EngineConfig,
+        disk: Arc<dyn PageStore>,
+        catalog: &[(TableId, String, usize, Vec<u64>)],
+    ) -> Result<Database, DbError> {
+        let pool = Arc::new(BufferPool::new(config.buffer_frames, disk.clone()));
+        let wal = Arc::new(Wal::new_at(1 << 62, config.log.into(), config.flush_latency));
+        let db = Self::assemble(config, disk, pool.clone(), wal);
+        let mut max_id = 0u64;
+        for (id, name, arity, pages) in catalog {
+            let heap = HeapFile::from_pages(pool.clone(), pages.clone());
+            let table = Arc::new(Table::from_heap(
+                Schema::new(*id, name.clone(), *arity),
+                heap,
+            ));
+            table.rebuild_index().map_err(DbError::CheckpointIo)?;
+            db.txn_mgr.register_table(table.clone());
+            db.tables.write().insert(*id, table);
+            max_id = max_id.max(*id as u64 + 1);
+        }
+        db.next_table.store(max_id, Ordering::Relaxed);
+        Ok(db)
     }
 
     /// Runs `threads` closed-loop workers, each executing `txns_per_thread`
@@ -478,7 +572,7 @@ mod tests {
     fn workload_runs_end_to_end_conventional() {
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
         let mut w = esdb_workload::Ycsb::new(1_000, 50, 0.5, 2, 42);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 2, 200);
         assert_eq!(report.attempts, 400);
         assert_eq!(report.committed + report.failed + report.expected_failures, 400);
@@ -489,7 +583,7 @@ mod tests {
     fn workload_runs_end_to_end_dora() {
         let db = Arc::new(Database::open(EngineConfig::scalable(4)));
         let mut w = esdb_workload::Ycsb::new(1_000, 50, 0.5, 2, 42);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 2, 200);
         assert_eq!(report.attempts, 400);
         assert!(report.committed > 350, "{report:?}");
@@ -544,7 +638,7 @@ mod tests {
     fn obs_snapshot_reflects_profiled_work() {
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
         let mut w = esdb_workload::Ycsb::new(500, 50, 0.5, 2, 7);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 2, 100);
         let snap = db.obs_snapshot();
         assert_eq!(snap.version, OBS_SNAPSHOT_VERSION);
@@ -581,7 +675,7 @@ mod tests {
     fn tatp_smoke_on_scalable_config() {
         let db = Arc::new(Database::open(EngineConfig::scalable(4)));
         let mut w = esdb_workload::Tatp::new(200, 7);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 2, 300);
         assert_eq!(report.attempts, 600);
         assert_eq!(report.failed, 0, "only expected failures allowed: {report:?}");

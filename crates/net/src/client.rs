@@ -38,6 +38,16 @@ impl std::fmt::Display for NetError {
     }
 }
 
+impl NetError {
+    /// `true` for errors worth retrying the connection over: admission sheds
+    /// and the I/O failures a restarting or draining server produces.
+    /// Replication runners use this to decide between reconnecting and
+    /// halting with a typed error.
+    pub fn is_reconnectable(&self) -> bool {
+        is_reconnectable(self)
+    }
+}
+
 impl std::error::Error for NetError {}
 
 impl From<std::io::Error> for NetError {
@@ -106,6 +116,18 @@ fn is_reconnectable(e: &NetError) -> bool {
         ),
         _ => false,
     }
+}
+
+/// A checkpoint-consistent page snapshot fetched from a primary — a
+/// replica's bootstrap image (see [`Client::fetch_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Where the replica's log apply must begin.
+    pub start_lsn: u64,
+    /// Per table: id, name, arity, heap page ids in heap order.
+    pub catalog: Vec<(u32, String, u32, Vec<u64>)>,
+    /// `(page_id, raw page bytes)` for every heap page in the catalog.
+    pub pages: Vec<(u64, Vec<u8>)>,
 }
 
 /// A connection to an esdb server.
@@ -308,6 +330,102 @@ impl Client {
     pub fn abort(&mut self) -> Result<(), NetError> {
         self.send(&Request::Abort)?;
         self.expect_ok()
+    }
+
+    /// Sets the socket read timeout; `recv` surfaces expiry as
+    /// [`NetError::Io`] with `WouldBlock`/`TimedOut`. Used by replication
+    /// loops that must interleave chunk waits with shutdown checks.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Fetches a checkpoint-consistent page snapshot from the primary: the
+    /// replica's bootstrap image plus the LSN its log apply must start at.
+    pub fn fetch_snapshot(&mut self) -> Result<Snapshot, NetError> {
+        self.send(&Request::ReplSnapshot)?;
+        let (start_lsn, catalog) = match self.recv()? {
+            Response::SnapBegin { start_lsn, catalog } => (start_lsn, catalog),
+            Response::Error(msg) => return Err(NetError::Server(msg)),
+            _ => return Err(NetError::Unexpected("snap begin")),
+        };
+        let mut pages = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::SnapPage { page_id, bytes } => pages.push((page_id, bytes)),
+                Response::SnapEnd { page_count } => {
+                    if page_count != pages.len() as u64 {
+                        return Err(NetError::Unexpected("snapshot page count"));
+                    }
+                    return Ok(Snapshot { start_lsn, catalog, pages });
+                }
+                Response::Error(msg) => return Err(NetError::Server(msg)),
+                _ => return Err(NetError::Unexpected("snap page")),
+            }
+        }
+    }
+
+    /// Flips this session into a one-way log feed starting at `from`. After
+    /// this only [`Client::next_chunk`] / [`Client::try_next_chunk`] are
+    /// meaningful; the server reads no further requests.
+    pub fn subscribe(&mut self, from: u64) -> Result<(), NetError> {
+        self.send(&Request::ReplSubscribe { from })
+    }
+
+    /// Blocks for the next shipped log span `(start_lsn, bytes)`.
+    pub fn next_chunk(&mut self) -> Result<(u64, Vec<u8>), NetError> {
+        match self.recv()? {
+            Response::LogChunk { start, bytes } => Ok((start, bytes)),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("log chunk")),
+        }
+    }
+
+    /// Like [`Client::next_chunk`] but a read-timeout expiry (see
+    /// [`Client::set_read_timeout`]) returns `Ok(None)` instead of an error,
+    /// so an apply loop can poll its shutdown flag between chunks.
+    pub fn try_next_chunk(&mut self) -> Result<Option<(u64, Vec<u8>)>, NetError> {
+        match self.next_chunk() {
+            Ok(chunk) => Ok(Some(chunk)),
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read-your-writes token: the primary's durable LSN right now. Commits
+    /// acknowledged on this session are covered by the returned token.
+    pub fn commit_token(&mut self) -> Result<u64, NetError> {
+        self.send(&Request::CommitToken)?;
+        match self.recv()? {
+            Response::Token { lsn } => Ok(lsn),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("token")),
+        }
+    }
+
+    /// Follower read gated on a token. `Ok(Ok(row))` once the replica has
+    /// applied past `min_lsn`; `Ok(Err(applied))` if it is still lagging at
+    /// `applied` when its wait budget runs out.
+    pub fn read_at(
+        &mut self,
+        table: u32,
+        key: u64,
+        min_lsn: u64,
+    ) -> Result<Result<Vec<i64>, u64>, NetError> {
+        self.send(&Request::ReadAt { table, key, min_lsn })?;
+        match self.recv()? {
+            Response::Row(row) => Ok(Ok(row)),
+            Response::Lagging { applied } => Ok(Err(applied)),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("row or lagging")),
+        }
     }
 
     /// One-shot read of the latest committed row (a tiny transaction).

@@ -38,7 +38,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy};
+pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Snapshot};
 pub use protocol::{FrameError, Request, Response, ServerStats, MAX_FRAME};
 pub use server::{Server, ServerConfig};
 

@@ -102,6 +102,31 @@ pub enum Request {
     Commit,
     /// Aborts the open transaction.
     Abort,
+    /// Replica bootstrap: take a checkpoint and stream the page snapshot.
+    /// The server answers with one [`Response::SnapBegin`], a
+    /// [`Response::SnapPage`] per page, and a closing [`Response::SnapEnd`].
+    ReplSnapshot,
+    /// Turns this session into a log-shipping feed: the server pushes
+    /// [`Response::LogChunk`] frames covering the durable log from `from`
+    /// onward until the connection closes. No further requests are read.
+    ReplSubscribe {
+        /// First LSN the subscriber still needs.
+        from: u64,
+    },
+    /// Read-your-writes token: the primary's durable LSN right now. A client
+    /// that just committed here can hand the token to a replica read.
+    CommitToken,
+    /// Follower read gated on a token: answered with [`Response::Row`] only
+    /// once the replica has applied up to `min_lsn`, with
+    /// [`Response::Lagging`] if it cannot within its wait budget.
+    ReadAt {
+        /// Table id.
+        table: u32,
+        /// Key.
+        key: u64,
+        /// The read-your-writes token (0 = no freshness requirement).
+        min_lsn: u64,
+    },
 }
 
 /// Server-side counters the STATS command reports alongside the engine's
@@ -148,6 +173,45 @@ pub enum Response {
     Ok,
     /// The request failed; the session stays usable.
     Error(String),
+    /// Snapshot header: the checkpoint's start LSN (where the subscriber's
+    /// log apply must begin) and the table catalog.
+    SnapBegin {
+        /// First LSN the replica must apply after installing the pages.
+        start_lsn: u64,
+        /// Per table: id, name, arity, heap page ids in heap order.
+        catalog: Vec<(u32, String, u32, Vec<u64>)>,
+    },
+    /// One checkpointed page (raw [`esdb_storage`] page bytes).
+    SnapPage {
+        /// Page id on the primary (replicas install under the same id).
+        page_id: u64,
+        /// The page image.
+        bytes: Vec<u8>,
+    },
+    /// Snapshot trailer.
+    SnapEnd {
+        /// Pages streamed, for the replica's sanity check.
+        page_count: u64,
+    },
+    /// A shipped span of the durable log, raw record frames starting at
+    /// `start`. The receiver runs its own `decode_stream_checked` over the
+    /// accumulated stream — the WAL's CRC framing rides the wire unchanged.
+    LogChunk {
+        /// Stream offset of `bytes[0]`.
+        start: u64,
+        /// Raw log bytes.
+        bytes: Vec<u8>,
+    },
+    /// A read-your-writes token ([`Request::CommitToken`] reply).
+    Token {
+        /// The primary's durable LSN at token time.
+        lsn: u64,
+    },
+    /// A [`Request::ReadAt`] the replica could not serve freshly enough.
+    Lagging {
+        /// How far the replica had applied when it gave up.
+        applied: u64,
+    },
 }
 
 // Payload tags. Requests and responses share one byte space so a tag is
@@ -162,6 +226,10 @@ const T_UPDATE: u8 = 0x12;
 const T_INSERT: u8 = 0x13;
 const T_COMMIT: u8 = 0x14;
 const T_ABORT: u8 = 0x15;
+const T_REPL_SNAPSHOT: u8 = 0x20;
+const T_REPL_SUBSCRIBE: u8 = 0x21;
+const T_COMMIT_TOKEN: u8 = 0x22;
+const T_READ_AT: u8 = 0x23;
 const T_HELLO: u8 = 0x80;
 const T_BUSY: u8 = 0x81;
 const T_PONG: u8 = 0x82;
@@ -171,6 +239,12 @@ const T_ROW: u8 = 0x85;
 const T_OK: u8 = 0x86;
 const T_ERROR: u8 = 0x87;
 const T_OBS_REPLY: u8 = 0x88;
+const T_SNAP_BEGIN: u8 = 0x90;
+const T_SNAP_PAGE: u8 = 0x91;
+const T_SNAP_END: u8 = 0x92;
+const T_LOG_CHUNK: u8 = 0x93;
+const T_TOKEN: u8 = 0x94;
+const T_LAGGING: u8 = 0x95;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -245,6 +319,16 @@ impl<'a> Reader<'a> {
         let mut bytes = vec![0u8; len];
         self.buf.copy_to_slice(&mut bytes);
         String::from_utf8(bytes).map_err(|_| FrameError::Malformed("non-utf8 string"))
+    }
+
+    /// u32-length-prefixed byte blob (pages and log spans overflow the
+    /// u16-prefixed [`Reader::string`] encoding).
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.buf.copy_to_slice(&mut bytes);
+        Ok(bytes)
     }
 
     fn finish(self) -> Result<(), FrameError> {
@@ -410,6 +494,18 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         }
         Request::Commit => out.put_u8(T_COMMIT),
         Request::Abort => out.put_u8(T_ABORT),
+        Request::ReplSnapshot => out.put_u8(T_REPL_SNAPSHOT),
+        Request::ReplSubscribe { from } => {
+            out.put_u8(T_REPL_SUBSCRIBE);
+            out.put_u64_le(*from);
+        }
+        Request::CommitToken => out.put_u8(T_COMMIT_TOKEN),
+        Request::ReadAt { table, key, min_lsn } => {
+            out.put_u8(T_READ_AT);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u64_le(*min_lsn);
+        }
     }
     end_frame(out, at);
 }
@@ -481,8 +577,53 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.put_u8(T_ERROR);
             put_string(out, msg);
         }
+        Response::SnapBegin { start_lsn, catalog } => {
+            out.put_u8(T_SNAP_BEGIN);
+            out.put_u64_le(*start_lsn);
+            debug_assert!(catalog.len() <= u16::MAX as usize);
+            out.put_u16_le(catalog.len() as u16);
+            for (id, name, arity, pages) in catalog {
+                out.put_u32_le(*id);
+                put_string(out, name);
+                out.put_u32_le(*arity);
+                debug_assert!(pages.len() <= u32::MAX as usize);
+                out.put_u32_le(pages.len() as u32);
+                for page in pages {
+                    out.put_u64_le(*page);
+                }
+            }
+        }
+        Response::SnapPage { page_id, bytes } => {
+            out.put_u8(T_SNAP_PAGE);
+            out.put_u64_le(*page_id);
+            put_bytes(out, bytes);
+        }
+        Response::SnapEnd { page_count } => {
+            out.put_u8(T_SNAP_END);
+            out.put_u64_le(*page_count);
+        }
+        Response::LogChunk { start, bytes } => {
+            out.put_u8(T_LOG_CHUNK);
+            out.put_u64_le(*start);
+            put_bytes(out, bytes);
+        }
+        Response::Token { lsn } => {
+            out.put_u8(T_TOKEN);
+            out.put_u64_le(*lsn);
+        }
+        Response::Lagging { applied } => {
+            out.put_u8(T_LAGGING);
+            out.put_u64_le(*applied);
+        }
     }
     end_frame(out, at);
+}
+
+/// u32-length-prefixed byte blob, the writer side of [`Reader::bytes`].
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u32::MAX as usize);
+    out.put_u32_le(bytes.len() as u32);
+    out.extend_from_slice(bytes);
 }
 
 /// Reserves a frame header; returns the patch offset for [`end_frame`].
@@ -553,6 +694,10 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
         T_INSERT => Request::Insert { table: r.u32()?, key: r.u64()?, row: r.row()? },
         T_COMMIT => Request::Commit,
         T_ABORT => Request::Abort,
+        T_REPL_SNAPSHOT => Request::ReplSnapshot,
+        T_REPL_SUBSCRIBE => Request::ReplSubscribe { from: r.u64()? },
+        T_COMMIT_TOKEN => Request::CommitToken,
+        T_READ_AT => Request::ReadAt { table: r.u32()?, key: r.u64()?, min_lsn: r.u64()? },
         _ => return Err(FrameError::Malformed("unknown request tag")),
     };
     r.finish()?;
@@ -618,6 +763,29 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
         T_ROW => Response::Row(r.row()?),
         T_OK => Response::Ok,
         T_ERROR => Response::Error(r.string()?),
+        T_SNAP_BEGIN => {
+            let start_lsn = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut catalog = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let id = r.u32()?;
+                let name = r.string()?;
+                let arity = r.u32()?;
+                let pn = r.u32()? as usize;
+                // 8 bytes per page id must actually be present; checked per-read.
+                let mut pages = Vec::with_capacity(pn.min(1024));
+                for _ in 0..pn {
+                    pages.push(r.u64()?);
+                }
+                catalog.push((id, name, arity, pages));
+            }
+            Response::SnapBegin { start_lsn, catalog }
+        }
+        T_SNAP_PAGE => Response::SnapPage { page_id: r.u64()?, bytes: r.bytes()? },
+        T_SNAP_END => Response::SnapEnd { page_count: r.u64()? },
+        T_LOG_CHUNK => Response::LogChunk { start: r.u64()?, bytes: r.bytes()? },
+        T_TOKEN => Response::Token { lsn: r.u64()? },
+        T_LAGGING => Response::Lagging { applied: r.u64()? },
         _ => return Err(FrameError::Malformed("unknown response tag")),
     };
     r.finish()?;
@@ -664,6 +832,10 @@ mod tests {
                 WorkloadOp::Delete { table: 4, key: 5 },
             ],
         });
+        roundtrip_request(Request::ReplSnapshot);
+        roundtrip_request(Request::ReplSubscribe { from: u64::MAX });
+        roundtrip_request(Request::CommitToken);
+        roundtrip_request(Request::ReadAt { table: 7, key: 11, min_lsn: 1 << 40 });
     }
 
     #[test]
@@ -694,6 +866,19 @@ mod tests {
             txns_committed: 10,
             batches: 11,
         }));
+        roundtrip_response(Response::SnapBegin {
+            start_lsn: 8192,
+            catalog: vec![
+                (0, "accounts".into(), 2, vec![3, 9, 11]),
+                (1, "".into(), 0, vec![]),
+            ],
+        });
+        roundtrip_response(Response::SnapPage { page_id: 42, bytes: vec![0xAB; 8192] });
+        roundtrip_response(Response::SnapEnd { page_count: 17 });
+        roundtrip_response(Response::LogChunk { start: 1 << 30, bytes: vec![1, 2, 3] });
+        roundtrip_response(Response::LogChunk { start: 8, bytes: vec![] });
+        roundtrip_response(Response::Token { lsn: u64::MAX });
+        roundtrip_response(Response::Lagging { applied: 99 });
     }
 
     fn sample_snapshot() -> ObsSnapshot {

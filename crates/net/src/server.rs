@@ -35,6 +35,17 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// How often blocked reads wake up to observe a shutdown request.
     pub poll_interval: Duration,
+    /// Replica-side only: the apply loop's durable frontier. When set,
+    /// [`Request::ReadAt`] waits (up to [`ServerConfig::read_at_wait`]) for
+    /// the frontier to reach the request's token before reading; when `None`
+    /// (a primary), every read is trivially fresh.
+    pub applied_watermark: Option<Arc<AtomicU64>>,
+    /// How long a [`Request::ReadAt`] may wait for the apply frontier before
+    /// the server gives up with [`Response::Lagging`].
+    pub read_at_wait: Duration,
+    /// Largest log span per shipped [`Response::LogChunk`]; must leave frame
+    /// headroom below [`crate::protocol::MAX_FRAME`].
+    pub ship_chunk: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +53,9 @@ impl Default for ServerConfig {
         ServerConfig {
             max_sessions: 64,
             poll_interval: Duration::from_millis(20),
+            applied_watermark: None,
+            read_at_wait: Duration::from_millis(500),
+            ship_chunk: 256 * 1024,
         }
     }
 }
@@ -244,6 +258,24 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         }
         inbox.drain(..consumed);
+        // A subscribe request flips the session into a one-way log feed: run
+        // whatever was pipelined ahead of it, then hand the socket to the
+        // ship loop and never come back. Requests pipelined *after* it are
+        // dropped — the client contract is that subscribe ends the dialogue.
+        let subscribe = batch
+            .iter()
+            .position(|req| matches!(req, Request::ReplSubscribe { .. }));
+        if let Some(i) = subscribe {
+            let Request::ReplSubscribe { from } = batch[i] else { unreachable!() };
+            if i > 0 {
+                let outbox = run_batch(&batch[..i], &mut session, shared);
+                if stream.write_all(&outbox).is_err() {
+                    return;
+                }
+            }
+            ship_loop(stream, shared, from);
+            return;
+        }
         if !batch.is_empty() {
             let outbox = run_batch(&batch, &mut session, shared);
             if stream.write_all(&outbox).is_err() {
@@ -347,6 +379,19 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
                     Response::Ok
                 }
             },
+            Request::ReplSnapshot => {
+                snapshot_into(db, &mut responses);
+                continue;
+            }
+            // Intercepted in `session_loop`; reaching here means the client
+            // pipelined requests after subscribe, which the contract forbids.
+            Request::ReplSubscribe { .. } => {
+                Response::Error("subscribe ends the request/response dialogue".into())
+            }
+            Request::CommitToken => Response::Token { lsn: db.wal().durable_lsn() },
+            Request::ReadAt { table, key, min_lsn } => {
+                read_at(db, shared, *table, *key, *min_lsn)
+            }
         };
         responses.push(resp);
     }
@@ -364,6 +409,134 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
         encode_response(resp, &mut outbox);
     }
     outbox
+}
+
+/// Takes a checkpoint and appends the full page snapshot to `responses`:
+/// one [`Response::SnapBegin`] carrying the redo start LSN and catalog, a
+/// [`Response::SnapPage`] per heap page, and a closing [`Response::SnapEnd`].
+/// Pages may be dirtied again while we read them — that is the *fuzzy* part;
+/// a page newer than the checkpoint just makes the replica's page-LSN
+/// idempotent redo skip the already-applied records.
+fn snapshot_into(db: &Arc<Database>, responses: &mut Vec<Response>) {
+    let start_lsn = match db.checkpoint() {
+        Ok(lsn) => lsn,
+        Err(e) => {
+            responses.push(Response::Error(format!("snapshot failed: {e}")));
+            return;
+        }
+    };
+    let catalog = db.catalog();
+    responses.push(Response::SnapBegin {
+        start_lsn,
+        catalog: catalog
+            .iter()
+            .map(|(id, name, arity, pages)| (*id, name.clone(), *arity as u32, pages.clone()))
+            .collect(),
+    });
+    let disk = db.disk();
+    let mut page = esdb_storage::page::Page::new();
+    let mut page_count = 0u64;
+    for (_, _, _, pages) in &catalog {
+        for &pid in pages {
+            match disk.read(pid, &mut page) {
+                Ok(()) => {
+                    responses.push(Response::SnapPage {
+                        page_id: pid,
+                        bytes: page.as_bytes().to_vec(),
+                    });
+                    page_count += 1;
+                }
+                Err(e) => {
+                    responses.push(Response::Error(format!("snapshot page {pid}: {e:?}")));
+                    return;
+                }
+            }
+        }
+    }
+    responses.push(Response::SnapEnd { page_count });
+}
+
+/// A follower read: wait for the apply frontier to reach the caller's token,
+/// then serve the row through a throwaway read-only transaction. On a
+/// primary (no watermark configured) every read is already fresh.
+fn read_at(db: &Arc<Database>, shared: &Arc<Shared>, table: u32, key: u64, min_lsn: Lsn) -> Response {
+    if let Some(watermark) = &shared.config.applied_watermark {
+        let deadline = std::time::Instant::now() + shared.config.read_at_wait;
+        loop {
+            let applied = watermark.load(Ordering::Acquire);
+            if applied >= min_lsn {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Response::Lagging { applied };
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    if matches!(db.config().execution, ExecutionModel::Dora { .. }) {
+        return Response::Error("follower reads require the conventional engine".into());
+    }
+    let mut txn = db.txn_manager().begin();
+    let resp = match txn.read(table, key) {
+        Ok(row) => Response::Row(row),
+        Err(e) => Response::Error(format!("read failed: {e}")),
+    };
+    txn.abort();
+    resp
+}
+
+/// The primary half of log shipping: block on the WAL durability hub, cut
+/// the newly durable span into [`Response::LogChunk`] frames, push them, and
+/// repeat until the subscriber hangs up, the log is truncated past its
+/// cursor (it must re-bootstrap from a snapshot), or the server shuts down.
+fn ship_loop(mut stream: TcpStream, shared: &Arc<Shared>, mut from: Lsn) {
+    let wal = shared.db.wal();
+    let chunk_cap = shared
+        .config
+        .ship_chunk
+        .min(crate::protocol::MAX_FRAME - 64)
+        .max(1);
+    let mut outbox = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let durable = wal.wait_durable_beyond(from, shared.config.poll_interval);
+        if durable <= from {
+            continue;
+        }
+        let Some((bytes, start)) = wal.durable_tail(from) else {
+            // The log was truncated past this subscriber's cursor; only a
+            // fresh snapshot can help it. Closing the feed signals that.
+            return;
+        };
+        if start != from {
+            return;
+        }
+        // The store may hold flushed bytes the durable watermark has not
+        // published yet; never ship past what the WAL calls durable.
+        let avail = ((durable - start) as usize).min(bytes.len());
+        if avail == 0 {
+            continue;
+        }
+        let mut off = 0;
+        while off < avail {
+            let n = (avail - off).min(chunk_cap);
+            outbox.clear();
+            encode_response(
+                &Response::LogChunk {
+                    start: start + off as u64,
+                    bytes: bytes[off..off + n].to_vec(),
+                },
+                &mut outbox,
+            );
+            if stream.write_all(&outbox).is_err() {
+                return;
+            }
+            off += n;
+        }
+        from = start + avail as u64;
+    }
 }
 
 /// An interactive statement failed: abort the open transaction (2PL already

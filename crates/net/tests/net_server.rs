@@ -23,7 +23,7 @@ fn start_server(config: EngineConfig, max_sessions: usize) -> (Arc<Database>, Se
 fn concurrent_clients_and_stats_match_observed_commits() {
     let (db, server) = start_server(EngineConfig::conventional_baseline(), 16);
     let mut workload = Tatp::new(200, 11);
-    db.load_population(&workload);
+    db.load_population(&workload).expect("population load");
 
     let report = run_load(
         server.local_addr(),

@@ -92,6 +92,48 @@ fn request_strategy() -> BoxedStrategy<Request> {
         (any::<bool>(), prop::collection::vec(op_strategy(), 0..6))
             .prop_map(|(may_fail, ops)| Request::OneShot { may_fail, ops })
             .boxed(),
+        Just(Request::ReplSnapshot).boxed(),
+        any::<u64>().prop_map(|from| Request::ReplSubscribe { from }).boxed(),
+        Just(Request::CommitToken).boxed(),
+        (0u32..64, any::<u64>(), any::<u64>())
+            .prop_map(|(table, key, min_lsn)| Request::ReadAt { table, key, min_lsn })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn name_strategy() -> BoxedStrategy<String> {
+    prop::collection::vec((0u8..26).boxed(), 0..12)
+        .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+        .boxed()
+}
+
+fn catalog_strategy() -> BoxedStrategy<Vec<(u32, String, u32, Vec<u64>)>> {
+    prop::collection::vec(
+        (0u32..64, name_strategy(), 0u32..8, prop::collection::vec(any::<u64>(), 0..6))
+            .prop_map(|(id, name, arity, pages)| (id, name, arity, pages))
+            .boxed(),
+        0..4,
+    )
+    .boxed()
+}
+
+/// The replication-only response frames: snapshot streaming, shipped log
+/// chunks, and follower-read tokens.
+fn repl_response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (any::<u64>(), catalog_strategy())
+            .prop_map(|(start_lsn, catalog)| Response::SnapBegin { start_lsn, catalog })
+            .boxed(),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(page_id, bytes)| Response::SnapPage { page_id, bytes })
+            .boxed(),
+        any::<u64>().prop_map(|page_count| Response::SnapEnd { page_count }).boxed(),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(start, bytes)| Response::LogChunk { start, bytes })
+            .boxed(),
+        any::<u64>().prop_map(|lsn| Response::Token { lsn }).boxed(),
+        any::<u64>().prop_map(|applied| Response::Lagging { applied }).boxed(),
     ]
     .boxed()
 }
@@ -179,5 +221,64 @@ proptest! {
         // nothing it should not.
         buf[4] = evil;
         let _ = decode_request(&buf);
+    }
+
+    #[test]
+    fn repl_responses_roundtrip(resp in repl_response_strategy()) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (decoded, consumed) = decode_response(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, resp);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncated_repl_responses_report_incomplete(
+        resp in repl_response_strategy(),
+        cut in 0usize..10_000,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let cut = cut % buf.len();
+        // A replica reading a half-arrived snapshot page or log chunk must
+        // see "incomplete", never a malformed-frame error or a panic.
+        prop_assert_eq!(decode_response(&buf[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn bit_flipped_repl_frames_never_panic(
+        resp in repl_response_strategy(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        // Flip one bit past the length prefix: the decoder must stay total —
+        // typed error, incomplete, or a (different) decoded frame, but never
+        // a panic and never an over-read.
+        let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
+        if i < buf.len() {
+            buf[i] ^= 1 << bit;
+        }
+        if let Ok(Some((_, used))) = decode_response(&buf) {
+            prop_assert!(used <= buf.len());
+        }
+    }
+
+    #[test]
+    fn bit_flipped_repl_requests_never_panic(
+        req in request_strategy(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
+        if i < buf.len() {
+            buf[i] ^= 1 << bit;
+        }
+        if let Ok(Some((_, used))) = decode_request(&buf) {
+            prop_assert!(used <= buf.len());
+        }
     }
 }

@@ -253,10 +253,15 @@ pub enum Component {
     PoolMiss = 2,
     /// Whole-transaction latencies as seen by the workload driver.
     TxnLatency = 3,
+    /// Replication lag: bytes between the primary's durable LSN and the
+    /// replica's applied LSN, sampled once per shipped chunk.
+    ReplLag = 4,
+    /// Replica apply-batch durations (decode + redo + index maintenance).
+    ReplApply = 5,
 }
 
 /// Number of per-component histograms.
-pub const COMPONENTS: usize = 4;
+pub const COMPONENTS: usize = 6;
 
 impl Component {
     /// All components, in `repr` order.
@@ -265,6 +270,8 @@ impl Component {
         Component::WalFlush,
         Component::PoolMiss,
         Component::TxnLatency,
+        Component::ReplLag,
+        Component::ReplApply,
     ];
 
     /// Stable lower-snake name.
@@ -274,6 +281,8 @@ impl Component {
             Component::WalFlush => "wal_flush",
             Component::PoolMiss => "pool_miss",
             Component::TxnLatency => "txn_latency",
+            Component::ReplLag => "repl_lag",
+            Component::ReplApply => "repl_apply",
         }
     }
 }
@@ -307,7 +316,14 @@ static GLOBAL: GlobalObs = GlobalObs {
         AtomicU64::new(0),
     ],
     useful: AtomicU64::new(0),
-    hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
+    hists: [
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+    ],
 };
 
 /// The process-global aggregate.
@@ -425,7 +441,7 @@ mod tests {
         );
         assert_eq!(
             Component::ALL.map(|c| c.name()),
-            ["lock_wait", "wal_flush", "pool_miss", "txn_latency"]
+            ["lock_wait", "wal_flush", "pool_miss", "txn_latency", "repl_lag", "repl_apply"]
         );
     }
 }

@@ -1,0 +1,380 @@
+//! The replica: snapshot install, durable shipped-log cursor, and the
+//! commit-consistent apply loop.
+
+use esdb_core::config::EngineConfig;
+use esdb_core::{Database, DbError};
+use esdb_net::Snapshot;
+use esdb_storage::page::{Page, PAGE_SIZE};
+use esdb_storage::schema::TableId;
+use esdb_storage::disk::PageStore;
+use esdb_storage::{InMemoryDisk, StorageError, Table};
+use esdb_wal::buffer::LogStore;
+use esdb_wal::record::decode_stream_checked;
+use esdb_wal::{apply_redo, LogBody, LogRecord, Lsn, WalError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Replication errors. Everything a hostile or failing peer can cause is a
+/// typed variant — the apply loop never panics on shipped bytes.
+#[derive(Debug)]
+pub enum ReplError {
+    /// The shipped stream failed its CRC/structural checks mid-stream. A
+    /// torn tail is *not* this (it just waits for more bytes); this is
+    /// detectable damage — e.g. a lying primary whose device flipped a bit —
+    /// and the replica halts rather than apply garbage.
+    Corrupt(WalError),
+    /// A chunk arrived beyond the cursor's end: bytes were lost in between
+    /// and the replica must re-bootstrap from a snapshot.
+    Gap {
+        /// The next LSN the cursor can accept.
+        expected: Lsn,
+        /// Where the chunk actually started.
+        got: Lsn,
+    },
+    /// The snapshot is structurally unusable.
+    BadSnapshot(&'static str),
+    /// The wire layer failed.
+    Net(esdb_net::NetError),
+    /// Installing or reading replica storage failed.
+    Storage(StorageError),
+    /// Rebuilding the replica database failed.
+    Db(DbError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Corrupt(e) => write!(f, "shipped log corrupt: {e}"),
+            ReplError::Gap { expected, got } => {
+                write!(f, "log gap: cursor expects {expected}, chunk starts at {got}")
+            }
+            ReplError::BadSnapshot(what) => write!(f, "unusable snapshot: {what}"),
+            ReplError::Net(e) => write!(f, "replication transport: {e}"),
+            ReplError::Storage(e) => write!(f, "replica storage: {e:?}"),
+            ReplError::Db(e) => write!(f, "replica database: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+impl From<esdb_net::NetError> for ReplError {
+    fn from(e: esdb_net::NetError) -> Self {
+        ReplError::Net(e)
+    }
+}
+
+impl From<StorageError> for ReplError {
+    fn from(e: StorageError) -> Self {
+        ReplError::Storage(e)
+    }
+}
+
+impl From<DbError> for ReplError {
+    fn from(e: DbError) -> Self {
+        ReplError::Db(e)
+    }
+}
+
+/// A live replica: a read-only [`Database`] kept converging toward the
+/// primary by redoing shipped WAL bytes.
+///
+/// Shipped bytes are made durable in the [`cursor`](Self::cursor_store)
+/// before any of them are applied, so a crash between ingest and apply loses
+/// nothing: [`Replica::reopen`] salvages the cursor and re-applies the whole
+/// stream, and page-LSN idempotent redo turns the second pass into no-ops
+/// wherever the first pass already landed.
+pub struct Replica {
+    db: Arc<Database>,
+    tables: HashMap<TableId, Arc<Table>>,
+    /// Durable landing zone for shipped bytes — the replication cursor. An
+    /// [`esdb_wal::LogFault`] armed on it models a replica whose own log
+    /// device crashes or lies.
+    cursor: Arc<LogStore>,
+    /// The snapshot this replica was built from; kept so [`Replica::reopen`]
+    /// can rebuild after a crash without re-contacting the primary.
+    snapshot: Snapshot,
+    config: EngineConfig,
+    /// Bytes below this have been parsed into `pending`.
+    decoded_to: Lsn,
+    /// Decoded records the frontier has not consumed yet.
+    pending: Vec<LogRecord>,
+    /// Outcome of every transaction whose Commit/Abort has been *decoded*
+    /// but whose records the frontier has not fully consumed. `true` =
+    /// committed.
+    resolved: HashMap<u64, bool>,
+    /// The commit-consistent apply frontier, published for follower reads
+    /// (`ServerConfig::applied_watermark`).
+    applied: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("start_lsn", &self.snapshot.start_lsn)
+            .field("decoded_to", &self.decoded_to)
+            .field("applied", &self.applied_lsn())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replica {
+    /// Installs a snapshot fetched from a primary and returns a replica
+    /// whose apply frontier sits at the snapshot's `start_lsn`.
+    pub fn bootstrap(snapshot: Snapshot, config: EngineConfig) -> Result<Replica, ReplError> {
+        let db = install_snapshot(&snapshot, config.clone())?;
+        let tables = table_map(&db);
+        let start = snapshot.start_lsn;
+        Ok(Replica {
+            db,
+            tables,
+            cursor: Arc::new(LogStore::new_at(start, None)),
+            snapshot,
+            config,
+            decoded_to: start,
+            pending: Vec::new(),
+            resolved: HashMap::new(),
+            applied: Arc::new(AtomicU64::new(start)),
+        })
+    }
+
+    /// The replica database (read path for follower serving).
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The apply frontier watermark, shared with a serving
+    /// [`esdb_net::ServerConfig::applied_watermark`].
+    pub fn watermark(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.applied)
+    }
+
+    /// The commit-consistent apply frontier: every record below it belongs
+    /// to a resolved transaction and, if committed, has been redone.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Where the next shipped chunk must start (the durable cursor's end).
+    /// After a crash/`reopen` this is also the LSN to re-subscribe from.
+    pub fn subscribe_from(&self) -> Lsn {
+        self.cursor.base() + self.cursor.len()
+    }
+
+    /// The durable cursor device, exposed for fault injection in tests.
+    pub fn cursor_store(&self) -> &Arc<LogStore> {
+        &self.cursor
+    }
+
+    /// Lands one shipped chunk in the durable cursor, then decodes and
+    /// applies whatever became available. Chunks that overlap already-held
+    /// bytes (a reconnecting primary replaying its tail) are deduplicated;
+    /// a chunk *beyond* the cursor end is a [`ReplError::Gap`].
+    pub fn ingest(&mut self, start: Lsn, bytes: &[u8]) -> Result<(), ReplError> {
+        let expected = self.subscribe_from();
+        if start > expected {
+            return Err(ReplError::Gap { expected, got: start });
+        }
+        let skip = (expected - start) as usize;
+        if skip < bytes.len() {
+            self.cursor.append(&bytes[skip..]);
+        }
+        if esdb_obs::enabled() {
+            // Replication lag in bytes: the shipped frontier (a lower bound
+            // on the primary's durable LSN) minus what this replica has
+            // applied. Sampled once per chunk.
+            let shipped_end = start + bytes.len() as u64;
+            let lag = shipped_end.saturating_sub(self.applied_lsn());
+            esdb_obs::record_component(esdb_obs::Component::ReplLag, lag);
+        }
+        self.pump()
+    }
+
+    /// Decodes newly durable cursor bytes and drives the apply frontier as
+    /// far as transaction outcomes allow. Safe to call at any time.
+    pub fn pump(&mut self) -> Result<(), ReplError> {
+        let started = std::time::Instant::now();
+        let tail = self.cursor.read_from(self.decoded_to);
+        if !tail.is_empty() {
+            let salvaged = decode_stream_checked(&tail, self.decoded_to);
+            if let Some(e) = salvaged.corruption {
+                return Err(ReplError::Corrupt(e));
+            }
+            for r in &salvaged.records {
+                match r.body {
+                    LogBody::Commit => {
+                        self.resolved.insert(r.txn_id, true);
+                    }
+                    LogBody::Abort => {
+                        self.resolved.insert(r.txn_id, false);
+                    }
+                    _ => {}
+                }
+            }
+            self.decoded_to += salvaged.valid_len;
+            self.pending.extend(salvaged.records);
+        }
+        self.advance_frontier();
+        if esdb_obs::enabled() {
+            esdb_obs::record_component(
+                esdb_obs::Component::ReplApply,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies pending records in strict LSN order. A data record is redone
+    /// only once its transaction is known committed; the frontier *stalls*
+    /// at the first record of a still-unresolved transaction, which is what
+    /// makes the published watermark commit-consistent (a follower read at
+    /// the watermark can never observe an uncommitted or doomed write).
+    fn advance_frontier(&mut self) {
+        let mut idx = 0;
+        while idx < self.pending.len() {
+            let r = &self.pending[idx];
+            match &r.body {
+                LogBody::Begin | LogBody::Checkpoint { .. } => {}
+                // The terminator is a transaction's last record, so its
+                // outcome entry is no longer needed once consumed.
+                LogBody::Commit | LogBody::Abort => {
+                    self.resolved.remove(&r.txn_id);
+                }
+                LogBody::Insert { .. } | LogBody::Update { .. } | LogBody::Delete { .. } => {
+                    match self.resolved.get(&r.txn_id) {
+                        Some(true) => {
+                            apply_redo(r, &self.tables);
+                        }
+                        Some(false) => {} // aborted: never touches pages
+                        None => break,    // outcome unknown: stall here
+                    }
+                }
+            }
+            let end = self
+                .pending
+                .get(idx + 1)
+                .map_or(self.decoded_to, |next| next.lsn);
+            self.applied.store(end, Ordering::Release);
+            idx += 1;
+        }
+        self.pending.drain(..idx);
+    }
+
+    /// Crash-restarts the replica: all volatile state (the database, decode
+    /// and frontier state) is discarded; only the durable cursor and the
+    /// original snapshot survive. The cursor is salvaged exactly like a
+    /// local WAL after a crash — a torn final record is dropped, detectable
+    /// corruption is a typed halt — and the whole surviving stream is
+    /// re-applied from the snapshot's `start_lsn`. Applying the same stream
+    /// twice is safe: redo is page-LSN idempotent.
+    pub fn reopen(self) -> Result<Replica, ReplError> {
+        let Replica { cursor, snapshot, config, .. } = self;
+        let raw = cursor.read_from(cursor.base());
+        let salvaged = decode_stream_checked(&raw, cursor.base());
+        if let Some(e) = salvaged.corruption {
+            return Err(ReplError::Corrupt(e));
+        }
+        cursor.truncate_to(salvaged.valid_len as usize);
+        let db = install_snapshot(&snapshot, config.clone())?;
+        let tables = table_map(&db);
+        let start = snapshot.start_lsn;
+        let mut replica = Replica {
+            db,
+            tables,
+            cursor,
+            snapshot,
+            config,
+            decoded_to: start,
+            pending: Vec::new(),
+            resolved: HashMap::new(),
+            applied: Arc::new(AtomicU64::new(start)),
+        };
+        replica.pump()?;
+        Ok(replica)
+    }
+}
+
+/// Takes a checkpoint on `db` and packages the flushed pages as a
+/// [`Snapshot`] — the in-process equivalent of the wire `ReplSnapshot`
+/// exchange, for tests and benches that ship without a socket.
+pub fn local_snapshot(db: &Database) -> Result<Snapshot, ReplError> {
+    let start_lsn = db.checkpoint()?;
+    let catalog = db.catalog();
+    let disk = db.disk();
+    let mut page = Page::new();
+    let mut pages = Vec::new();
+    for (_, _, _, pids) in &catalog {
+        for &pid in pids {
+            disk.read(pid, &mut page)?;
+            pages.push((pid, page.as_bytes().to_vec()));
+        }
+    }
+    Ok(Snapshot {
+        start_lsn,
+        catalog: catalog
+            .into_iter()
+            .map(|(id, name, arity, pages)| (id, name, arity as u32, pages))
+            .collect(),
+        pages,
+    })
+}
+
+/// Ships every durable byte the replica is missing straight from a primary's
+/// WAL — one in-process ship-loop round. Returns the byte count shipped.
+/// Fails with [`ReplError::Gap`] when the primary has truncated the log past
+/// the replica's cursor (only a fresh snapshot can help then).
+pub fn ship_available(wal: &esdb_wal::Wal, replica: &mut Replica) -> Result<u64, ReplError> {
+    let from = replica.subscribe_from();
+    let durable = wal.durable_lsn();
+    if durable <= from {
+        return Ok(0);
+    }
+    let Some((bytes, start)) = wal.durable_tail(from) else {
+        return Err(ReplError::Gap { expected: from, got: wal.start_lsn() });
+    };
+    let avail = ((durable - start) as usize).min(bytes.len());
+    replica.ingest(start, &bytes[..avail])?;
+    Ok(avail as u64)
+}
+
+/// Builds the replica database from a snapshot: a fresh in-memory disk with
+/// every snapshot page installed under its primary page id, wrapped by
+/// `restore_from_snapshot` (which rebuilds heaps, indexes, and a high-based
+/// local WAL so primary page LSNs never block the replica's flush barrier).
+fn install_snapshot(snapshot: &Snapshot, config: EngineConfig) -> Result<Arc<Database>, ReplError> {
+    let disk = Arc::new(InMemoryDisk::new());
+    if let Some(max) = snapshot.pages.iter().map(|(id, _)| *id).max() {
+        while disk.num_pages() <= max {
+            disk.allocate();
+        }
+    }
+    let mut page = Page::new();
+    for (pid, bytes) in &snapshot.pages {
+        if bytes.len() != PAGE_SIZE {
+            return Err(ReplError::BadSnapshot("page of wrong size"));
+        }
+        page.as_bytes_mut().copy_from_slice(bytes);
+        disk.write(*pid, &page)?;
+    }
+    let catalog: Vec<(TableId, String, usize, Vec<u64>)> = snapshot
+        .catalog
+        .iter()
+        .map(|(id, name, arity, pages)| (*id, name.clone(), *arity as usize, pages.clone()))
+        .collect();
+    for (_, _, _, pages) in &catalog {
+        if pages.iter().any(|p| *p >= disk.num_pages()) {
+            return Err(ReplError::BadSnapshot("catalog references a missing page"));
+        }
+    }
+    let db = Database::restore_from_snapshot(config, disk, &catalog)?;
+    Ok(Arc::new(db))
+}
+
+fn table_map(db: &Arc<Database>) -> HashMap<TableId, Arc<Table>> {
+    db.catalog()
+        .iter()
+        .filter_map(|(id, _, _, _)| db.table(*id).map(|t| (*id, t)))
+        .collect()
+}

@@ -4,7 +4,7 @@ use esdb_lock::{LockError, LockManager, LockMode};
 use esdb_storage::schema::TableId;
 use esdb_storage::{StorageError, Table};
 use esdb_wal::{LogBody, Lsn, Wal, NULL_LSN};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +79,12 @@ pub struct TxnManager {
     elr: bool,
     commits: AtomicU64,
     aborts: AtomicU64,
+    /// First LSN of every transaction that has logged but not finished —
+    /// the fuzzy checkpoint's redo low-water mark reads the minimum. The
+    /// lock is held across a transaction's first append (see [`Txn::log`])
+    /// so [`TxnManager::checkpoint_redo_floor`] never misses an in-flight
+    /// first record.
+    active: Mutex<HashMap<u64, Lsn>>,
 }
 
 impl TxnManager {
@@ -92,7 +98,19 @@ impl TxnManager {
             elr,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The earliest LSN a crash-recovery redo pass could still need, taken
+    /// right now: the minimum first-LSN over active logging transactions,
+    /// or the current end of log when none are. A transaction whose first
+    /// append races this capture gets an LSN at or past the end-of-log read
+    /// under the same lock, so the floor is never too high.
+    pub fn checkpoint_redo_floor(&self) -> Lsn {
+        let active = self.active.lock();
+        let cur = self.wal.current_lsn();
+        active.values().copied().min().map_or(cur, |m| m.min(cur))
     }
 
     /// Registers a table for transactional access.
@@ -194,8 +212,13 @@ impl Txn {
 
     fn log(&mut self, body: LogBody) -> Lsn {
         let prev = if self.last_lsn == NULL_LSN {
-            // First record: write Begin implicitly.
+            // First record: write Begin implicitly. The active-set lock is
+            // held across the append so a concurrent checkpoint either sees
+            // this entry or captures an end-of-log at or below our LSN.
+            let mut active = self.mgr.active.lock();
             let b = self.mgr.wal.append(self.id, NULL_LSN, &LogBody::Begin);
+            active.insert(self.id, b.start);
+            drop(active);
             b.start
         } else {
             self.last_lsn
@@ -320,10 +343,12 @@ impl Txn {
             // Early lock release: commit record in the buffer, locks out,
             // *then* wait for durability.
             let range = self.mgr.wal.commit_no_flush(self.id, self.last_lsn);
+            self.mgr.active.lock().remove(&self.id);
             self.mgr.locks.release_all(self.id);
             self.mgr.wal.wait_durable(range.end);
         } else {
             self.mgr.wal.commit(self.id, self.last_lsn);
+            self.mgr.active.lock().remove(&self.id);
             self.mgr.locks.release_all(self.id);
         }
     }
@@ -344,6 +369,7 @@ impl Txn {
             return None;
         }
         let range = self.mgr.wal.commit_no_flush(self.id, self.last_lsn);
+        self.mgr.active.lock().remove(&self.id);
         self.mgr.locks.release_all(self.id);
         Some(range.end)
     }
@@ -405,6 +431,7 @@ impl Txn {
         }
         if self.last_lsn != NULL_LSN {
             self.mgr.wal.append(self.id, self.last_lsn, &LogBody::Abort);
+            self.mgr.active.lock().remove(&self.id);
         }
         self.mgr.locks.release_all(self.id);
     }

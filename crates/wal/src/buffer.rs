@@ -91,8 +91,10 @@ struct LogFaultState {
 /// Append-only durable destination shared by all buffer implementations.
 pub struct LogStore {
     bytes: Mutex<Vec<u8>>,
-    /// Stream offset of the first byte in this store.
-    base: Lsn,
+    /// Stream offset of the first byte still held in this store. Starts at
+    /// the log's creation base and advances when [`LogStore::truncate_before`]
+    /// reclaims a checkpointed prefix. Only mutated under the `bytes` lock.
+    base: AtomicU64,
     /// Artificial device latency paid once per flush call.
     flush_latency: Option<Duration>,
     flushes: AtomicU64,
@@ -109,7 +111,7 @@ impl LogStore {
     pub fn new_at(base: Lsn, flush_latency: Option<Duration>) -> Self {
         LogStore {
             bytes: Mutex::new(Vec::new()),
-            base,
+            base: AtomicU64::new(base),
             flush_latency,
             flushes: AtomicU64::new(0),
             fault: Mutex::new(None),
@@ -178,7 +180,7 @@ impl LogStore {
     /// Out-of-range offsets are a no-op.
     pub fn flip_bit(&self, offset: Lsn, bit: u8) {
         let mut bytes = self.bytes.lock();
-        let idx = offset.saturating_sub(self.base) as usize;
+        let idx = offset.saturating_sub(self.base.load(Ordering::Relaxed)) as usize;
         if let Some(b) = bytes.get_mut(idx) {
             *b ^= 1 << (bit % 8);
         }
@@ -198,13 +200,41 @@ impl LogStore {
     /// Copies durable bytes from stream offset `from`.
     pub fn read_from(&self, from: Lsn) -> Vec<u8> {
         let bytes = self.bytes.lock();
-        let skip = from.saturating_sub(self.base) as usize;
+        let skip = from.saturating_sub(self.base.load(Ordering::Relaxed)) as usize;
         bytes[skip.min(bytes.len())..].to_vec()
+    }
+
+    /// Copies the persisted tail `[from, end)` together with `from` clamped
+    /// into range, or `None` when `from` falls before the store's base — the
+    /// prefix was reclaimed and the reader needs a snapshot instead.
+    pub fn read_tail(&self, from: Lsn) -> Option<(Vec<u8>, Lsn)> {
+        let bytes = self.bytes.lock();
+        let base = self.base.load(Ordering::Relaxed);
+        if from < base {
+            return None;
+        }
+        let skip = ((from - base) as usize).min(bytes.len());
+        Some((bytes[skip..].to_vec(), base + skip as u64))
+    }
+
+    /// Discards persisted bytes before stream offset `lsn` and advances the
+    /// store's base. `lsn` must sit on a record boundary (the caller — a
+    /// checkpoint's `redo_lsn` — guarantees this); offsets at or before the
+    /// current base are a no-op, offsets past the persisted end clamp to it.
+    pub fn truncate_before(&self, lsn: Lsn) {
+        let mut bytes = self.bytes.lock();
+        let base = self.base.load(Ordering::Relaxed);
+        if lsn <= base {
+            return;
+        }
+        let drop_n = ((lsn - base) as usize).min(bytes.len());
+        bytes.drain(..drop_n);
+        self.base.store(base + drop_n as u64, Ordering::Relaxed);
     }
 
     /// This store's base stream offset.
     pub fn base(&self) -> Lsn {
-        self.base
+        self.base.load(Ordering::Relaxed)
     }
 
     /// Number of flush (append) calls — the group-commit metric.

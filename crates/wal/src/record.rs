@@ -148,8 +148,15 @@ pub enum LogBody {
     Commit,
     /// Transaction abort (rollback already applied by the undo chain).
     Abort,
-    /// Fuzzy checkpoint marker.
-    Checkpoint,
+    /// Fuzzy checkpoint marker. `redo_lsn` is the low-water mark captured
+    /// *before* the checkpoint's pool flush began: every record below it
+    /// belongs to a transaction that had already finished, and its page
+    /// effects were persisted by that flush. Recovery may therefore start
+    /// redo at `redo_lsn`, and the log prefix before it can be reclaimed.
+    Checkpoint {
+        /// Earliest LSN recovery still needs.
+        redo_lsn: Lsn,
+    },
 }
 
 impl LogBody {
@@ -161,7 +168,7 @@ impl LogBody {
             LogBody::Delete { .. } => 3,
             LogBody::Commit => 4,
             LogBody::Abort => 5,
-            LogBody::Checkpoint => 6,
+            LogBody::Checkpoint { .. } => 6,
         }
     }
 }
@@ -207,7 +214,10 @@ pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
     out.put_u64_le(prev_lsn);
     out.put_u8(body.tag());
     match body {
-        LogBody::Begin | LogBody::Commit | LogBody::Abort | LogBody::Checkpoint => {}
+        LogBody::Begin | LogBody::Commit | LogBody::Abort => {}
+        LogBody::Checkpoint { redo_lsn } => {
+            out.put_u64_le(*redo_lsn);
+        }
         LogBody::Insert { table, key, rid, row } => {
             out.put_u32_le(*table);
             out.put_u64_le(*key);
@@ -337,7 +347,10 @@ fn decode_payload(r: &mut Reader<'_>) -> Option<(u64, Lsn, Option<LogBody>)> {
         }
         4 => LogBody::Commit,
         5 => LogBody::Abort,
-        6 => LogBody::Checkpoint,
+        6 => {
+            let redo_lsn = r.u64_le()?;
+            LogBody::Checkpoint { redo_lsn }
+        }
         _ => return Some((txn_id, prev_lsn, None)), // unknown tag
     };
     Some((txn_id, prev_lsn, Some(body)))
@@ -486,7 +499,7 @@ mod tests {
             ),
             (1, 160, LogBody::Commit),
             (2, 140, LogBody::Abort),
-            (0, NULL_LSN, LogBody::Checkpoint),
+            (0, NULL_LSN, LogBody::Checkpoint { redo_lsn: 512 }),
         ]);
     }
 

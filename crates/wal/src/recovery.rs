@@ -69,6 +69,71 @@ pub fn analyze(records: &[LogRecord]) -> RecoveryReport {
     report
 }
 
+/// The redo low-water mark implied by the last durable checkpoint in
+/// `records`, if any: every record below it belongs to a transaction that
+/// finished before the checkpoint's pool flush began, and that flush
+/// persisted its page effects.
+pub fn checkpoint_redo_lsn(records: &[LogRecord]) -> Option<Lsn> {
+    records.iter().rev().find_map(|r| match r.body {
+        LogBody::Checkpoint { redo_lsn } => Some(redo_lsn),
+        _ => None,
+    })
+}
+
+/// Slices `records` to the suffix recovery still needs: from the last
+/// durable checkpoint's `redo_lsn` onward, or the whole stream when no
+/// checkpoint exists. Transactions never straddle the boundary — `redo_lsn`
+/// was the minimum first-LSN of the transactions active at flush start, so
+/// everything below it is wholly finished and wholly flushed.
+pub fn slice_from_checkpoint(records: &[LogRecord]) -> &[LogRecord] {
+    match checkpoint_redo_lsn(records) {
+        Some(redo) => {
+            let start = records.partition_point(|r| r.lsn < redo);
+            &records[start..]
+        }
+        None => records,
+    }
+}
+
+/// Applies one record's redo action against `tables`, maintaining the
+/// primary index alongside the heap, and returns whether the page actually
+/// changed (`false`: skipped by the page-LSN check, unknown table, or a
+/// non-redo record). Page-LSN skips still perform the (idempotent) index
+/// maintenance, so a caller replaying an already-applied stream converges
+/// to the same index it had.
+///
+/// This is the replica apply loop's kernel: the same repeating-history redo
+/// that crash recovery runs, applied incrementally and in LSN order.
+pub fn apply_redo(r: &LogRecord, tables: &HashMap<TableId, Arc<Table>>) -> bool {
+    match &r.body {
+        LogBody::Insert { table, rid, row, key } => {
+            let Some(t) = tables.get(table) else { return false };
+            let applied = t
+                .heap()
+                .insert_at(*rid, &encode_row(*key, row), r.lsn)
+                .unwrap_or(false);
+            t.index().insert(*key, rid.to_u64());
+            applied
+        }
+        LogBody::Update { table, rid, after, key, .. } => {
+            let Some(t) = tables.get(table) else { return false };
+            let applied = t
+                .heap()
+                .update_if_newer(*rid, &encode_row(*key, after), r.lsn)
+                .unwrap_or(false);
+            t.index().insert(*key, rid.to_u64());
+            applied
+        }
+        LogBody::Delete { table, rid, key, .. } => {
+            let Some(t) = tables.get(table) else { return false };
+            let applied = t.heap().delete_if_newer(*rid, r.lsn).unwrap_or(false);
+            t.index().remove(*key);
+            applied
+        }
+        _ => false,
+    }
+}
+
 /// Full recovery over `tables` (keyed by table id). Tables must carry the
 /// post-crash heap state; their indexes are rebuilt here.
 ///
@@ -80,6 +145,9 @@ pub fn recover(
     records: &[LogRecord],
     tables: &HashMap<TableId, Arc<Table>>,
 ) -> Result<RecoveryReport, StorageError> {
+    // Start from the last complete checkpoint: the prefix below its
+    // `redo_lsn` is already fully reflected in the page store.
+    let records = slice_from_checkpoint(records);
     let mut report = analyze(records);
     let mut max_lsn: Lsn = 0;
 

@@ -54,6 +54,11 @@ impl FromStr for LogPolicy {
 /// The engine-facing write-ahead log.
 pub struct Wal {
     buffer: Box<dyn LogBuffer>,
+    /// Durability broadcast: every flush that goes through this facade rings
+    /// the condvar, so log shippers can tail the durable frontier without
+    /// adding any work — or any copy — to the commit path itself.
+    /// (Vendored `parking_lot` has no `Condvar`, hence `std::sync` here.)
+    hub: (std::sync::Mutex<()>, std::sync::Condvar),
 }
 
 impl Wal {
@@ -79,12 +84,21 @@ impl Wal {
                 flush_latency,
             )),
         };
-        Wal { buffer }
+        Self::with_buffer(buffer)
     }
 
     /// Wraps an explicit buffer implementation (used by benchmarks).
     pub fn with_buffer(buffer: Box<dyn LogBuffer>) -> Self {
-        Wal { buffer }
+        Wal {
+            buffer,
+            hub: (std::sync::Mutex::new(()), std::sync::Condvar::new()),
+        }
+    }
+
+    /// Wakes every subscriber blocked in [`Wal::wait_durable_beyond`].
+    fn notify_durable(&self) {
+        let _guard = self.hub.0.lock().unwrap();
+        self.hub.1.notify_all();
     }
 
     /// Appends one record. Returns its LSN range; the record is not durable
@@ -109,6 +123,7 @@ impl Wal {
         } else {
             self.buffer.flush(range.end);
         }
+        self.notify_durable();
         range.start
     }
 
@@ -131,6 +146,49 @@ impl Wal {
         } else {
             self.buffer.flush(lsn);
         }
+        self.notify_durable();
+    }
+
+    /// Blocks until the durable LSN advances *past* `lsn` or `timeout`
+    /// expires, returning the durable LSN either way. This is the log
+    /// shipper's subscription point: commits ring the condvar, and the wait
+    /// re-polls on a short cadence regardless, so correctness never depends
+    /// on a wakeup arriving.
+    pub fn wait_durable_beyond(&self, lsn: Lsn, timeout: Duration) -> Lsn {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.hub.0.lock().unwrap();
+        loop {
+            let durable = self.buffer.durable_lsn();
+            if durable > lsn {
+                return durable;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return durable;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(5));
+            let (g, _) = self.hub.1.wait_timeout(guard, wait).unwrap();
+            guard = g;
+        }
+    }
+
+    /// Copies the persisted log tail `[from, end)` for shipping, returning
+    /// the bytes and the stream offset they start at. `None` means `from`
+    /// predates the store's base — that prefix was reclaimed by
+    /// [`Wal::truncate_before`], so the subscriber needs a snapshot.
+    ///
+    /// With a tripped lying-device fault the store holds fewer bytes than
+    /// `durable_lsn` claims; this reads what the device actually kept, which
+    /// is exactly what a replica of a lying primary would receive.
+    pub fn durable_tail(&self, from: Lsn) -> Option<(Vec<u8>, Lsn)> {
+        self.buffer.store().read_tail(from)
+    }
+
+    /// Reclaims the persisted log prefix before `lsn` (a checkpoint's
+    /// `redo_lsn`, which always sits on a record boundary). Decoding entry
+    /// points follow the advanced base automatically.
+    pub fn truncate_before(&self, lsn: Lsn) {
+        self.buffer.store().truncate_before(lsn);
     }
 
     /// Highest durable LSN.

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 fn run(name: &str, cfg: EngineConfig, workload: &mut dyn Workload, threads: usize, txns: u64) {
     let db = Arc::new(Database::open(cfg));
-    db.load_population(workload);
+    db.load_population(workload).expect("population load");
     let report = db.run_workload(workload, threads, txns);
     println!("--- {name} [{}] ---", db.config().label());
     print!("{report}");

@@ -12,7 +12,7 @@ fn main() {
     // An engine instance plus a TCP front door on an ephemeral port.
     let mut workload = Tatp::new(1_000, 7);
     let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
-    db.load_population(&workload);
+    db.load_population(&workload).expect("population load");
     let server = Server::start(
         Arc::clone(&db),
         "127.0.0.1:0",

@@ -38,4 +38,14 @@ CRASH_ITERS=10 CRASH_SEED=42 CRASH_TXNS=50 \
 echo "== gate: obs overhead (tab3 loopback, depth-4, enabled within 5% of compiled-out) =="
 scripts/obs_overhead_gate.sh
 
+echo "== smoke: replication (loopback primary + replica, TPC-B burst, RYW) =="
+# The repl_net integration test is the smoke: snapshot bootstrap over TCP, a
+# TPC-B burst shipped live, per-table content equality, read-your-writes
+# honored under a commit token, and feed survival across a server bounce.
+cargo test --release -q -p esdb-repl --test repl_net
+
+echo "== smoke: tab_repl (read offload, 1 replica, bounded lag) =="
+TABR_READERS=2 TABR_READS=4000 TABR_WRITES=500 TABR_REPLICAS=0,1 \
+    cargo run --release -p esdb-bench --bin tab_repl
+
 echo "== ci: all green =="

@@ -10,7 +10,7 @@ fn recovery_after_concurrent_tpcb_conserves_money() {
     for flush_pages in [false, true] {
         let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
         let mut w = Tpcb::new(2, 17);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 3, 120);
         assert_eq!(report.failed, 0);
 
@@ -75,7 +75,7 @@ fn dora_work_is_recoverable_too() {
     // DORA executors write the same WAL; recovery is engine-agnostic.
     let db = Arc::new(Database::open(EngineConfig::scalable(3)));
     let mut w = Tpcb::new(1, 23);
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
     let report = db.run_workload(&mut w, 2, 100);
     assert_eq!(report.failed, 0);
 

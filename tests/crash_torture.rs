@@ -12,7 +12,7 @@ use std::sync::Arc;
 fn pre_crash_db(seed: u64) -> (Arc<Database>, u64) {
     let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
     let mut w = Tpcb::new(1, seed);
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
     let report = db.run_workload(&mut w, 2, 40);
     assert_eq!(report.failed, 0);
 
@@ -139,7 +139,7 @@ fn transient_page_faults_are_retried_transparently() {
         faulty.clone(),
     ));
     let mut w = Tpcb::new(1, 7);
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
     let report = db.run_workload(&mut w, 2, 30);
     assert_eq!(report.failed, 0, "transient faults must stay invisible");
 

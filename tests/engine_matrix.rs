@@ -35,7 +35,7 @@ fn tpcb_conserves_money_under_every_config() {
         let label = cfg.label();
         let db = Arc::new(Database::open(cfg));
         let mut w = Tpcb::new(2, 99);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 3, 150);
         assert_eq!(report.failed, 0, "[{label}] {report}");
         assert_eq!(report.committed, 450, "[{label}]");
@@ -68,7 +68,7 @@ fn ycsb_hot_skew_survives_every_config() {
         let label = cfg.label();
         let db = Arc::new(Database::open(cfg));
         let mut w = Ycsb::new(64, 20, 0.95, 2, 3);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 3, 100);
         assert_eq!(report.failed, 0, "[{label}] {report}");
 
@@ -92,7 +92,7 @@ fn tatp_row_counts_stable_under_every_config() {
         let label = cfg.label();
         let db = Arc::new(Database::open(cfg));
         let mut w = Tatp::new(40, 11);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let fixed_tables = [
             esdb::workload::tatp::SUBSCRIBER,
             esdb::workload::tatp::ACCESS_INFO,
@@ -130,7 +130,7 @@ fn ycsb_write_heavy_counts_exact_under_every_config() {
         let db = Arc::new(Database::open(cfg));
         let ops_per_txn = 3usize;
         let mut w = Ycsb::new(48, 0, 0.9, ops_per_txn, 17);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let report = db.run_workload(&mut w, 3, 120);
         assert_eq!(report.failed, 0, "[{label}] {report}");
         assert_eq!(report.committed, 360, "[{label}] {report}");
@@ -159,7 +159,7 @@ fn cycle_accounting_is_conservative_under_every_config() {
         let label = cfg.label();
         let db = Arc::new(Database::open(cfg));
         let mut w = Tpcb::new(2, 7);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let start = std::time::Instant::now();
         let report = db.run_workload(&mut w, threads, 60);
         let harness_wall = start.elapsed().as_nanos() as u64;
@@ -193,7 +193,7 @@ fn cycle_accounting_is_conservative_under_every_config() {
 fn wal_contains_commit_per_update_txn() {
     let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
     let mut w = Tpcb::new(1, 5);
-    db.load_population(&w);
+    db.load_population(&w).expect("population load");
     let report = db.run_workload(&mut w, 2, 50);
     assert_eq!(report.committed, 100);
     let commits = db

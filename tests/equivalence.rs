@@ -30,7 +30,7 @@ fn conventional_and_dora_reach_identical_states() {
     let run = |cfg: EngineConfig| {
         let db = Database::open(cfg);
         let mut w = Tatp::new(500, 1234);
-        db.load_population(&w);
+        db.load_population(&w).expect("population load");
         let mut outcomes = Vec::new();
         // Single-threaded stream: both engines see the exact same requests
         // in the exact same order, so states must match exactly.
