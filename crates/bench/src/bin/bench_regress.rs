@@ -1,0 +1,93 @@
+//! bench_regress — the CI gate that keeps headline numbers from rotting.
+//!
+//! Compares freshly generated `BENCH_*.json` files (in `BENCH_NEW_DIR`,
+//! default `bench_out`) against the committed snapshots at the repo root
+//! (`BENCH_BASE_DIR`, default `.`). Gated metrics — throughput-family, see
+//! `BENCH_GATE_METRICS` — fail the run when the fresh value drops more
+//! than `BENCH_GATE_PCT`% (default 10) below the committed one. Context
+//! metrics (lag, ratios, counts) are reported but never gate.
+//!
+//! Missing baselines are a warning, not a failure: the first run after a
+//! new table lands has nothing to diff against, and the right response is
+//! to commit the fresh snapshot, not to break CI.
+//!
+//! Caveat: committed absolute numbers only mean something on comparable
+//! hardware. The checked-in snapshots are regenerated in CI's own
+//! container (`scripts/ci.sh bench`); when gating elsewhere, loosen
+//! `BENCH_GATE_PCT` or regenerate the baseline first.
+
+use esdb_bench::json::{read_bench_json, BenchRecord};
+use std::path::PathBuf;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn find(records: &[BenchRecord], config: &str, metric: &str) -> Option<f64> {
+    records.iter().find(|r| r.config == config && r.metric == metric).map(|r| r.value)
+}
+
+fn main() {
+    let new_dir = PathBuf::from(env_or("BENCH_NEW_DIR", "bench_out"));
+    let base_dir = PathBuf::from(env_or("BENCH_BASE_DIR", "."));
+    let gate_pct: f64 = env_or("BENCH_GATE_PCT", "10")
+        .parse()
+        .expect("BENCH_GATE_PCT: number");
+    let gated: Vec<String> = env_or("BENCH_GATE_METRICS", "tps,read_tps")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+
+    let mut names: Vec<String> = match std::fs::read_dir(&new_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    if names.is_empty() {
+        println!("bench_regress: no BENCH_*.json under {} — nothing to gate", new_dir.display());
+        return;
+    }
+
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for name in &names {
+        let fresh = read_bench_json(&new_dir.join(name)).unwrap_or_default();
+        let Some(base) = read_bench_json(&base_dir.join(name)) else {
+            println!("warning: {name}: no committed snapshot — skipping (commit the fresh one)");
+            continue;
+        };
+        for b in &base {
+            if !gated.iter().any(|g| g == &b.metric) {
+                continue;
+            }
+            let Some(now) = find(&fresh, &b.config, &b.metric) else {
+                println!("warning: {name}: [{} / {}] vanished from the fresh run", b.config, b.metric);
+                continue;
+            };
+            compared += 1;
+            let delta_pct = (now - b.value) / b.value.max(f64::MIN_POSITIVE) * 100.0;
+            let verdict = if now < b.value * (1.0 - gate_pct / 100.0) {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{name}: [{} / {}] base {:.1} new {:.1} ({:+.1}%) {verdict}",
+                b.config, b.metric, b.value, now, delta_pct
+            );
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_regress: {regressions} gated metric(s) regressed more than {gate_pct}%"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_regress: {compared} gated metric(s) within {gate_pct}% of the committed snapshot");
+}

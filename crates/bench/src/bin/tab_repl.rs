@@ -19,6 +19,7 @@
 //! Env knobs (CI smoke): TABR_READERS, TABR_READS (total per config),
 //! TABR_WRITES, TABR_REPLICAS (comma-separated counts, default `0,1,2`).
 
+use esdb_bench::json::{write_bench_json, BenchRecord};
 use esdb_bench::{header, row};
 use esdb_core::{Database, EngineConfig};
 use esdb_net::{Client, ReconnectPolicy, Server, ServerConfig};
@@ -213,6 +214,7 @@ fn main() {
         ),
         &["replicas", "read_tps", "write_tps", "lag_p50_B", "lag_p99_B", "lag_max_B", "ryw"],
     );
+    let mut records = Vec::new();
     for &n in &replica_counts {
         let r = run_config(n, readers, reads, writes);
         assert!(r.ryw_ok, "{n} replicas: a follower broke read-your-writes");
@@ -225,8 +227,29 @@ fn main() {
             format!("{}", r.lag_max),
             if r.ryw_ok { "ok".into() } else { "VIOLATED".into() },
         ]);
+        let config = format!("replicas={n}");
+        records.push(BenchRecord {
+            config: config.clone(),
+            metric: "read_tps".into(),
+            value: r.read_tps,
+            seed: 42,
+        });
+        records.push(BenchRecord {
+            config: config.clone(),
+            metric: "write_tps".into(),
+            value: r.write_tps,
+            seed: 42,
+        });
+        records.push(BenchRecord {
+            config,
+            metric: "lag_p99_bytes".into(),
+            value: r.lag_p99 as f64,
+            seed: 42,
+        });
     }
 
+    let path = write_bench_json("tab_repl", &records).expect("write BENCH_tab_repl.json");
+    println!("\nwrote {}", path.display());
     println!(
         "\nreading guide: 0 replicas is the contended baseline (reads and writes\n\
          share the primary). Adding replicas moves reads onto followers fed by\n\

@@ -1,0 +1,278 @@
+//! tab_shard — what partitioning buys, and what cross-shard 2PC costs.
+//!
+//! TPC-B over the wire in four shapes:
+//!
+//! 1. **baseline** — one unsharded server, closed-loop clients running
+//!    `one_shot` transactions: the path that existed before the routing
+//!    layer, and the yardstick the 1-shard cell must stay within 10% of;
+//! 2. **shards=1** — the same traffic through a [`ShardRouter`]: every
+//!    transaction is single-shard, so the router must add ≈ nothing;
+//! 3. **shards=2/4, cross_pct=0** — partitioned engines, all-local
+//!    traffic: the embarrassing-scalability best case;
+//! 4. **cross_pct=10/50** — a fraction of transactions straddle two
+//!    shards and pay full presumed-abort 2PC (two prepares, a forced
+//!    coordinator decision, two decide deliveries).
+//!
+//! Each cell reports committed tps and the realized cross-shard count, and
+//! lands in `BENCH_tab_shard.json` for the CI regression gate.
+//!
+//! Every cell reports the median of `TABS_REPS` full runs — loopback tps
+//! on a busy box is noisy, and the 10% acceptance band needs medians.
+//!
+//! Env knobs (CI smoke): TABS_TXNS (per cell), TABS_THREADS (closed-loop
+//! router threads; keep 1 on single-core boxes), TABS_REPS, TABS_SHARDS
+//! and TABS_CROSS (comma-separated sweeps), TABS_BRANCHES, TABS_APB
+//! (accounts per branch), TABS_SEED.
+
+use esdb_bench::json::{write_bench_json, BenchRecord};
+use esdb_bench::{header, row};
+use esdb_core::{Database, EngineConfig};
+use esdb_net::{Client, Server, ServerConfig};
+use esdb_shard::{
+    load_shard_population, DecisionLog, NetShard, ShardBackend, ShardRouter, ShardedTpcb,
+};
+use esdb_workload::Workload;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{name}: integer")))
+        .unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .map(|s| {
+            s.split(',')
+                .map(|d| d.trim().parse().unwrap_or_else(|_| panic!("{name}: integers")))
+                .collect()
+        })
+        .unwrap_or_else(|_| default.to_vec())
+}
+
+struct CellResult {
+    committed: u64,
+    cross: u64,
+    tps: f64,
+}
+
+/// Median-by-tps of `reps` full runs of `f`.
+fn median_of(reps: usize, mut f: impl FnMut() -> CellResult) -> CellResult {
+    let mut runs: Vec<CellResult> = (0..reps.max(1)).map(|_| f()).collect();
+    runs.sort_by(|a, b| a.tps.partial_cmp(&b.tps).unwrap());
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// Drives `txns` transactions from `threads` closed-loop workers, each
+/// running `per_txn(spec) -> committed` over its own fork of `workload`.
+fn drive(
+    workload: &mut ShardedTpcb,
+    threads: usize,
+    txns: u64,
+    worker: impl Fn(usize) -> Box<dyn FnMut(&esdb_workload::TxnSpec) -> bool + Send> + Sync,
+) -> CellResult {
+    let start = Instant::now();
+    let result = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let mut gen = workload.fork();
+            let mut run = worker(t);
+            let quota = txns / threads as u64 + u64::from(t < (txns % threads as u64) as usize);
+            handles.push(scope.spawn(move || {
+                let (mut committed, mut cross) = (0u64, 0u64);
+                for _ in 0..quota {
+                    let spec = gen.next_txn();
+                    let is_cross = spec.kind == "CrossShard";
+                    if run(&spec) {
+                        committed += 1;
+                        cross += u64::from(is_cross);
+                    }
+                }
+                (committed, cross)
+            }));
+        }
+        let mut total = (0u64, 0u64);
+        for h in handles {
+            let (c, x) = h.join().expect("worker thread");
+            total.0 += c;
+            total.1 += x;
+        }
+        total
+    });
+    CellResult {
+        committed: result.0,
+        cross: result.1,
+        tps: result.0 as f64 / start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The pre-sharding path: one server, plain `one_shot` clients.
+fn run_baseline(
+    branches: u64,
+    apb: u64,
+    threads: usize,
+    txns: u64,
+    seed: u64,
+) -> CellResult {
+    let mut w = ShardedTpcb::new(branches, apb, 0, 1, seed);
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    db.load_population(&w).expect("population load");
+    let server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: threads + 2, ..ServerConfig::default() },
+    )
+    .expect("bind baseline server");
+    let addr = server.local_addr();
+    let result = drive(&mut w, threads, txns, |_| {
+        let mut client = Client::connect(addr).expect("baseline connect");
+        Box::new(move |spec| client.one_shot(spec).expect("baseline txn").is_committed())
+    });
+    server.shutdown();
+    result
+}
+
+/// One sharded cell: `shards` engines behind servers, routers on every
+/// worker thread, a shared durable coordinator.
+fn run_cell(
+    shards: usize,
+    cross_pct: u32,
+    branches: u64,
+    apb: u64,
+    threads: usize,
+    txns: u64,
+    seed: u64,
+) -> CellResult {
+    let mut w = ShardedTpcb::new(branches, apb, cross_pct, shards, seed);
+    let part = w.partitioner();
+    let coord = Arc::new(DecisionLog::new());
+    let mut dbs = Vec::new();
+    let mut servers = Vec::new();
+    for idx in 0..shards {
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        load_shard_population(&db, &w, &part, idx, shards).expect("population slice");
+        let server = Server::start(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            ServerConfig {
+                max_sessions: threads + 2,
+                decision_source: Some(coord.decision_source()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind shard server");
+        dbs.push(db);
+        servers.push(server);
+    }
+    let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+    let result = drive(&mut w, threads, txns, |_| {
+        let backends: Vec<Box<dyn ShardBackend>> = addrs
+            .iter()
+            .map(|a| Box::new(NetShard(Client::connect(*a).expect("shard connect"))) as _)
+            .collect();
+        let mut router = ShardRouter::new(backends, Arc::new(part), Arc::clone(&coord))
+            .expect("router over ≥1 shard");
+        Box::new(move |spec| router.execute(spec).expect("routed txn").is_committed())
+    });
+    for server in servers {
+        server.shutdown();
+    }
+    result
+}
+
+fn main() {
+    let txns = env_u64("TABS_TXNS", 4_000);
+    let reps = env_u64("TABS_REPS", 3) as usize;
+    let threads = env_u64("TABS_THREADS", 1) as usize;
+    let branches = env_u64("TABS_BRANCHES", 12);
+    let apb = env_u64("TABS_APB", 500);
+    let seed = env_u64("TABS_SEED", 42);
+    let shard_counts = env_list("TABS_SHARDS", &[1, 2, 4]);
+    let cross_ratios = env_list("TABS_CROSS", &[0, 10, 50]);
+
+    header(
+        "tab_shard",
+        &format!(
+            "sharded TPC-B over loopback servers, {threads} router thread(s), \
+             {txns} txns/cell, median of {reps}, {branches} branches"
+        ),
+        &["shards", "cross_pct", "committed", "cross", "tps", "vs_base"],
+    );
+
+    let mut records = Vec::new();
+    let base = median_of(reps, || run_baseline(branches, apb, threads, txns, seed));
+    records.push(BenchRecord {
+        config: "baseline unsharded".into(),
+        metric: "tps".into(),
+        value: base.tps,
+        seed,
+    });
+    row(&[
+        "base".into(),
+        "0".into(),
+        format!("{}", base.committed),
+        format!("{}", base.cross),
+        format!("{:.0}", base.tps),
+        "1.00".into(),
+    ]);
+
+    let mut single_shard_ratio = None;
+    for &shards in &shard_counts {
+        for &cross in &cross_ratios {
+            if shards == 1 && cross > 0 {
+                continue; // one shard cannot host a cross-shard transaction
+            }
+            let r = median_of(reps, || {
+                run_cell(shards, cross as u32, branches, apb, threads, txns, seed)
+            });
+            let ratio = r.tps / base.tps;
+            if shards == 1 && cross == 0 {
+                single_shard_ratio = Some(ratio);
+            }
+            records.push(BenchRecord {
+                config: format!("shards={shards} cross_pct={cross}"),
+                metric: "tps".into(),
+                value: r.tps,
+                seed,
+            });
+            records.push(BenchRecord {
+                config: format!("shards={shards} cross_pct={cross}"),
+                metric: "cross_committed".into(),
+                value: r.cross as f64,
+                seed,
+            });
+            row(&[
+                format!("{shards}"),
+                format!("{cross}"),
+                format!("{}", r.committed),
+                format!("{}", r.cross),
+                format!("{:.0}", r.tps),
+                format!("{ratio:.2}"),
+            ]);
+        }
+    }
+
+    // Acceptance: routing a single-shard workload through the router must
+    // cost < 10% vs the raw one-shot path.
+    let ratio = single_shard_ratio.expect("sweep must include the shards=1 cell");
+    records.push(BenchRecord {
+        config: "shards=1 vs baseline".into(),
+        metric: "single_shard_ratio".into(),
+        value: ratio,
+        seed,
+    });
+    if ratio < 0.90 {
+        println!("\nWARNING: shards=1 tps is {:.0}% of baseline (acceptance: ≥ 90%)", ratio * 100.0);
+    }
+
+    let path = write_bench_json("tab_shard", &records).expect("write BENCH_tab_shard.json");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nreading guide: `base` is the unsharded one-shot server. shards=1 must\n\
+         match it (the router's fast path adds no hop). At cross_pct=0, shards\n\
+         scale writes near-linearly — partitioned engines share nothing. The\n\
+         10/50% columns price distribution: each cross-shard transaction pays\n\
+         two prepares, a forced coordinator decision, and two decide frames."
+    );
+}

@@ -1,0 +1,161 @@
+//! Machine-readable benchmark results.
+//!
+//! Every headline table emits, next to its human-readable stdout, a
+//! `BENCH_<name>.json` file: a JSON array with one record per line,
+//! schema `{config, metric, value, seed, git_sha}`. The committed copies
+//! at the repo root are the regression baseline; `bench_regress` diffs a
+//! fresh run against them and fails CI on gated-metric regressions.
+//!
+//! The writer emits exactly one record per line so the reader can stay a
+//! line-oriented field extractor instead of a JSON parser — the format is
+//! still valid JSON for everyone else.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One measured value: which configuration produced it, what was measured,
+/// and the workload seed that makes the run reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Human-readable cell label, e.g. `shards=2 cross_pct=10`.
+    pub config: String,
+    /// Metric name; `tps`-family metrics are regression-gated.
+    pub metric: String,
+    pub value: f64,
+    pub seed: u64,
+}
+
+/// The commit the results were generated at: `ESDB_GIT_SHA` when set
+/// (CI pins it), else `git rev-parse --short HEAD`, else `unknown`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("ESDB_GIT_SHA") {
+        return sha.trim().to_string();
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Where result files land: `ESDB_BENCH_DIR` when set (CI points it at a
+/// scratch dir so fresh results never clobber the committed baseline),
+/// else the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var("ESDB_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_<name>.json` into [`bench_dir`] and returns its path.
+pub fn write_bench_json(name: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let dir = bench_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let sha = git_sha();
+    let mut out = std::fs::File::create(&path)?;
+    writeln!(out, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            out,
+            "{{\"config\":\"{}\",\"metric\":\"{}\",\"value\":{:.6},\"seed\":{},\"git_sha\":\"{}\"}}{}",
+            escape(&r.config),
+            escape(&r.metric),
+            r.value,
+            r.seed,
+            escape(&sha),
+            comma,
+        )?;
+    }
+    writeln!(out, "]")?;
+    Ok(path)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .collect();
+    rest.parse().ok()
+}
+
+/// Reads the records back out of a `BENCH_<name>.json` file written by
+/// [`write_bench_json`]. Lines that don't carry a record are skipped.
+pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchRecord {
+                config: field_str(line, "config")?,
+                metric: field_str(line, "metric")?,
+                value: field_num(line, "value")?,
+                seed: field_num(line, "seed")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Reads the file at `path` and parses it; `None` when it doesn't exist.
+pub fn read_bench_json(path: &Path) -> Option<Vec<BenchRecord>> {
+    std::fs::read_to_string(path).ok().map(|text| parse_bench_json(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_the_file_format() {
+        let records = vec![
+            BenchRecord {
+                config: "shards=2 cross_pct=10".into(),
+                metric: "tps".into(),
+                value: 12345.675,
+                seed: 42,
+            },
+            BenchRecord { config: "baseline".into(), metric: "tps".into(), value: 0.5, seed: 7 },
+        ];
+        let dir = std::env::temp_dir().join(format!("esdb_bench_json_{}", std::process::id()));
+        std::env::set_var("ESDB_BENCH_DIR", &dir);
+        let path = write_bench_json("unit", &records).unwrap();
+        std::env::remove_var("ESDB_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"), "array framing");
+        let parsed = parse_bench_json(&text);
+        assert_eq!(parsed, records);
+        assert!(text.lines().all(|l| !l.contains("\"git_sha\":\"\"")), "sha never empty");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn escaped_quotes_survive() {
+        let line = r#"{"config":"say \"hi\"","metric":"tps","value":1.0,"seed":3,"git_sha":"x"}"#;
+        let parsed = parse_bench_json(line);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].config, "say \"hi\"");
+    }
+}

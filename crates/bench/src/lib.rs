@@ -15,10 +15,19 @@
 //! | `tab1_engine` | end-to-end matrix | native-thread throughput per engine config |
 //! | `tab2_recovery` | substrate soundness | crash-recovery outcomes and costs |
 //! | `crash_torture` | soundness under damaged logs | seeded truncation/bit-flip/lying-device crash iterations |
+//! | `tab3_server` | the wire costs, pipelining pays | TATP in-process vs loopback server at pipeline depths |
+//! | `tab_repl` | replicas scale reads | read/write tps and replication lag vs replica count |
+//! | `tab_shard` | partitioning scales writes | TPC-B tps vs shard count at cross-shard ratios |
+//! | `bench_regress` | results don't rot | gated-metric diff of fresh `BENCH_*.json` vs committed |
 //!
 //! Every simulated experiment is deterministic; every native experiment
 //! reports medians over repetitions. Run any binary with
 //! `cargo run --release -p esdb-bench --bin <name>`.
+//!
+//! Headline tables additionally emit machine-readable `BENCH_<name>.json`
+//! records (see [`json`]) that `bench_regress` gates CI on.
+
+pub mod json;
 
 use std::time::Instant;
 

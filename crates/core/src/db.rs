@@ -9,7 +9,7 @@ use esdb_storage::disk::PageStore;
 use esdb_storage::heap::HeapFile;
 use esdb_storage::schema::{Schema, TableId};
 use esdb_storage::{BufferPool, InMemoryDisk, Table};
-use esdb_txn::{Txn, TxnManager, TxnResult};
+use esdb_txn::{PreparedTxn, Txn, TxnManager, TxnResult};
 use esdb_wal::Wal;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -108,6 +108,26 @@ pub struct ObsSnapshot {
     pub txn_latency: esdb_obs::HistogramSnapshot,
 }
 
+/// A participant's two-phase-commit vote on one transaction spec.
+#[derive(Debug)]
+pub enum PrepareVote {
+    /// Yes: the transaction is prepared — its `Prepare` record is durable
+    /// and every lock stays held until [`Database::decide`] delivers the
+    /// coordinator's answer. `reads` carries per-op results exactly as in
+    /// [`SpecOutcome::Committed`].
+    Commit {
+        /// Per-op read results.
+        reads: Vec<Option<Vec<i64>>>,
+    },
+    /// No: the transaction aborted locally (locks released, buffered writes
+    /// undone — exactly once, on this side of the vote). The outcome says
+    /// why; the coordinator must now decide abort globally.
+    Abort {
+        /// Why the participant voted no.
+        outcome: SpecOutcome,
+    },
+}
+
 /// A running esdb database instance.
 pub struct Database {
     config: EngineConfig,
@@ -123,6 +143,10 @@ pub struct Database {
     next_table: AtomicU64,
     /// DDL fence: once the DORA system started, table creation is frozen.
     frozen: Mutex<bool>,
+    /// Prepared-but-undecided participant transactions by gtid — the live
+    /// (non-crashed) half of the in-doubt state; the durable half is the
+    /// `Prepare` record in the WAL.
+    prepared: Mutex<HashMap<u64, PreparedTxn>>,
 }
 
 impl Database {
@@ -167,6 +191,7 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             next_table: AtomicU64::new(0),
             frozen: Mutex::new(false),
+            prepared: Mutex::new(HashMap::new()),
         }
     }
 
@@ -258,6 +283,58 @@ impl Database {
             }
             ExecutionModel::Dora { .. } => (spec_exec::run_dora(self.dora(), spec), None),
         }
+    }
+
+    /// Two-phase-commit participant hook: runs `spec` and, on success,
+    /// leaves the transaction *prepared* — `Prepare { gtid }` durable, all
+    /// locks held — registered under `gtid` until [`Database::decide`].
+    /// A failed run aborts locally, exactly once, and votes no.
+    ///
+    /// Only the conventional engine participates in 2PC; DORA configs vote
+    /// no (their executors commit internally and cannot hold a transaction
+    /// open across the vote). A gtid already registered here also votes no
+    /// — gtids are single-use by the coordinator's contract.
+    pub fn run_spec_prepare(&self, gtid: u64, spec: &esdb_workload::TxnSpec) -> PrepareVote {
+        if !matches!(self.config.execution, ExecutionModel::Conventional { .. }) {
+            return PrepareVote::Abort { outcome: SpecOutcome::LogicalFailure };
+        }
+        match spec_exec::run_conventional_prepare(&self.txn_mgr, self.config.retries, gtid, spec) {
+            Ok((handle, reads)) => {
+                let mut reg = self.prepared.lock();
+                if reg.contains_key(&gtid) {
+                    drop(reg);
+                    handle.abort_decided();
+                    return PrepareVote::Abort { outcome: SpecOutcome::LogicalFailure };
+                }
+                reg.insert(gtid, handle);
+                PrepareVote::Commit { reads }
+            }
+            Err(outcome) => PrepareVote::Abort { outcome },
+        }
+    }
+
+    /// Delivers the coordinator's decision for `gtid` to the prepared
+    /// transaction registered here. Idempotent: an unknown gtid (already
+    /// decided, or never prepared on this shard) is a no-op returning
+    /// `false` — the decision cannot be applied twice because the handle is
+    /// removed from the registry before it is consumed.
+    pub fn decide(&self, gtid: u64, commit: bool) -> bool {
+        let handle = self.prepared.lock().remove(&gtid);
+        match handle {
+            Some(h) if commit => h.commit_decided(),
+            Some(h) => h.abort_decided(),
+            None => return false,
+        }
+        true
+    }
+
+    /// Gtids of transactions prepared on this database and still awaiting a
+    /// decision — what a recovering coordinator (or a router re-contacting
+    /// a live participant) asks for. Sorted for determinism.
+    pub fn prepared_gtids(&self) -> Vec<u64> {
+        let mut gtids: Vec<u64> = self.prepared.lock().keys().copied().collect();
+        gtids.sort_unstable();
+        gtids
     }
 
     /// Point-in-time engine counters (the STATS command surface).
@@ -650,6 +727,147 @@ mod tests {
         // The report-local histogram is exact.
         assert_eq!(report.latency.count, report.attempts);
         assert!(report.waits.wall() > 0);
+    }
+
+    #[test]
+    fn prepare_decide_commit_roundtrip() {
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db.create_table("t", 1).unwrap();
+        db.execute(|txn| txn.insert(t, 1, &[10])).unwrap();
+
+        let spec = TxnSpec {
+            kind: "xfer",
+            ops: vec![WorkloadOp::Add { table: t, key: 1, col: 0, delta: 5 }],
+            may_fail: false,
+        };
+        let vote = db.run_spec_prepare(77, &spec);
+        let PrepareVote::Commit { reads } = vote else {
+            panic!("clean prepare must vote commit: {vote:?}")
+        };
+        assert_eq!(reads, vec![Some(vec![10])]);
+        assert_eq!(db.prepared_gtids(), vec![77]);
+
+        assert!(db.decide(77, true));
+        assert!(db.prepared_gtids().is_empty());
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![15]);
+        // Second delivery of the same decision is a no-op.
+        assert!(!db.decide(77, true));
+    }
+
+    #[test]
+    fn failed_prepare_aborts_exactly_once_on_the_coordinator_error_path() {
+        // Regression: the coordinator error path used to be able to abort a
+        // vote-no transaction a second time (once inside the prepare run,
+        // once when the coordinator delivered its global abort). The undo
+        // must run exactly once and the locks release exactly once.
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db.create_table("t", 1).unwrap();
+        db.execute(|txn| txn.insert(t, 1, &[10])).unwrap();
+        let aborts_before = db.txn_manager().stats().aborts;
+
+        // Buffered write first, then a logical failure (missing key): the
+        // prepare run must roll the write back when it aborts.
+        let spec = TxnSpec {
+            kind: "bad",
+            ops: vec![
+                WorkloadOp::Add { table: t, key: 1, col: 0, delta: 7 },
+                WorkloadOp::Add { table: t, key: 999, col: 0, delta: 1 },
+            ],
+            may_fail: true,
+        };
+        let vote = db.run_spec_prepare(5, &spec);
+        assert!(
+            matches!(vote, PrepareVote::Abort { outcome: SpecOutcome::LogicalFailure }),
+            "{vote:?}"
+        );
+        assert_eq!(db.txn_manager().stats().aborts, aborts_before + 1, "exactly one abort");
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![10], "buffered write undone once");
+        assert!(db.prepared_gtids().is_empty(), "vote-no is never registered");
+
+        // The coordinator's global abort for the same gtid lands later — it
+        // must be a pure no-op, not a second rollback.
+        assert!(!db.decide(5, false));
+        assert_eq!(db.txn_manager().stats().aborts, aborts_before + 1, "still one abort");
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![10]);
+
+        // Locks were released exactly once: a fresh writer gets through.
+        db.execute(|txn| txn.update(t, 1, &[11]).map(|_| ())).unwrap();
+    }
+
+    #[test]
+    fn duplicate_gtid_votes_abort() {
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db.create_table("t", 1).unwrap();
+        db.execute(|txn| {
+            txn.insert(t, 1, &[0])?;
+            txn.insert(t, 2, &[0])
+        })
+        .unwrap();
+        let mk = |key| TxnSpec {
+            kind: "w",
+            ops: vec![WorkloadOp::Add { table: t, key, col: 0, delta: 1 }],
+            may_fail: false,
+        };
+        assert!(matches!(db.run_spec_prepare(9, &mk(1)), PrepareVote::Commit { .. }));
+        // Same gtid again (different key, so no lock conflict): rejected,
+        // and the rejected attempt's work is rolled back.
+        assert!(matches!(db.run_spec_prepare(9, &mk(2)), PrepareVote::Abort { .. }));
+        assert!(db.decide(9, true));
+        assert_eq!(db.read_committed(t, 1).unwrap(), vec![1]);
+        assert_eq!(db.read_committed(t, 2).unwrap(), vec![0], "duplicate's write undone");
+    }
+
+    #[test]
+    fn dora_votes_no_on_prepare() {
+        let db = Database::open(EngineConfig::scalable(2));
+        let t = db.create_table("t", 1).unwrap();
+        let spec = TxnSpec {
+            kind: "ins",
+            ops: vec![WorkloadOp::Insert { table: t, key: 1, row: vec![1] }],
+            may_fail: false,
+        };
+        assert!(matches!(db.run_spec_prepare(1, &spec), PrepareVote::Abort { .. }));
+    }
+
+    #[test]
+    fn in_doubt_txn_survives_crash_and_resolves_both_ways() {
+        // Prepared-but-undecided at crash time: recovery reports it in
+        // doubt, keeps its effects (they may yet commit), and the
+        // coordinator's answer then either keeps or undoes them.
+        let mk_crashed = || {
+            let db = Database::open(EngineConfig::conventional_baseline());
+            let t = db.create_table("t", 1).unwrap();
+            db.execute(|txn| txn.insert(t, 1, &[10])).unwrap();
+            let spec = TxnSpec {
+                kind: "w",
+                ops: vec![WorkloadOp::Add { table: t, key: 1, col: 0, delta: 5 }],
+                may_fail: false,
+            };
+            assert!(matches!(db.run_spec_prepare(33, &spec), PrepareVote::Commit { .. }));
+            let records = db.wal().durable_records();
+            let (recovered, report) = db.simulate_crash_with_report(false);
+            std::mem::forget(db); // crashed processes don't run Drop rollbacks
+            (recovered, report, records, t)
+        };
+
+        // Coordinator says commit: redone effects stay.
+        let (recovered, report, _, t) = mk_crashed();
+        assert_eq!(report.in_doubt.values().copied().collect::<Vec<_>>(), vec![33]);
+        assert!(report.losers.is_empty());
+        assert_eq!(recovered.read_committed(t, 1).unwrap(), vec![15]);
+
+        // Coordinator says abort (or is presumed to): undo_txn rolls back.
+        let (recovered, report, records, t) = mk_crashed();
+        let (&txn_id, _) = report.in_doubt.iter().next().unwrap();
+        let n = esdb_wal::recovery::undo_txn(
+            &records,
+            &recovered.txn_manager().tables(),
+            txn_id,
+            recovered.wal().current_lsn(),
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(recovered.read_committed(t, 1).unwrap(), vec![10]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod simbridge;
 pub mod spec_exec;
 
 pub use config::{EngineConfig, ExecutionModel};
-pub use db::{Database, DbError, ObsSnapshot, StatsSnapshot, OBS_SNAPSHOT_VERSION};
+pub use db::{Database, DbError, ObsSnapshot, PrepareVote, StatsSnapshot, OBS_SNAPSHOT_VERSION};
 pub use metrics::WorkloadReport;
 pub use simbridge::{run_sim_workload, sim_model_config, sim_wait_profile, SimRunConfig};
 

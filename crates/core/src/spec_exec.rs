@@ -1,7 +1,7 @@
 //! Executing engine-agnostic transaction specs on either execution model.
 
 use esdb_dora::{Action, ActionOp, DoraError, DoraSystem};
-use esdb_txn::{Txn, TxnError, TxnManager, TxnResult};
+use esdb_txn::{PreparedTxn, Txn, TxnError, TxnManager, TxnResult};
 use esdb_wal::Lsn;
 use esdb_workload::{TxnSpec, WorkloadOp};
 use std::sync::Arc;
@@ -103,6 +103,39 @@ pub fn run_conventional_deferred(
                     TxnError::Lock(_) if attempt < retries => attempt += 1,
                     TxnError::Lock(_) => return (SpecOutcome::ConflictFailure, None),
                     _ => return (SpecOutcome::LogicalFailure, None),
+                }
+            }
+        }
+    }
+}
+
+/// Runs `spec` as a conventional 2PL transaction and, instead of
+/// committing, *prepares* it for two-phase commit: the `Prepare { gtid }`
+/// record is durable and every lock stays held when this returns `Ok`. The
+/// caller owns the [`PreparedTxn`] and must deliver the coordinator's
+/// decision to finish it.
+///
+/// On failure the transaction aborts — exactly once, inside this function;
+/// the returned outcome is only a description, never a second abort path.
+/// Lock victims retry up to `retries` times, mirroring
+/// [`run_conventional_deferred`].
+pub fn run_conventional_prepare(
+    mgr: &Arc<TxnManager>,
+    retries: usize,
+    gtid: u64,
+    spec: &TxnSpec,
+) -> Result<(PreparedTxn, Vec<Option<Vec<i64>>>), SpecOutcome> {
+    let mut attempt = 0;
+    loop {
+        let mut txn = mgr.begin();
+        match apply_ops(&mut txn, spec) {
+            Ok(reads) => return Ok((txn.prepare(gtid), reads)),
+            Err(e) => {
+                txn.abort();
+                match e {
+                    TxnError::Lock(_) if attempt < retries => attempt += 1,
+                    TxnError::Lock(_) => return Err(SpecOutcome::ConflictFailure),
+                    _ => return Err(SpecOutcome::LogicalFailure),
                 }
             }
         }

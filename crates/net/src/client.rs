@@ -428,6 +428,51 @@ impl Client {
         }
     }
 
+    /// 2PC phase one against a participant shard: execute `ops`, force the
+    /// Prepare record, and return the shard's vote. A committed outcome means
+    /// the shard holds its locks awaiting [`Client::shard_decide`].
+    pub fn shard_prepare(
+        &mut self,
+        gtid: u64,
+        ops: Vec<WorkloadOp>,
+    ) -> Result<SpecOutcome, NetError> {
+        self.send(&Request::ShardPrepare { gtid, ops })?;
+        match self.recv()? {
+            Response::ShardVote { gtid: g, outcome } if g == gtid => Ok(outcome),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("shard vote")),
+        }
+    }
+
+    /// 2PC phase two: deliver the coordinator's decision for `gtid`. Safe to
+    /// retry — deciding an unknown gtid is acknowledged without effect.
+    pub fn shard_decide(&mut self, gtid: u64, commit: bool) -> Result<(), NetError> {
+        self.send(&Request::ShardDecide { gtid, commit })?;
+        self.expect_ok()
+    }
+
+    /// Asks the server's coordinator decision log what became of `gtid`.
+    /// `false` covers both a logged abort and no decision at all (presumed
+    /// abort). Errors when the server has no decision source configured.
+    pub fn shard_status(&mut self, gtid: u64) -> Result<bool, NetError> {
+        self.send(&Request::ShardStatus { gtid })?;
+        match self.recv()? {
+            Response::ShardDecision { gtid: g, commit } if g == gtid => Ok(commit),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("shard decision")),
+        }
+    }
+
+    /// The shard's in-doubt set: gtids prepared but undecided, sorted.
+    pub fn shard_in_doubt(&mut self) -> Result<Vec<u64>, NetError> {
+        self.send(&Request::ShardInDoubt)?;
+        match self.recv()? {
+            Response::ShardGtids(gtids) => Ok(gtids),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("shard gtids")),
+        }
+    }
+
     /// One-shot read of the latest committed row (a tiny transaction).
     pub fn read_committed(&mut self, table: u32, key: u64) -> Result<Option<Vec<i64>>, NetError> {
         let spec = TxnSpec {

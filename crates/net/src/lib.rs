@@ -40,7 +40,7 @@ pub mod server;
 
 pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Snapshot};
 pub use protocol::{FrameError, Request, Response, ServerStats, MAX_FRAME};
-pub use server::{Server, ServerConfig};
+pub use server::{DecisionSource, Server, ServerConfig};
 
 use esdb_core::WorkloadReport;
 

@@ -127,6 +127,36 @@ pub enum Request {
         /// The read-your-writes token (0 = no freshness requirement).
         min_lsn: u64,
     },
+    /// Two-phase-commit phase one: execute this shard's slice of a
+    /// cross-shard transaction and *prepare* it (durable `Prepare` record,
+    /// locks held) instead of committing. Answered with a
+    /// [`Response::ShardVote`].
+    ShardPrepare {
+        /// Global transaction id (coordinator-allocated, single-use).
+        gtid: u64,
+        /// This shard's slice of the transaction's operations, in order.
+        ops: Vec<WorkloadOp>,
+    },
+    /// Two-phase-commit phase two: deliver the coordinator's decision for
+    /// `gtid` to this participant. Idempotent; answered with
+    /// [`Response::Ok`] whether or not the gtid was still registered.
+    ShardDecide {
+        /// Global transaction id.
+        gtid: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+    /// Recovering participant → coordinator front-end: what was decided for
+    /// `gtid`? Answered with a [`Response::ShardDecision`] (presumed abort
+    /// when no durable decision exists) or [`Response::Error`] if this
+    /// server has no coordinator decision source configured.
+    ShardStatus {
+        /// Global transaction id being resolved.
+        gtid: u64,
+    },
+    /// Recovering coordinator → participant: which gtids are prepared here
+    /// and still awaiting a decision? Answered with [`Response::ShardGtids`].
+    ShardInDoubt,
 }
 
 /// Server-side counters the STATS command reports alongside the engine's
@@ -212,6 +242,26 @@ pub enum Response {
         /// How far the replica had applied when it gave up.
         applied: u64,
     },
+    /// A participant's vote on a [`Request::ShardPrepare`]: `Committed`
+    /// means *prepared* (yes-vote, reads attached); a failure outcome means
+    /// the participant aborted locally and votes no.
+    ShardVote {
+        /// Global transaction id, echoed for pipelining sanity.
+        gtid: u64,
+        /// The vote: committed = prepared; failure = aborted locally.
+        outcome: SpecOutcome,
+    },
+    /// The coordinator's (possibly presumed) decision for a
+    /// [`Request::ShardStatus`] query.
+    ShardDecision {
+        /// Global transaction id, echoed.
+        gtid: u64,
+        /// `true` = commit; `false` = abort (including presumed abort).
+        commit: bool,
+    },
+    /// Prepared-but-undecided gtids on this participant
+    /// ([`Request::ShardInDoubt`] reply).
+    ShardGtids(Vec<u64>),
 }
 
 // Payload tags. Requests and responses share one byte space so a tag is
@@ -230,6 +280,10 @@ const T_REPL_SNAPSHOT: u8 = 0x20;
 const T_REPL_SUBSCRIBE: u8 = 0x21;
 const T_COMMIT_TOKEN: u8 = 0x22;
 const T_READ_AT: u8 = 0x23;
+const T_SHARD_PREPARE: u8 = 0x30;
+const T_SHARD_DECIDE: u8 = 0x31;
+const T_SHARD_STATUS: u8 = 0x32;
+const T_SHARD_IN_DOUBT: u8 = 0x33;
 const T_HELLO: u8 = 0x80;
 const T_BUSY: u8 = 0x81;
 const T_PONG: u8 = 0x82;
@@ -245,6 +299,9 @@ const T_SNAP_END: u8 = 0x92;
 const T_LOG_CHUNK: u8 = 0x93;
 const T_TOKEN: u8 = 0x94;
 const T_LAGGING: u8 = 0x95;
+const T_SHARD_VOTE: u8 = 0x96;
+const T_SHARD_DECISION: u8 = 0x97;
+const T_SHARD_GTIDS: u8 = 0x98;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -458,6 +515,49 @@ fn decode_op(r: &mut Reader<'_>) -> Result<WorkloadOp, FrameError> {
     }
 }
 
+/// Outcome payload: shared by [`Response::Outcome`] and
+/// [`Response::ShardVote`].
+fn put_outcome(out: &mut Vec<u8>, outcome: &SpecOutcome) {
+    match outcome {
+        SpecOutcome::Committed { reads } => {
+            out.put_u8(OUT_COMMITTED);
+            debug_assert!(reads.len() <= u16::MAX as usize);
+            out.put_u16_le(reads.len() as u16);
+            for read in reads {
+                match read {
+                    Some(row) => {
+                        out.put_u8(1);
+                        put_row(out, row);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
+        }
+        SpecOutcome::LogicalFailure => out.put_u8(OUT_LOGICAL),
+        SpecOutcome::ConflictFailure => out.put_u8(OUT_CONFLICT),
+    }
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<SpecOutcome, FrameError> {
+    match r.u8()? {
+        OUT_COMMITTED => {
+            let n = r.u16()? as usize;
+            let mut reads = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                match r.u8()? {
+                    0 => reads.push(None),
+                    1 => reads.push(Some(r.row()?)),
+                    _ => return Err(FrameError::Malformed("bad option tag")),
+                }
+            }
+            Ok(SpecOutcome::Committed { reads })
+        }
+        OUT_LOGICAL => Ok(SpecOutcome::LogicalFailure),
+        OUT_CONFLICT => Ok(SpecOutcome::ConflictFailure),
+        _ => Err(FrameError::Malformed("unknown outcome tag")),
+    }
+}
+
 /// Appends one framed request to `out`.
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     let at = begin_frame(out);
@@ -506,6 +606,25 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.put_u64_le(*key);
             out.put_u64_le(*min_lsn);
         }
+        Request::ShardPrepare { gtid, ops } => {
+            out.put_u8(T_SHARD_PREPARE);
+            out.put_u64_le(*gtid);
+            debug_assert!(ops.len() <= u16::MAX as usize);
+            out.put_u16_le(ops.len() as u16);
+            for op in ops {
+                encode_op(out, op);
+            }
+        }
+        Request::ShardDecide { gtid, commit } => {
+            out.put_u8(T_SHARD_DECIDE);
+            out.put_u64_le(*gtid);
+            out.put_u8(u8::from(*commit));
+        }
+        Request::ShardStatus { gtid } => {
+            out.put_u8(T_SHARD_STATUS);
+            out.put_u64_le(*gtid);
+        }
+        Request::ShardInDoubt => out.put_u8(T_SHARD_IN_DOUBT),
     }
     end_frame(out, at);
 }
@@ -549,24 +668,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Outcome(outcome) => {
             out.put_u8(T_OUTCOME);
-            match outcome {
-                SpecOutcome::Committed { reads } => {
-                    out.put_u8(OUT_COMMITTED);
-                    debug_assert!(reads.len() <= u16::MAX as usize);
-                    out.put_u16_le(reads.len() as u16);
-                    for read in reads {
-                        match read {
-                            Some(row) => {
-                                out.put_u8(1);
-                                put_row(out, row);
-                            }
-                            None => out.put_u8(0),
-                        }
-                    }
-                }
-                SpecOutcome::LogicalFailure => out.put_u8(OUT_LOGICAL),
-                SpecOutcome::ConflictFailure => out.put_u8(OUT_CONFLICT),
-            }
+            put_outcome(out, outcome);
         }
         Response::Row(row) => {
             out.put_u8(T_ROW);
@@ -614,6 +716,24 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Lagging { applied } => {
             out.put_u8(T_LAGGING);
             out.put_u64_le(*applied);
+        }
+        Response::ShardVote { gtid, outcome } => {
+            out.put_u8(T_SHARD_VOTE);
+            out.put_u64_le(*gtid);
+            put_outcome(out, outcome);
+        }
+        Response::ShardDecision { gtid, commit } => {
+            out.put_u8(T_SHARD_DECISION);
+            out.put_u64_le(*gtid);
+            out.put_u8(u8::from(*commit));
+        }
+        Response::ShardGtids(gtids) => {
+            out.put_u8(T_SHARD_GTIDS);
+            debug_assert!(gtids.len() <= u32::MAX as usize);
+            out.put_u32_le(gtids.len() as u32);
+            for g in gtids {
+                out.put_u64_le(*g);
+            }
         }
     }
     end_frame(out, at);
@@ -698,6 +818,26 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
         T_REPL_SUBSCRIBE => Request::ReplSubscribe { from: r.u64()? },
         T_COMMIT_TOKEN => Request::CommitToken,
         T_READ_AT => Request::ReadAt { table: r.u32()?, key: r.u64()?, min_lsn: r.u64()? },
+        T_SHARD_PREPARE => {
+            let gtid = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut ops = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                ops.push(decode_op(&mut r)?);
+            }
+            Request::ShardPrepare { gtid, ops }
+        }
+        T_SHARD_DECIDE => {
+            let gtid = r.u64()?;
+            let commit = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed("bad bool")),
+            };
+            Request::ShardDecide { gtid, commit }
+        }
+        T_SHARD_STATUS => Request::ShardStatus { gtid: r.u64()? },
+        T_SHARD_IN_DOUBT => Request::ShardInDoubt,
         _ => return Err(FrameError::Malformed("unknown request tag")),
     };
     r.finish()?;
@@ -740,26 +880,7 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
                 txn_latency: get_hist(&mut r)?,
             }))
         }
-        T_OUTCOME => {
-            let outcome = match r.u8()? {
-                OUT_COMMITTED => {
-                    let n = r.u16()? as usize;
-                    let mut reads = Vec::with_capacity(n.min(1024));
-                    for _ in 0..n {
-                        match r.u8()? {
-                            0 => reads.push(None),
-                            1 => reads.push(Some(r.row()?)),
-                            _ => return Err(FrameError::Malformed("bad option tag")),
-                        }
-                    }
-                    SpecOutcome::Committed { reads }
-                }
-                OUT_LOGICAL => SpecOutcome::LogicalFailure,
-                OUT_CONFLICT => SpecOutcome::ConflictFailure,
-                _ => return Err(FrameError::Malformed("unknown outcome tag")),
-            };
-            Response::Outcome(outcome)
-        }
+        T_OUTCOME => Response::Outcome(get_outcome(&mut r)?),
         T_ROW => Response::Row(r.row()?),
         T_OK => Response::Ok,
         T_ERROR => Response::Error(r.string()?),
@@ -786,6 +907,24 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
         T_LOG_CHUNK => Response::LogChunk { start: r.u64()?, bytes: r.bytes()? },
         T_TOKEN => Response::Token { lsn: r.u64()? },
         T_LAGGING => Response::Lagging { applied: r.u64()? },
+        T_SHARD_VOTE => Response::ShardVote { gtid: r.u64()?, outcome: get_outcome(&mut r)? },
+        T_SHARD_DECISION => {
+            let gtid = r.u64()?;
+            let commit = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed("bad bool")),
+            };
+            Response::ShardDecision { gtid, commit }
+        }
+        T_SHARD_GTIDS => {
+            let n = r.u32()? as usize;
+            let mut gtids = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                gtids.push(r.u64()?);
+            }
+            Response::ShardGtids(gtids)
+        }
         _ => return Err(FrameError::Malformed("unknown response tag")),
     };
     r.finish()?;
@@ -836,6 +975,47 @@ mod tests {
         roundtrip_request(Request::ReplSubscribe { from: u64::MAX });
         roundtrip_request(Request::CommitToken);
         roundtrip_request(Request::ReadAt { table: 7, key: 11, min_lsn: 1 << 40 });
+    }
+
+    #[test]
+    fn shard_request_roundtrips() {
+        roundtrip_request(Request::ShardPrepare {
+            gtid: u64::MAX,
+            ops: vec![
+                WorkloadOp::Add { table: 2, key: 3, col: 1, delta: -7 },
+                WorkloadOp::Insert { table: 3, key: 4, row: vec![1, 2, 3] },
+            ],
+        });
+        roundtrip_request(Request::ShardPrepare { gtid: 0, ops: vec![] });
+        roundtrip_request(Request::ShardDecide { gtid: 7, commit: true });
+        roundtrip_request(Request::ShardDecide { gtid: 8, commit: false });
+        roundtrip_request(Request::ShardStatus { gtid: 1 << 50 });
+        roundtrip_request(Request::ShardInDoubt);
+    }
+
+    #[test]
+    fn shard_response_roundtrips() {
+        roundtrip_response(Response::ShardVote {
+            gtid: 42,
+            outcome: SpecOutcome::Committed { reads: vec![None, Some(vec![5, -6])] },
+        });
+        roundtrip_response(Response::ShardVote {
+            gtid: 43,
+            outcome: SpecOutcome::ConflictFailure,
+        });
+        roundtrip_response(Response::ShardDecision { gtid: 9, commit: true });
+        roundtrip_response(Response::ShardDecision { gtid: 10, commit: false });
+        roundtrip_response(Response::ShardGtids(vec![]));
+        roundtrip_response(Response::ShardGtids(vec![1, 2, u64::MAX]));
+    }
+
+    #[test]
+    fn shard_decide_rejects_bad_bool() {
+        let mut buf = Vec::new();
+        encode_request(&Request::ShardDecide { gtid: 1, commit: true }, &mut buf);
+        let last = buf.len() - 1;
+        buf[last] = 2;
+        assert_eq!(decode_request(&buf), Err(FrameError::Malformed("bad bool")));
     }
 
     #[test]

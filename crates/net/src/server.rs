@@ -27,6 +27,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Where a participant server looks up a coordinator's durable verdict for
+/// an in-doubt transaction ([`Request::ShardStatus`]). The closure returns
+/// `Some(commit)` when the coordinator logged a decision and `None` when it
+/// never did — which, under presumed abort, the server reports as an abort.
+#[derive(Clone)]
+pub struct DecisionSource(pub Arc<dyn Fn(u64) -> Option<bool> + Send + Sync>);
+
+impl std::fmt::Debug for DecisionSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DecisionSource(..)")
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -46,6 +59,10 @@ pub struct ServerConfig {
     /// Largest log span per shipped [`Response::LogChunk`]; must leave frame
     /// headroom below [`crate::protocol::MAX_FRAME`].
     pub ship_chunk: usize,
+    /// Participant-side 2PC recovery oracle: answers [`Request::ShardStatus`]
+    /// from the coordinator's decision log. `None` on servers that never act
+    /// as 2PC participants (status queries then return an error).
+    pub decision_source: Option<DecisionSource>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +73,7 @@ impl Default for ServerConfig {
             applied_watermark: None,
             read_at_wait: Duration::from_millis(500),
             ship_chunk: 256 * 1024,
+            decision_source: None,
         }
     }
 }
@@ -392,6 +410,39 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
             Request::ReadAt { table, key, min_lsn } => {
                 read_at(db, shared, *table, *key, *min_lsn)
             }
+            // 2PC phase one: execute the ops, force the Prepare record, and
+            // vote. A yes-vote parks the transaction (locks held) in the
+            // engine's prepared registry until a ShardDecide arrives.
+            Request::ShardPrepare { gtid, ops } => {
+                shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
+                let spec = TxnSpec { kind: "shard", ops: ops.clone(), may_fail: true };
+                let outcome = match db.run_spec_prepare(*gtid, &spec) {
+                    esdb_core::PrepareVote::Commit { reads } => {
+                        esdb_core::spec_exec::SpecOutcome::Committed { reads }
+                    }
+                    esdb_core::PrepareVote::Abort { outcome } => outcome,
+                };
+                Response::ShardVote { gtid: *gtid, outcome }
+            }
+            // 2PC phase two: finish a prepared transaction. Unknown gtids
+            // are acknowledged too — a retried decision must be idempotent.
+            Request::ShardDecide { gtid, commit } => {
+                if db.decide(*gtid, *commit) && *commit {
+                    shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Ok
+            }
+            // Participant recovery asks the coordinator's decision log what
+            // became of an in-doubt gtid; no durable decision means abort
+            // (presumed abort).
+            Request::ShardStatus { gtid } => match &shared.config.decision_source {
+                Some(source) => Response::ShardDecision {
+                    gtid: *gtid,
+                    commit: (source.0)(*gtid).unwrap_or(false),
+                },
+                None => Response::Error("no coordinator decision source configured".into()),
+            },
+            Request::ShardInDoubt => Response::ShardGtids(db.prepared_gtids()),
         };
         responses.push(resp);
     }

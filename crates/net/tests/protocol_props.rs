@@ -98,6 +98,47 @@ fn request_strategy() -> BoxedStrategy<Request> {
         (0u32..64, any::<u64>(), any::<u64>())
             .prop_map(|(table, key, min_lsn)| Request::ReadAt { table, key, min_lsn })
             .boxed(),
+        (any::<u64>(), prop::collection::vec(op_strategy(), 0..6))
+            .prop_map(|(gtid, ops)| Request::ShardPrepare { gtid, ops })
+            .boxed(),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(gtid, commit)| Request::ShardDecide { gtid, commit })
+            .boxed(),
+        any::<u64>().prop_map(|gtid| Request::ShardStatus { gtid }).boxed(),
+        Just(Request::ShardInDoubt).boxed(),
+    ]
+    .boxed()
+}
+
+fn outcome_strategy() -> BoxedStrategy<esdb_core::spec_exec::SpecOutcome> {
+    use esdb_core::spec_exec::SpecOutcome;
+    prop_oneof![
+        prop::collection::vec(
+            prop_oneof![
+                Just(None).boxed(),
+                row_strategy().prop_map(Some).boxed(),
+            ]
+            .boxed(),
+            0..5,
+        )
+        .prop_map(|reads| SpecOutcome::Committed { reads })
+        .boxed(),
+        Just(SpecOutcome::LogicalFailure).boxed(),
+        Just(SpecOutcome::ConflictFailure).boxed(),
+    ]
+    .boxed()
+}
+
+/// The 2PC response frames: votes, decisions, and in-doubt sets.
+fn shard_response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (any::<u64>(), outcome_strategy())
+            .prop_map(|(gtid, outcome)| Response::ShardVote { gtid, outcome })
+            .boxed(),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(gtid, commit)| Response::ShardDecision { gtid, commit })
+            .boxed(),
+        prop::collection::vec(any::<u64>(), 0..8).prop_map(Response::ShardGtids).boxed(),
     ]
     .boxed()
 }
@@ -256,6 +297,47 @@ proptest! {
         // Flip one bit past the length prefix: the decoder must stay total —
         // typed error, incomplete, or a (different) decoded frame, but never
         // a panic and never an over-read.
+        let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
+        if i < buf.len() {
+            buf[i] ^= 1 << bit;
+        }
+        if let Ok(Some((_, used))) = decode_response(&buf) {
+            prop_assert!(used <= buf.len());
+        }
+    }
+
+    #[test]
+    fn shard_responses_roundtrip(resp in shard_response_strategy()) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (decoded, consumed) = decode_response(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, resp);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncated_shard_responses_report_incomplete(
+        resp in shard_response_strategy(),
+        cut in 0usize..10_000,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let cut = cut % buf.len();
+        // A coordinator reading a half-arrived vote must see "incomplete",
+        // never a malformed-frame error — it would abort a healthy txn.
+        prop_assert_eq!(decode_response(&buf[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn bit_flipped_shard_frames_never_panic(
+        resp in shard_response_strategy(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        // A corrupted vote or decision must decode to a typed error or a
+        // different frame — never a panic, never an over-read.
         let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
         if i < buf.len() {
             buf[i] ^= 1 << bit;

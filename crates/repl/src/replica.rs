@@ -237,6 +237,14 @@ impl Replica {
             let r = &self.pending[idx];
             match &r.body {
                 LogBody::Begin | LogBody::Checkpoint { .. } => {}
+                // 2PC bookkeeping carries no page effects. A Prepare is
+                // deliberately *not* a terminator: data records of an
+                // in-doubt transaction keep stalling the frontier below
+                // until the participant's Commit/Abort lands, so follower
+                // reads never observe a half-decided cross-shard txn.
+                LogBody::Prepare { .. }
+                | LogBody::Decide { .. }
+                | LogBody::GtidWatermark { .. } => {}
                 // The terminator is a transaction's last record, so its
                 // outcome entry is no longer needed once consumed.
                 LogBody::Commit | LogBody::Abort => {

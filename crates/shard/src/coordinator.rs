@@ -1,0 +1,188 @@
+//! The coordinator's durable state: gtid allocation and commit decisions.
+//!
+//! Presumed abort dictates exactly what must hit the log device:
+//!
+//! * **Commit decisions are forced.** Once any participant may learn
+//!   "commit", the verdict must survive a coordinator crash — a recovered
+//!   coordinator that forgot it would wrongly presume abort while a
+//!   participant already committed.
+//! * **Abort decisions are appended but never awaited.** Losing one is
+//!   harmless: no decision *means* abort.
+//! * **Gtid watermarks are forced ahead of use.** Gtids are handed out in
+//!   batches of [`GTID_BATCH`]; the watermark for a batch is durable before
+//!   the first gtid of the batch is issued, so a recovered coordinator can
+//!   never re-issue a gtid that participants may have prepared under.
+
+use esdb_wal::{LogBody, LogPolicy, Wal, NULL_LSN};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Gtids issued per durable watermark record.
+pub const GTID_BATCH: u64 = 1024;
+
+struct CoordState {
+    /// Next gtid to hand out.
+    next: u64,
+    /// Gtids below this bound are covered by a durable watermark.
+    durable_bound: u64,
+    /// Verdicts reached this incarnation plus those recovered from the log.
+    decisions: HashMap<u64, bool>,
+}
+
+/// The coordinator's write-ahead decision log.
+pub struct DecisionLog {
+    wal: Arc<Wal>,
+    state: Mutex<CoordState>,
+}
+
+impl Default for DecisionLog {
+    fn default() -> Self {
+        DecisionLog::new()
+    }
+}
+
+impl DecisionLog {
+    /// A fresh coordinator with an empty log.
+    pub fn new() -> Self {
+        DecisionLog {
+            wal: Arc::new(Wal::new(LogPolicy::Serial, None)),
+            state: Mutex::new(CoordState {
+                next: 0,
+                durable_bound: 0,
+                decisions: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Issues a globally unique transaction id. The covering watermark is
+    /// durable before this returns, so no gtid is ever issued twice across
+    /// coordinator incarnations.
+    pub fn allocate(&self) -> u64 {
+        let mut s = self.state.lock();
+        let gtid = s.next;
+        s.next += 1;
+        if gtid >= s.durable_bound {
+            let bound = gtid + GTID_BATCH;
+            let r = self.wal.append(0, NULL_LSN, &LogBody::GtidWatermark { next: bound });
+            self.wal.wait_durable(r.end);
+            s.durable_bound = bound;
+        }
+        gtid
+    }
+
+    /// Records the verdict for `gtid`. Commit verdicts are forced to the
+    /// log before this returns; abort verdicts are fire-and-forget.
+    pub fn decide(&self, gtid: u64, commit: bool) {
+        let mut s = self.state.lock();
+        s.decisions.insert(gtid, commit);
+        let r = self.wal.append(0, NULL_LSN, &LogBody::Decide { gtid, commit });
+        drop(s);
+        if commit {
+            self.wal.wait_durable(r.end);
+        }
+    }
+
+    /// The verdict for `gtid`, if one was reached (and, after a crash, was
+    /// durable). `None` for an unknown gtid.
+    pub fn decision(&self, gtid: u64) -> Option<bool> {
+        self.state.lock().decisions.get(&gtid).copied()
+    }
+
+    /// The verdict a participant must apply to an in-doubt `gtid`: the
+    /// durable decision, or abort when there is none — presumed abort.
+    pub fn resolve(&self, gtid: u64) -> bool {
+        self.decision(gtid).unwrap_or(false)
+    }
+
+    /// Simulates a coordinator crash: a new incarnation built from this
+    /// log's *durable* prefix only. Unforced abort verdicts vanish (and
+    /// resolve as abort anyway); forced commit verdicts and gtid watermarks
+    /// survive.
+    pub fn recover(&self) -> DecisionLog {
+        let records = self.wal.durable_records();
+        let mut decisions = HashMap::new();
+        let mut bound = 0u64;
+        for r in &records {
+            match r.body {
+                LogBody::Decide { gtid, commit } => {
+                    decisions.insert(gtid, commit);
+                }
+                LogBody::GtidWatermark { next } => bound = bound.max(next),
+                _ => {}
+            }
+        }
+        DecisionLog {
+            // The fresh incarnation resumes the LSN stream past everything
+            // the dead one may have handed to the device.
+            wal: Arc::new(Wal::new_at(
+                self.wal.durable_lsn() + (1 << 24),
+                LogPolicy::Serial,
+                None,
+            )),
+            state: Mutex::new(CoordState {
+                // Skip the whole covered batch: some of it may be in use.
+                next: bound,
+                durable_bound: bound,
+                decisions,
+            }),
+        }
+    }
+
+    /// A [`esdb_net::DecisionSource`] backed by this log, for participant
+    /// servers answering `ShardStatus` queries.
+    pub fn decision_source(self: &Arc<Self>) -> esdb_net::DecisionSource {
+        let log = Arc::clone(self);
+        esdb_net::DecisionSource(Arc::new(move |gtid| log.decision(gtid)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtids_are_unique_across_crashes() {
+        let log = DecisionLog::new();
+        let mut issued = Vec::new();
+        for _ in 0..5 {
+            issued.push(log.allocate());
+        }
+        let recovered = log.recover();
+        let next = recovered.allocate();
+        assert!(
+            !issued.contains(&next),
+            "gtid {next} re-issued after crash (already issued: {issued:?})"
+        );
+        assert!(next >= GTID_BATCH, "recovered allocator must skip the covered batch");
+    }
+
+    #[test]
+    fn commit_decisions_survive_a_crash_aborts_may_not() {
+        let log = DecisionLog::new();
+        let a = log.allocate();
+        let b = log.allocate();
+        let c = log.allocate();
+        log.decide(a, true);
+        log.decide(b, false);
+        let recovered = log.recover();
+        assert_eq!(recovered.decision(a), Some(true), "forced commit verdict lost");
+        assert!(recovered.resolve(a));
+        // The abort verdict may or may not have reached the device; either
+        // way the participant-visible resolution is abort.
+        assert!(!recovered.resolve(b));
+        // Never decided: presumed abort.
+        assert_eq!(recovered.decision(c), None);
+        assert!(!recovered.resolve(c));
+    }
+
+    #[test]
+    fn watermark_batches_amortize_flushes() {
+        let log = DecisionLog::new();
+        for _ in 0..100 {
+            log.allocate();
+        }
+        // 100 allocations within one batch cost exactly one watermark flush.
+        assert_eq!(log.wal.flush_count(), 1);
+    }
+}

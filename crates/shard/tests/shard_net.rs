@@ -1,0 +1,119 @@
+//! Loopback cluster smoke: two shard servers behind the wire protocol, a
+//! router running mixed single/cross-shard TPC-B, a coordinator crash in
+//! the in-doubt window, and resolution over the wire.
+
+use esdb_core::{Database, EngineConfig};
+use esdb_net::{Client, Server, ServerConfig};
+use esdb_shard::{
+    load_shard_population, CrashPoint, DecisionLog, NetShard, ShardBackend, ShardRouter,
+    ShardedTpcb,
+};
+use esdb_workload::{tpcb, TxnSpec, Workload};
+use std::sync::Arc;
+
+const SHARDS: usize = 2;
+const BRANCHES: u64 = 4;
+const ACCOUNTS_PER_BRANCH: u64 = 200;
+
+fn connect_shards(servers: &[Server]) -> Vec<Box<dyn ShardBackend>> {
+    servers
+        .iter()
+        .map(|s| {
+            Box::new(NetShard(Client::connect(s.local_addr()).unwrap())) as Box<dyn ShardBackend>
+        })
+        .collect()
+}
+
+#[test]
+fn loopback_cluster_runs_2pc_crashes_the_coordinator_and_recovers() {
+    let w = ShardedTpcb::new(BRANCHES, ACCOUNTS_PER_BRANCH, 30, SHARDS, 5);
+    let part = w.partitioner();
+    let coord = Arc::new(DecisionLog::new());
+    let config = EngineConfig { buffer_frames: 512, ..EngineConfig::default() };
+    let mut dbs = Vec::new();
+    let mut servers = Vec::new();
+    for idx in 0..SHARDS {
+        let db = Arc::new(Database::open(config.clone()));
+        load_shard_population(&db, &w, &part, idx, SHARDS).unwrap();
+        let server = Server::start(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            ServerConfig {
+                decision_source: Some(coord.decision_source()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        dbs.push(db);
+        servers.push(server);
+    }
+
+    // Mixed burst: ~30% of transactions straddle both shards and pay 2PC.
+    let mut gen = ShardedTpcb::new(BRANCHES, ACCOUNTS_PER_BRANCH, 30, SHARDS, 6);
+    let mut router =
+        ShardRouter::new(connect_shards(&servers), Arc::new(part), Arc::clone(&coord)).unwrap();
+    let mut cross = 0;
+    for _ in 0..200 {
+        let spec = gen.next_txn();
+        if spec.kind == "CrossShard" {
+            cross += 1;
+        }
+        assert!(router.execute(&spec).unwrap().is_committed(), "burst txn failed");
+    }
+    assert!(cross > 20, "30% cross ratio produced only {cross} cross-shard txns");
+    let stats = router.stats();
+    assert_eq!(stats.cross_shard, cross);
+    assert_eq!(stats.cross_commits, cross);
+    assert_eq!(stats.single_shard, 200 - cross);
+
+    // Abandon one cross-shard transaction in its in-doubt window and crash
+    // the coordinator.
+    let victim: TxnSpec = loop {
+        let spec = gen.next_txn();
+        if spec.kind == "CrossShard" {
+            break spec;
+        }
+    };
+    let trace = router.execute_crashing(&victim, CrashPoint::AfterPrepare).unwrap();
+    assert_eq!(trace.prepared.len(), 2, "victim must prepare on both shards");
+    assert!(trace.decision.is_none());
+    let coord = Arc::new(coord.recover());
+
+    // Resolution over the wire: each shard reports its in-doubt set, the
+    // recovered coordinator's verdict (presumed abort — no decision was
+    // logged) is delivered as a decide frame.
+    for server in &servers {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let gtids = client.shard_in_doubt().unwrap();
+        assert_eq!(gtids, vec![trace.gtid]);
+        // The server-side decision source answers status queries with the
+        // same verdict the resolver is about to apply.
+        assert!(!client.shard_status(trace.gtid).unwrap());
+        for gtid in gtids {
+            client.shard_decide(gtid, coord.resolve(gtid)).unwrap();
+        }
+        assert!(client.shard_in_doubt().unwrap().is_empty());
+    }
+
+    // The cluster keeps serving: fresh router, recovered coordinator.
+    drop(router);
+    let mut router =
+        ShardRouter::new(connect_shards(&servers), Arc::new(part), Arc::clone(&coord)).unwrap();
+    for _ in 0..50 {
+        assert!(router.execute(&gen.next_txn()).unwrap().is_committed());
+    }
+    drop(router);
+
+    // Conservation summed across both shards, read straight off the engines.
+    let sum = |table: u32, col: usize| -> i64 {
+        let mut total = 0;
+        for db in &dbs {
+            db.table(table).unwrap().scan(|_, row| total += row[col]).unwrap();
+        }
+        total
+    };
+    let b = sum(tpcb::BRANCHES, 0);
+    assert_eq!(sum(tpcb::ACCOUNTS, 1), b, "accounts out of conservation");
+    assert_eq!(sum(tpcb::TELLERS, 1), b, "tellers out of conservation");
+    assert_eq!(sum(tpcb::HISTORY, 2), b, "history out of conservation");
+}

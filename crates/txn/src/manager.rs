@@ -374,6 +374,24 @@ impl Txn {
         Some(range.end)
     }
 
+    /// Two-phase-commit participant vote: durably logs `Prepare { gtid }`
+    /// and returns a [`PreparedTxn`] that keeps every lock, the undo chain,
+    /// and the active-set entry (the fuzzy checkpoint's redo floor must
+    /// keep covering this transaction until its decision lands). From here
+    /// on the transaction may only finish via the coordinator's decision —
+    /// [`PreparedTxn::commit_decided`] or [`PreparedTxn::abort_decided`].
+    ///
+    /// Read-only transactions log nothing (there is nothing to redo or
+    /// undo) but still hold their locks until decided.
+    pub fn prepare(mut self, gtid: u64) -> PreparedTxn {
+        if self.last_lsn != NULL_LSN {
+            let r = self.mgr.wal.append(self.id, self.last_lsn, &LogBody::Prepare { gtid });
+            self.last_lsn = r.start;
+            self.mgr.wal.wait_durable(r.end);
+        }
+        PreparedTxn { txn: self, gtid }
+    }
+
     /// Aborts: replays the undo chain (logging compensations), writes the
     /// abort record, releases locks.
     pub fn abort(mut self) {
@@ -442,6 +460,42 @@ impl Drop for Txn {
         if !self.finished {
             self.rollback();
         }
+    }
+}
+
+/// A transaction that voted yes in two-phase commit: its `Prepare` record
+/// is durable and it still holds every lock. It cannot abort unilaterally —
+/// only the coordinator's decision finishes it. Dropping the handle without
+/// a decision rolls back, which is exactly presumed abort: a process that
+/// loses its coordinator link before the decision behaves as if the answer
+/// was no. (A *crash* leaves the durable `Prepare` in place instead, and
+/// recovery re-raises the transaction as in-doubt.)
+pub struct PreparedTxn {
+    txn: Txn,
+    gtid: u64,
+}
+
+impl PreparedTxn {
+    /// The global transaction id this participant is prepared under.
+    pub fn gtid(&self) -> u64 {
+        self.gtid
+    }
+
+    /// The local transaction id.
+    pub fn txn_id(&self) -> u64 {
+        self.txn.id
+    }
+
+    /// Applies the coordinator's commit decision: logs the commit record
+    /// and releases locks via the ordinary commit path.
+    pub fn commit_decided(self) {
+        self.txn.commit();
+    }
+
+    /// Applies the coordinator's abort decision: replays the undo chain and
+    /// releases locks — exactly once; the undo list is consumed.
+    pub fn abort_decided(self) {
+        self.txn.abort();
     }
 }
 
@@ -677,6 +731,98 @@ mod tests {
         assert_eq!(oks, 2, "retries must resolve the deadlock");
         assert_eq!(table.get(1).unwrap()[0], 2);
         assert_eq!(table.get(2).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn prepare_logs_durably_and_retains_locks_until_decided() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[10, 0])).unwrap();
+
+        let mut t = mgr.begin();
+        t.update(1, 1, &[11, 0]).unwrap();
+        let prepared = t.prepare(42);
+        assert_eq!(prepared.gtid(), 42);
+
+        // The Prepare record is durable before the vote returns.
+        assert!(mgr
+            .wal()
+            .durable_records()
+            .iter()
+            .any(|r| matches!(r.body, LogBody::Prepare { gtid: 42 })));
+
+        // The X lock outlives the vote: a rival write must time out.
+        let mut rival = mgr.begin();
+        match rival.update(1, 1, &[99, 0]) {
+            Err(TxnError::Lock(_)) => {}
+            other => panic!("prepared lock must still be held, got {other:?}"),
+        }
+        rival.abort();
+
+        // The active-set entry survives too, pinning the checkpoint floor.
+        assert!(mgr.checkpoint_redo_floor() < mgr.wal().current_lsn());
+
+        prepared.commit_decided();
+        assert_eq!(table.get(1).unwrap(), vec![11, 0]);
+        assert_eq!(mgr.stats().commits, 2, "population insert + decided commit");
+        // Lock released by the decision: a fresh writer gets through.
+        mgr.run(0, |t| t.update(1, 1, &[12, 0]).map(|_| ())).unwrap();
+        // Floor back to end-of-log once nothing is active.
+        assert_eq!(mgr.checkpoint_redo_floor(), mgr.wal().current_lsn());
+    }
+
+    #[test]
+    fn abort_decision_rolls_back_exactly_once() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[10, 0])).unwrap();
+
+        let mut t = mgr.begin();
+        t.update(1, 1, &[11, 0]).unwrap();
+        t.insert(1, 2, &[20, 0]).unwrap();
+        let prepared = t.prepare(7);
+        prepared.abort_decided();
+
+        assert_eq!(table.get(1).unwrap(), vec![10, 0], "update undone");
+        assert!(table.get(2).is_err(), "insert undone");
+        assert_eq!(mgr.stats().aborts, 1, "one abort, not two");
+        // Locks fully released; both keys writable again.
+        mgr.run(0, |t| {
+            t.update(1, 1, &[1, 1])?;
+            t.insert(1, 2, &[2, 2])
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn readonly_prepare_logs_nothing_but_holds_locks() {
+        let (mgr, _table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[10, 0])).unwrap();
+        let before = mgr.wal().current_lsn();
+
+        let mut t = mgr.begin();
+        t.read(1, 1).unwrap();
+        let prepared = t.prepare(9);
+        assert_eq!(mgr.wal().current_lsn(), before, "no Prepare for read-only");
+
+        let mut rival = mgr.begin();
+        assert!(matches!(rival.update(1, 1, &[0, 0]), Err(TxnError::Lock(_))));
+        rival.abort();
+
+        prepared.commit_decided();
+        mgr.run(0, |t| t.update(1, 1, &[5, 5]).map(|_| ())).unwrap();
+    }
+
+    #[test]
+    fn dropped_prepared_handle_presumes_abort() {
+        let (mgr, table) = setup(false);
+        mgr.run(0, |t| t.insert(1, 1, &[10, 0])).unwrap();
+        {
+            let mut t = mgr.begin();
+            t.update(1, 1, &[77, 0]).unwrap();
+            let _prepared = t.prepare(3);
+            // dropped without a decision
+        }
+        assert_eq!(table.get(1).unwrap(), vec![10, 0]);
+        assert_eq!(mgr.stats().aborts, 1);
     }
 
     #[test]

@@ -157,6 +157,32 @@ pub enum LogBody {
         /// Earliest LSN recovery still needs.
         redo_lsn: Lsn,
     },
+    /// Two-phase-commit participant vote: the transaction's effects are
+    /// fully logged before this record and its locks stay held. From here
+    /// on the transaction is *in doubt* — it may no longer abort
+    /// unilaterally; only the coordinator's decision for `gtid` finishes it.
+    Prepare {
+        /// Global transaction id assigned by the coordinator.
+        gtid: u64,
+    },
+    /// Coordinator-side decision record for global transaction `gtid`.
+    /// Commit decisions are flushed before any participant commits (the
+    /// global commit point); abort decisions may ride later flushes because
+    /// recovery presumes abort for any gtid without a durable decision.
+    Decide {
+        /// Global transaction id.
+        gtid: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+    /// Coordinator gtid-allocator watermark: every gtid below `next` has
+    /// either been decided or will never commit. Logged once per allocation
+    /// batch so a recovered coordinator resumes past the bound and never
+    /// reuses a gtid a participant may still hold prepared state for.
+    GtidWatermark {
+        /// First gtid the recovered allocator may hand out.
+        next: u64,
+    },
 }
 
 impl LogBody {
@@ -169,6 +195,9 @@ impl LogBody {
             LogBody::Commit => 4,
             LogBody::Abort => 5,
             LogBody::Checkpoint { .. } => 6,
+            LogBody::Prepare { .. } => 7,
+            LogBody::Decide { .. } => 8,
+            LogBody::GtidWatermark { .. } => 9,
         }
     }
 }
@@ -217,6 +246,16 @@ pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
         LogBody::Begin | LogBody::Commit | LogBody::Abort => {}
         LogBody::Checkpoint { redo_lsn } => {
             out.put_u64_le(*redo_lsn);
+        }
+        LogBody::Prepare { gtid } => {
+            out.put_u64_le(*gtid);
+        }
+        LogBody::Decide { gtid, commit } => {
+            out.put_u64_le(*gtid);
+            out.put_u8(u8::from(*commit));
+        }
+        LogBody::GtidWatermark { next } => {
+            out.put_u64_le(*next);
         }
         LogBody::Insert { table, key, rid, row } => {
             out.put_u32_le(*table);
@@ -350,6 +389,19 @@ fn decode_payload(r: &mut Reader<'_>) -> Option<(u64, Lsn, Option<LogBody>)> {
         6 => {
             let redo_lsn = r.u64_le()?;
             LogBody::Checkpoint { redo_lsn }
+        }
+        7 => {
+            let gtid = r.u64_le()?;
+            LogBody::Prepare { gtid }
+        }
+        8 => {
+            let gtid = r.u64_le()?;
+            let commit = r.u8()? != 0;
+            LogBody::Decide { gtid, commit }
+        }
+        9 => {
+            let next = r.u64_le()?;
+            LogBody::GtidWatermark { next }
         }
         _ => return Some((txn_id, prev_lsn, None)), // unknown tag
     };
@@ -500,6 +552,10 @@ mod tests {
             (1, 160, LogBody::Commit),
             (2, 140, LogBody::Abort),
             (0, NULL_LSN, LogBody::Checkpoint { redo_lsn: 512 }),
+            (3, 180, LogBody::Prepare { gtid: u64::MAX }),
+            (0, NULL_LSN, LogBody::Decide { gtid: 7, commit: true }),
+            (0, NULL_LSN, LogBody::Decide { gtid: 8, commit: false }),
+            (0, NULL_LSN, LogBody::GtidWatermark { next: 1024 }),
         ]);
     }
 

@@ -7,11 +7,16 @@
 //! 1. **Analysis** — scan the durable log once; transactions with a `Commit`
 //!    record are winners, transactions with an `Abort` already rolled back
 //!    (their undo is reflected in the log's update chain replay), and
-//!    everything else is a loser.
+//!    everything else is a loser — except transactions whose last vote
+//!    record is a durable `Prepare`: those are *in doubt* and belong to the
+//!    two-phase-commit coordinator, not to local recovery.
 //! 2. **Redo** — replay *every* update in LSN order, using page LSNs to skip
 //!    changes already on disk (repeating history, including losers).
 //! 3. **Undo** — roll back loser transactions in reverse LSN order using the
-//!    before-images in their records.
+//!    before-images in their records. In-doubt transactions are *not*
+//!    undone: their locks are conceptually still held and their fate is
+//!    decided post-recovery by [`undo_txn`] (coordinator said abort) or by
+//!    keeping the redone state (coordinator said commit).
 //! 4. **Index rebuild** — primary indexes are reconstructed from heap scans.
 //!
 //! Simplification vs full ARIES: no compensation log records are written
@@ -35,6 +40,11 @@ pub struct RecoveryReport {
     pub aborted: HashSet<u64>,
     /// In-flight transactions rolled back by recovery.
     pub losers: HashSet<u64>,
+    /// Prepared-but-undecided transactions (txn id → gtid): redone like
+    /// winners, undone by nobody. Resolution happens after recovery, once
+    /// the coordinator's decision for the gtid is known (presumed abort if
+    /// the coordinator has no durable commit decision).
+    pub in_doubt: HashMap<u64, u64>,
     /// Redo actions applied (not skipped by the page-LSN check).
     pub redo_applied: usize,
     /// Redo actions skipped because the page already reflected them.
@@ -54,16 +64,25 @@ pub fn analyze(records: &[LogRecord]) -> RecoveryReport {
         match r.body {
             LogBody::Commit => {
                 report.winners.insert(r.txn_id);
+                report.in_doubt.remove(&r.txn_id);
             }
             LogBody::Abort => {
                 report.aborted.insert(r.txn_id);
+                report.in_doubt.remove(&r.txn_id);
+            }
+            LogBody::Prepare { gtid } => {
+                report.in_doubt.insert(r.txn_id, gtid);
             }
             _ => {}
         }
     }
     report.losers = seen
         .iter()
-        .filter(|t| !report.winners.contains(t) && !report.aborted.contains(t))
+        .filter(|t| {
+            !report.winners.contains(t)
+                && !report.aborted.contains(t)
+                && !report.in_doubt.contains_key(t)
+        })
         .copied()
         .collect();
     report
@@ -234,6 +253,53 @@ pub fn recover(
     Ok(report)
 }
 
+/// Rolls back one transaction's logged effects in reverse order using its
+/// before-images, stamping fresh LSNs from `undo_lsn` upward and keeping
+/// the primary index in step with every heap change. Returns the number of
+/// undo actions applied.
+///
+/// This is the post-recovery resolution path for an in-doubt (prepared)
+/// transaction whose coordinator decided — or is presumed to have decided —
+/// abort. `undo_lsn` must exceed every LSN recovery itself stamped, so
+/// page-LSN ordering stays monotone; callers pass the recovered WAL's
+/// current LSN, which restarts far past the pre-crash stream.
+pub fn undo_txn(
+    records: &[LogRecord],
+    tables: &HashMap<TableId, Arc<Table>>,
+    txn_id: u64,
+    mut undo_lsn: Lsn,
+) -> Result<usize, StorageError> {
+    let mut applied = 0usize;
+    for r in records.iter().rev() {
+        if r.txn_id != txn_id {
+            continue;
+        }
+        undo_lsn += 1;
+        match &r.body {
+            LogBody::Insert { table, rid, key, .. } => {
+                let Some(t) = tables.get(table) else { continue };
+                let _ = t.heap().delete(*rid, undo_lsn);
+                t.index().remove(*key);
+                applied += 1;
+            }
+            LogBody::Update { table, rid, before, key, .. } => {
+                let Some(t) = tables.get(table) else { continue };
+                let _ = t.heap().update(*rid, &encode_row(*key, before), undo_lsn);
+                t.index().insert(*key, rid.to_u64());
+                applied += 1;
+            }
+            LogBody::Delete { table, rid, before, key } => {
+                let Some(t) = tables.get(table) else { continue };
+                let _ = t.heap().insert_at(*rid, &encode_row(*key, before), undo_lsn);
+                t.index().insert(*key, rid.to_u64());
+                applied += 1;
+            }
+            _ => {}
+        }
+    }
+    Ok(applied)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +433,63 @@ mod tests {
         assert!(report.winners.contains(&1));
         assert!(report.aborted.contains(&2));
         assert!(report.losers.contains(&3));
+        assert!(report.in_doubt.is_empty());
+    }
+
+    #[test]
+    fn analyze_marks_prepared_txns_in_doubt_until_decided() {
+        let wal = Wal::new(LogPolicy::Serial, None);
+        // txn 1: prepared, never decided → in doubt.
+        let b1 = wal.append(1, NULL_LSN, &LogBody::Begin);
+        wal.append(1, b1.start, &LogBody::Prepare { gtid: 77 });
+        // txn 2: prepared, then committed → plain winner.
+        let b2 = wal.append(2, NULL_LSN, &LogBody::Begin);
+        let p2 = wal.append(2, b2.start, &LogBody::Prepare { gtid: 78 });
+        wal.commit(2, p2.start);
+        // txn 3: prepared, then aborted (coordinator said no) → aborted.
+        let b3 = wal.append(3, NULL_LSN, &LogBody::Begin);
+        let p3 = wal.append(3, b3.start, &LogBody::Prepare { gtid: 79 });
+        wal.append(3, p3.start, &LogBody::Abort);
+
+        let report = analyze(&wal.records());
+        assert_eq!(report.in_doubt.get(&1), Some(&77));
+        assert!(report.winners.contains(&2) && !report.in_doubt.contains_key(&2));
+        assert!(report.aborted.contains(&3) && !report.in_doubt.contains_key(&3));
+        assert!(report.losers.is_empty(), "in-doubt is not a loser: {report:?}");
+    }
+
+    #[test]
+    fn in_doubt_txn_is_redone_but_not_undone() {
+        let h = Harness::new();
+        // Committed base row, then a prepared update+insert with no decision.
+        let b = h.wal.append(1, NULL_LSN, &LogBody::Begin);
+        let rid = h.table.insert_logged(5, &[50], b.end).unwrap();
+        let i = h.wal.append(1, b.start, &LogBody::Insert { table: 1, key: 5, rid, row: vec![50] });
+        h.wal.commit(1, i.start);
+
+        let b2 = h.wal.append(2, NULL_LSN, &LogBody::Begin);
+        let before = h.table.update_logged(5, &[51], b2.end).unwrap();
+        let u = h.wal.append(2, b2.start, &LogBody::Update { table: 1, key: 5, rid, before, after: vec![51] });
+        let rid9 = h.table.insert_logged(9, &[90], u.end).unwrap();
+        let i9 = h.wal.append(2, u.start, &LogBody::Insert { table: 1, key: 9, rid: rid9, row: vec![90] });
+        let p = h.wal.append(2, i9.start, &LogBody::Prepare { gtid: 42 });
+        h.wal.wait_durable(p.end);
+
+        let (table, report) = h.crash_and_recover(false);
+        assert_eq!(report.in_doubt.get(&2), Some(&42));
+        assert!(report.losers.is_empty());
+        assert_eq!(report.undo_applied, 0, "{report:?}");
+        // Prepared effects survive recovery (awaiting the decision).
+        assert_eq!(table.get(5).unwrap(), vec![51]);
+        assert_eq!(table.get(9).unwrap(), vec![90]);
+
+        // Coordinator answer: abort → undo_txn rolls the txn back exactly.
+        let mut tables = HashMap::new();
+        tables.insert(1u32, table.clone());
+        let n = undo_txn(&h.wal.durable_records(), &tables, 2, 10_000_000).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(table.get(5).unwrap(), vec![50], "update restored");
+        assert!(table.get(9).is_err(), "insert removed");
+        assert_eq!(table.len(), 1);
     }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the headline benchmark tables at CI-smoke sizes and writes their
+# machine-readable BENCH_<name>.json results into the given directory
+# (default bench_out). Two callers:
+#
+#   scripts/ci.sh            — writes to bench_out/, then gates the fresh
+#                              numbers against the committed snapshots with
+#                              bench_regress;
+#   scripts/bench_tables.sh . — refreshes the committed snapshots at the
+#                              repo root (run on the CI box, then commit).
+#
+# Knob values here are the single source of truth: fresh runs and committed
+# snapshots must be generated with identical sizes or the diff is noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-bench_out}"
+mkdir -p "$out"
+
+echo "== bench: tab3_server (TATP in-process vs wire) =="
+TAB3_CONNS=2 TAB3_TXNS=4000 TAB3_SUBSCRIBERS=2000 TAB3_REPS=3 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab3_server
+
+echo "== bench: tab_repl (read offload onto one replica) =="
+TABR_READERS=2 TABR_READS=4000 TABR_WRITES=500 TABR_REPLICAS=0,1 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab_repl
+
+echo "== bench: tab_shard (sharded TPC-B, 1/2/4 shards x 0/10/50% cross) =="
+ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab_shard
