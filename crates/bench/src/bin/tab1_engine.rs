@@ -5,21 +5,60 @@
 //! {ELR off, on}. On a single-core host this measures per-transaction
 //! overhead and contention cost, not parallel speedup — the speedup figures
 //! are fig1/fig2/fig7 on the simulator.
+//!
+//! Emits `BENCH_tab1.json` (one `engine_tps` record per workload × config
+//! cell) for the perf-trajectory snapshots. The metric is deliberately not
+//! in the default `bench_regress` gate set: on a preempted single-vCPU host
+//! the consolidation-array cells are bimodal (group formation convoys when
+//! a mid-copy thread loses its timeslice, 3-5× swings that survive
+//! best-of-N), so the numbers are recorded for trajectory and gated only on
+//! hosts with real cores. Env knobs: TAB1_TXNS (per thread), TAB1_REPS
+//! (best-of-N per cell).
 
+use esdb_bench::json::{write_bench_json, BenchRecord};
 use esdb_bench::{header, row};
 use esdb_core::config::LogChoice;
 use esdb_core::{Database, EngineConfig, ExecutionModel};
 use esdb_workload::{Tatp, Tpcb, Workload};
 use std::sync::Arc;
 
-fn run(cfg: EngineConfig, workload: &mut dyn Workload, threads: usize, txns: u64) -> Vec<String> {
+fn run(
+    cfg: EngineConfig,
+    make: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    txns: u64,
+    reps: usize,
+    records: &mut Vec<BenchRecord>,
+) -> Vec<String> {
     let label = cfg.label();
-    let db = Arc::new(Database::open(cfg));
-    db.load_population(workload).expect("population load");
-    let report = db.run_workload(workload, threads, txns);
-    assert_eq!(report.failed, 0, "[{label}] unexpected failures: {report}");
+    // Best-of-N with a fresh database and workload stream per rep: every rep
+    // executes the identical request sequence, so the max is the run least
+    // perturbed by scheduler noise, not a luckier workload.
+    let mut best = None;
+    let mut name = String::new();
+    for _ in 0..reps.max(1) {
+        let mut workload = make();
+        name = workload.name().to_string();
+        let db = Arc::new(Database::open(cfg.clone()));
+        db.load_population(workload.as_mut()).expect("population load");
+        let report = db.run_workload(workload.as_mut(), threads, txns);
+        assert_eq!(report.failed, 0, "[{label}] unexpected failures: {report}");
+        if best
+            .as_ref()
+            .map_or(true, |b: &esdb_core::WorkloadReport| report.throughput() > b.throughput())
+        {
+            best = Some(report);
+        }
+    }
+    let report = best.expect("at least one rep");
+    records.push(BenchRecord {
+        config: format!("{name} {label}"),
+        metric: "engine_tps".into(),
+        value: report.throughput(),
+        seed: 42,
+    });
     vec![
-        workload.name().to_string(),
+        name,
         label,
         format!("{}", report.committed),
         format!("{}", report.expected_failures),
@@ -28,9 +67,15 @@ fn run(cfg: EngineConfig, workload: &mut dyn Workload, threads: usize, txns: u64
 }
 
 fn main() {
+    let txns: u64 = std::env::var("TAB1_TXNS")
+        .map(|s| s.parse().expect("TAB1_TXNS: integer"))
+        .unwrap_or(5_000);
+    let reps: usize = std::env::var("TAB1_REPS")
+        .map(|s| s.parse().expect("TAB1_REPS: integer"))
+        .unwrap_or(3);
     header(
         "tab1",
-        "native engine matrix: 4 threads, 5k txns/thread (committed tps)",
+        &format!("native engine matrix: 4 threads, {txns} txns/thread (committed tps)"),
         &["workload", "config", "committed", "expected_fail", "tps"],
     );
     let mut configs = Vec::new();
@@ -49,13 +94,18 @@ fn main() {
             }
         }
     }
+    let mut records = Vec::new();
     for cfg in &configs {
-        row(&run(cfg.clone(), &mut Tatp::new(10_000, 42), 4, 5_000));
+        let make = || Box::new(Tatp::new(10_000, 42)) as Box<dyn Workload>;
+        row(&run(cfg.clone(), &make, 4, txns, reps, &mut records));
     }
     println!();
     for cfg in &configs {
-        row(&run(cfg.clone(), &mut Tpcb::new(4, 42), 4, 5_000));
+        let make = || Box::new(Tpcb::new(4, 42)) as Box<dyn Workload>;
+        row(&run(cfg.clone(), &make, 4, txns, reps, &mut records));
     }
+    let path = write_bench_json("tab1", &records).expect("write BENCH_tab1.json");
+    println!("\nwrote {}", path.display());
     println!(
         "\nreading guide: identical request streams per workload; differences are\n\
          pure engine overhead. Consolidated logging should not lose to serial;\n\

@@ -1,0 +1,262 @@
+//! Distributed-history oracle for replication failover.
+//!
+//! The concurrency checker's serializability oracle judges interleavings
+//! inside one engine; this module judges *histories across a replica set*
+//! under crashes, partitions, and promotions. The failover torture harness
+//! (`crates/repl/tests/failover_torture.rs`) records what each node and
+//! client observed as [`DistEvent`]s, and [`FailoverOracle::check`] decides
+//! whether the run upheld the two failover invariants:
+//!
+//! 1. **No quorum-acked commit is ever lost** — a commit acknowledged under
+//!    a satisfied quorum must appear in the surviving history, across any
+//!    promotion chain.
+//! 2. **No divergent history is ever silently merged (or silently
+//!    dropped)** — a commit decided by a deposed primary alone must never
+//!    surface in the surviving history, and its disappearance must be
+//!    accompanied by a typed divergence report naming it.
+//!
+//! A third structural invariant rides along: **one primary per term** —
+//! two promotions claiming the same term is split-brain by construction.
+//!
+//! The oracle is pure bookkeeping over recorded facts; it runs no engine
+//! code, so the same history can be re-checked (and shrunk) offline.
+
+use std::collections::{HashMap, HashSet};
+
+/// One observed fact in a failover run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistEvent {
+    /// A client saw a commit acknowledged with its quorum satisfied while
+    /// the primary served at `term`. This is the durability promise the
+    /// oracle holds the system to.
+    QuorumCommit {
+        /// Transaction id as stamped in the WAL.
+        txn: u64,
+        /// The acknowledging primary's term.
+        term: u64,
+    },
+    /// A client saw the typed `QuorumTimeout` degradation for `txn`: the
+    /// commit is durable on its primary but its replication is unresolved.
+    /// The oracle demands nothing of it except *non-silence*: if it later
+    /// vanishes, a divergence report must name it.
+    UnreplicatedCommit {
+        /// Transaction id as stamped in the WAL.
+        txn: u64,
+        /// The term the commit was attempted under.
+        term: u64,
+    },
+    /// Node `node` was promoted to primary at `term`.
+    Promote {
+        /// Torture-harness node id.
+        node: u32,
+        /// The claimed term.
+        term: u64,
+    },
+    /// Node `node` surfaced a typed divergence report covering `txns`
+    /// (commits it decided alone that the surviving history refused).
+    DivergenceReported {
+        /// The demoted node reporting.
+        node: u32,
+        /// Every transaction named in the report.
+        txns: Vec<u64>,
+    },
+    /// End-state fact: `txn` is committed in the surviving history (the
+    /// final primary's lineage after all faults resolved).
+    Survives {
+        /// Transaction id as stamped in the WAL.
+        txn: u64,
+    },
+}
+
+/// A failover-invariant violation. `Display` carries the full story so a
+/// torture-harness failure message is self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistViolation {
+    /// Invariant 1 broken: a quorum-acked commit is missing from the
+    /// surviving history.
+    LostQuorumCommit {
+        /// The lost transaction.
+        txn: u64,
+        /// The term it was acknowledged under.
+        term: u64,
+    },
+    /// Invariant 2 broken (merge side): a transaction named in a divergence
+    /// report nonetheless appears in the surviving history.
+    SilentMerge {
+        /// The merged transaction.
+        txn: u64,
+    },
+    /// Invariant 2 broken (silence side): a commit vanished from the
+    /// surviving history with no divergence report naming it.
+    SilentLoss {
+        /// The vanished transaction.
+        txn: u64,
+        /// The term it was committed under.
+        term: u64,
+    },
+    /// Split-brain by construction: two promotions claimed the same term.
+    DualPrimacy {
+        /// The contested term.
+        term: u64,
+        /// The two claimants.
+        nodes: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for DistViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistViolation::LostQuorumCommit { txn, term } => write!(
+                f,
+                "quorum-acked commit lost: txn {txn} (acked at term {term}) absent from the surviving history"
+            ),
+            DistViolation::SilentMerge { txn } => write!(
+                f,
+                "divergent commit merged: txn {txn} was reported divergent yet survives"
+            ),
+            DistViolation::SilentLoss { txn, term } => write!(
+                f,
+                "commit vanished silently: txn {txn} (term {term}) neither survives nor appears in any divergence report"
+            ),
+            DistViolation::DualPrimacy { term, nodes } => write!(
+                f,
+                "split brain: nodes {} and {} both claimed term {term}",
+                nodes.0, nodes.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistViolation {}
+
+/// Accumulates [`DistEvent`]s from a failover run and checks the invariants.
+#[derive(Debug, Default)]
+pub struct FailoverOracle {
+    events: Vec<DistEvent>,
+}
+
+impl FailoverOracle {
+    /// An empty history.
+    pub fn new() -> FailoverOracle {
+        FailoverOracle::default()
+    }
+
+    /// Records one observed fact. Order is irrelevant to the verdict — the
+    /// invariants are over the *set* of facts — so racing observers may
+    /// record in any interleaving.
+    pub fn record(&mut self, event: DistEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded history, for failure reports.
+    pub fn events(&self) -> &[DistEvent] {
+        &self.events
+    }
+
+    /// Checks every invariant, returning the first violation found (quorum
+    /// losses first — they are the gravest).
+    pub fn check(&self) -> Result<(), DistViolation> {
+        let mut survivors: HashSet<u64> = HashSet::new();
+        let mut reported: HashSet<u64> = HashSet::new();
+        let mut claimants: HashMap<u64, u32> = HashMap::new();
+        for e in &self.events {
+            match e {
+                DistEvent::Survives { txn } => {
+                    survivors.insert(*txn);
+                }
+                DistEvent::DivergenceReported { txns, .. } => {
+                    reported.extend(txns.iter().copied());
+                }
+                DistEvent::Promote { node, term } => {
+                    if let Some(prev) = claimants.insert(*term, *node) {
+                        if prev != *node {
+                            return Err(DistViolation::DualPrimacy {
+                                term: *term,
+                                nodes: (prev, *node),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for e in &self.events {
+            if let DistEvent::QuorumCommit { txn, term } = e {
+                if !survivors.contains(txn) {
+                    return Err(DistViolation::LostQuorumCommit { txn: *txn, term: *term });
+                }
+            }
+        }
+        for txn in &reported {
+            if survivors.contains(txn) {
+                return Err(DistViolation::SilentMerge { txn: *txn });
+            }
+        }
+        for e in &self.events {
+            let (txn, term) = match e {
+                DistEvent::QuorumCommit { txn, term }
+                | DistEvent::UnreplicatedCommit { txn, term } => (*txn, *term),
+                _ => continue,
+            };
+            if !survivors.contains(&txn) && !reported.contains(&txn) {
+                return Err(DistViolation::SilentLoss { txn, term });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_failover_history_passes() {
+        let mut o = FailoverOracle::new();
+        o.record(DistEvent::QuorumCommit { txn: 1, term: 1 });
+        o.record(DistEvent::UnreplicatedCommit { txn: 2, term: 1 });
+        o.record(DistEvent::Promote { node: 1, term: 2 });
+        // Txn 2 was old-primary-only; the demoted node reported it.
+        o.record(DistEvent::DivergenceReported { node: 0, txns: vec![2] });
+        o.record(DistEvent::Survives { txn: 1 });
+        assert_eq!(o.check(), Ok(()));
+    }
+
+    #[test]
+    fn lost_quorum_commit_is_flagged() {
+        let mut o = FailoverOracle::new();
+        o.record(DistEvent::QuorumCommit { txn: 7, term: 1 });
+        o.record(DistEvent::Promote { node: 1, term: 2 });
+        // Even a divergence report does not excuse losing a *quorum-acked*
+        // commit — the promotion should have preserved it.
+        o.record(DistEvent::DivergenceReported { node: 0, txns: vec![7] });
+        assert_eq!(o.check(), Err(DistViolation::LostQuorumCommit { txn: 7, term: 1 }));
+    }
+
+    #[test]
+    fn divergent_commit_surviving_is_a_merge() {
+        let mut o = FailoverOracle::new();
+        o.record(DistEvent::UnreplicatedCommit { txn: 9, term: 1 });
+        o.record(DistEvent::DivergenceReported { node: 0, txns: vec![9] });
+        o.record(DistEvent::Survives { txn: 9 });
+        assert_eq!(o.check(), Err(DistViolation::SilentMerge { txn: 9 }));
+    }
+
+    #[test]
+    fn unreported_vanished_commit_is_silent_loss() {
+        let mut o = FailoverOracle::new();
+        o.record(DistEvent::UnreplicatedCommit { txn: 4, term: 3 });
+        assert_eq!(o.check(), Err(DistViolation::SilentLoss { txn: 4, term: 3 }));
+    }
+
+    #[test]
+    fn two_claimants_for_one_term_is_split_brain() {
+        let mut o = FailoverOracle::new();
+        o.record(DistEvent::Promote { node: 1, term: 2 });
+        o.record(DistEvent::Promote { node: 2, term: 2 });
+        assert_eq!(
+            o.check(),
+            Err(DistViolation::DualPrimacy { term: 2, nodes: (1, 2) })
+        );
+    }
+}

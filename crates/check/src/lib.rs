@@ -37,12 +37,14 @@
 //! assert!(report.failure.is_none(), "{}", report.failure.unwrap());
 //! ```
 
+mod dist;
 mod history;
 mod runner;
 mod scenario;
 mod schedule;
 mod vthread;
 
+pub use dist::{DistEvent, DistViolation, FailoverOracle};
 pub use history::{Event, Recorder};
 pub use runner::{
     check, replay, CheckConfig, CheckReport, FailureReport, Mutation, ScheduleRunPublic,

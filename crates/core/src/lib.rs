@@ -31,11 +31,13 @@ pub mod config;
 pub mod db;
 pub mod metrics;
 pub mod query;
+pub mod quorum;
 pub mod simbridge;
 pub mod spec_exec;
 
 pub use config::{EngineConfig, ExecutionModel};
 pub use db::{Database, DbError, ObsSnapshot, PrepareVote, StatsSnapshot, OBS_SNAPSHOT_VERSION};
+pub use quorum::{QuorumError, QuorumPolicy, ReplGroup};
 pub use metrics::WorkloadReport;
 pub use simbridge::{run_sim_workload, sim_model_config, sim_wait_profile, SimRunConfig};
 

@@ -24,6 +24,22 @@ pub enum NetError {
     Unexpected(&'static str),
     /// A structured server-side error response.
     Server(String),
+    /// The commit is durable on the primary but its semi-sync quorum wait
+    /// timed out: fewer than `needed` followers acked durability at `lsn`.
+    QuorumTimeout {
+        /// The commit LSN that was waiting for acks.
+        lsn: u64,
+        /// Follower acks in hand when the wait gave up.
+        acked: u32,
+        /// Acks the quorum policy required.
+        needed: u32,
+    },
+    /// The server has been superseded by a higher replication term and
+    /// refused the operation.
+    Fenced {
+        /// The higher term that fenced the server.
+        term: u64,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -34,6 +50,10 @@ impl std::fmt::Display for NetError {
             NetError::Protocol(e) => write!(f, "protocol: {e}"),
             NetError::Unexpected(what) => write!(f, "unexpected response (wanted {what})"),
             NetError::Server(msg) => write!(f, "server error: {msg}"),
+            NetError::QuorumTimeout { lsn, acked, needed } => {
+                write!(f, "quorum timeout at lsn {lsn}: {acked}/{needed} follower acks")
+            }
+            NetError::Fenced { term } => write!(f, "server fenced by higher term {term}"),
         }
     }
 }
@@ -134,6 +154,10 @@ pub struct Snapshot {
 pub struct Client {
     stream: TcpStream,
     inbox: Vec<u8>,
+    /// When set, a socket read/write that stalls past the timeout surfaces
+    /// as the typed [`FrameError::Timeout`] instead of a raw I/O error (see
+    /// [`Client::set_op_timeout`]).
+    op_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -142,7 +166,7 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> Result<Client, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut client = Client { stream, inbox: Vec::new() };
+        let mut client = Client { stream, inbox: Vec::new(), op_timeout: None };
         match client.recv()? {
             Response::Hello => Ok(client),
             Response::Busy => Err(NetError::ServerBusy),
@@ -197,8 +221,23 @@ impl Client {
     fn send(&mut self, req: &Request) -> Result<(), NetError> {
         let mut buf = Vec::new();
         encode_request(req, &mut buf);
-        self.stream.write_all(&buf)?;
+        self.stream.write_all(&buf).map_err(|e| self.stall_error(e))?;
         Ok(())
+    }
+
+    /// Maps a socket stall into the typed timeout when an op timeout is
+    /// armed; every other I/O failure passes through untouched.
+    fn stall_error(&self, e: std::io::Error) -> NetError {
+        if self.op_timeout.is_some()
+            && matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        {
+            NetError::Protocol(FrameError::Timeout)
+        } else {
+            NetError::Io(e)
+        }
     }
 
     /// Reads the next response frame (blocking).
@@ -209,7 +248,7 @@ impl Client {
                 self.inbox.drain(..used);
                 return Ok(resp);
             }
-            let n = self.stream.read(&mut chunk)?;
+            let n = self.stream.read(&mut chunk).map_err(|e| self.stall_error(e))?;
             if n == 0 {
                 return Err(NetError::Io(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -279,6 +318,10 @@ impl Client {
     fn read_outcome(&mut self) -> Result<SpecOutcome, NetError> {
         match self.recv()? {
             Response::Outcome(outcome) => Ok(outcome),
+            Response::QuorumTimeout { lsn, acked, needed } => {
+                Err(NetError::QuorumTimeout { lsn, acked, needed })
+            }
+            Response::Fenced { term } => Err(NetError::Fenced { term }),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("outcome")),
         }
@@ -287,6 +330,10 @@ impl Client {
     fn expect_ok(&mut self) -> Result<(), NetError> {
         match self.recv()? {
             Response::Ok => Ok(()),
+            Response::QuorumTimeout { lsn, acked, needed } => {
+                Err(NetError::QuorumTimeout { lsn, acked, needed })
+            }
+            Response::Fenced { term } => Err(NetError::Fenced { term }),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("ok")),
         }
@@ -340,6 +387,22 @@ impl Client {
         Ok(())
     }
 
+    /// Arms a per-operation socket timeout on both directions of the
+    /// connection. A peer that stalls mid-response (or stops draining our
+    /// writes) past the bound surfaces as the typed
+    /// [`NetError::Protocol`]\([`FrameError::Timeout`]\) instead of hanging
+    /// the caller or leaking a raw I/O error. `None` disarms it.
+    ///
+    /// Distinct from [`Client::set_read_timeout`], whose expiry is a polling
+    /// signal ([`Client::try_next_chunk`] turns it into `Ok(None)`); an op
+    /// timeout is a hard failure of the request in flight.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.op_timeout = timeout;
+        Ok(())
+    }
+
     /// Fetches a checkpoint-consistent page snapshot from the primary: the
     /// replica's bootstrap image plus the LSN its log apply must start at.
     pub fn fetch_snapshot(&mut self) -> Result<Snapshot, NetError> {
@@ -365,17 +428,31 @@ impl Client {
         }
     }
 
-    /// Flips this session into a one-way log feed starting at `from`. After
-    /// this only [`Client::next_chunk`] / [`Client::try_next_chunk`] are
-    /// meaningful; the server reads no further requests.
-    pub fn subscribe(&mut self, from: u64) -> Result<(), NetError> {
-        self.send(&Request::ReplSubscribe { from })
+    /// Flips this session into a log feed starting at `from`, announcing the
+    /// highest replication term this subscriber has observed. A primary
+    /// running at a lower term fences itself and answers
+    /// [`NetError::Fenced`] on the next chunk read. After this the server
+    /// reads only [`Client::send_ack`] frames on this session; everything
+    /// else arriving server-bound closes the feed.
+    pub fn subscribe(&mut self, from: u64, term: u64) -> Result<(), NetError> {
+        self.send(&Request::ReplSubscribe { from, term })
     }
 
-    /// Blocks for the next shipped log span `(start_lsn, bytes)`.
-    pub fn next_chunk(&mut self) -> Result<(u64, Vec<u8>), NetError> {
+    /// Reports durable replication progress up the subscribe feed: this
+    /// follower has `lsn` bytes of the primary's stream durable, speaking at
+    /// `term`. Feeds the primary's semi-sync quorum accounting; an ack
+    /// stamped with a higher term fences the primary.
+    pub fn send_ack(&mut self, term: u64, lsn: u64) -> Result<(), NetError> {
+        self.send(&Request::ReplAck { term, lsn })
+    }
+
+    /// Blocks for the next shipped log span `(term, start_lsn, bytes)`.
+    /// `term` is the primary's replication term for the span; a fenced
+    /// primary answers [`NetError::Fenced`] instead of shipping.
+    pub fn next_chunk(&mut self) -> Result<(u64, u64, Vec<u8>), NetError> {
         match self.recv()? {
-            Response::LogChunk { start, bytes } => Ok((start, bytes)),
+            Response::LogChunk { term, start, bytes } => Ok((term, start, bytes)),
+            Response::Fenced { term } => Err(NetError::Fenced { term }),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("log chunk")),
         }
@@ -384,7 +461,7 @@ impl Client {
     /// Like [`Client::next_chunk`] but a read-timeout expiry (see
     /// [`Client::set_read_timeout`]) returns `Ok(None)` instead of an error,
     /// so an apply loop can poll its shutdown flag between chunks.
-    pub fn try_next_chunk(&mut self) -> Result<Option<(u64, Vec<u8>)>, NetError> {
+    pub fn try_next_chunk(&mut self) -> Result<Option<(u64, u64, Vec<u8>)>, NetError> {
         match self.next_chunk() {
             Ok(chunk) => Ok(Some(chunk)),
             Err(NetError::Io(e))

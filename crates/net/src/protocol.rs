@@ -36,6 +36,11 @@ pub enum FrameError {
     /// does not understand. Typed (not a panic, not `Malformed`) so callers
     /// can distinguish skew from corruption.
     UnsupportedVersion(u32),
+    /// The peer stopped sending (or accepting) bytes for longer than the
+    /// configured socket timeout while a frame exchange was in flight. Typed
+    /// so a hung peer degrades to an error the caller can act on instead of
+    /// blocking a thread forever.
+    Timeout,
 }
 
 impl std::fmt::Display for FrameError {
@@ -46,6 +51,7 @@ impl std::fmt::Display for FrameError {
             FrameError::UnsupportedVersion(v) => {
                 write!(f, "obs snapshot version {v} not supported (this build speaks {OBS_SNAPSHOT_VERSION})")
             }
+            FrameError::Timeout => write!(f, "peer stalled past the socket timeout"),
         }
     }
 }
@@ -108,10 +114,28 @@ pub enum Request {
     ReplSnapshot,
     /// Turns this session into a log-shipping feed: the server pushes
     /// [`Response::LogChunk`] frames covering the durable log from `from`
-    /// onward until the connection closes. No further requests are read.
+    /// onward until the connection closes. The only request the feed still
+    /// reads afterwards is [`Request::ReplAck`]. `term` is the highest
+    /// replication term the subscriber has observed: a primary contacted by
+    /// a subscriber from a *higher* term knows it has been superseded and
+    /// answers [`Response::Fenced`] instead of shipping.
     ReplSubscribe {
         /// First LSN the subscriber still needs.
         from: u64,
+        /// Highest term the subscriber has observed (0 = none).
+        term: u64,
+    },
+    /// Follower → primary on a subscribe feed: "my durable replication
+    /// cursor now extends to `lsn`". Carries the follower's term so a
+    /// deposed primary learns about its successor even from an ack. This is
+    /// the input to semi-sync quorum commit: the primary's group-commit wait
+    /// can additionally block until K followers have acked past the commit
+    /// LSN.
+    ReplAck {
+        /// Highest term the follower has observed.
+        term: u64,
+        /// The follower's durable cursor end.
+        lsn: u64,
     },
     /// Read-your-writes token: the primary's durable LSN right now. A client
     /// that just committed here can hand the token to a replica read.
@@ -226,7 +250,12 @@ pub enum Response {
     /// A shipped span of the durable log, raw record frames starting at
     /// `start`. The receiver runs its own `decode_stream_checked` over the
     /// accumulated stream — the WAL's CRC framing rides the wire unchanged.
+    /// Every chunk is stamped with the shipping primary's term: a receiver
+    /// that has adopted a higher term treats the chunk as coming from a
+    /// fenced, stale primary and drops the feed.
     LogChunk {
+        /// The shipping primary's replication term.
+        term: u64,
         /// Stream offset of `bytes[0]`.
         start: u64,
         /// Raw log bytes.
@@ -262,6 +291,26 @@ pub enum Response {
     /// Prepared-but-undecided gtids on this participant
     /// ([`Request::ShardInDoubt`] reply).
     ShardGtids(Vec<u64>),
+    /// This server has observed a higher replication term than the
+    /// requester's and refuses the operation (a deposed primary must not
+    /// ship, a stale subscriber must re-sync). Carries the higher term so
+    /// the receiver can adopt it.
+    Fenced {
+        /// The highest term this server has observed.
+        term: u64,
+    },
+    /// The transaction *is* durably committed on the primary, but the
+    /// semi-sync quorum wait timed out before K followers acked durability
+    /// at the commit LSN. A typed degradation, never a hang: the caller
+    /// knows the commit's replication guarantee is not yet met.
+    QuorumTimeout {
+        /// The commit LSN that was waiting for acks.
+        lsn: u64,
+        /// Followers that had acked `lsn` when the wait gave up.
+        acked: u32,
+        /// Acks the quorum policy required.
+        needed: u32,
+    },
 }
 
 // Payload tags. Requests and responses share one byte space so a tag is
@@ -280,6 +329,7 @@ const T_REPL_SNAPSHOT: u8 = 0x20;
 const T_REPL_SUBSCRIBE: u8 = 0x21;
 const T_COMMIT_TOKEN: u8 = 0x22;
 const T_READ_AT: u8 = 0x23;
+const T_REPL_ACK: u8 = 0x24;
 const T_SHARD_PREPARE: u8 = 0x30;
 const T_SHARD_DECIDE: u8 = 0x31;
 const T_SHARD_STATUS: u8 = 0x32;
@@ -302,6 +352,8 @@ const T_LAGGING: u8 = 0x95;
 const T_SHARD_VOTE: u8 = 0x96;
 const T_SHARD_DECISION: u8 = 0x97;
 const T_SHARD_GTIDS: u8 = 0x98;
+const T_FENCED: u8 = 0x99;
+const T_QUORUM_TIMEOUT: u8 = 0x9A;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -595,9 +647,15 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Commit => out.put_u8(T_COMMIT),
         Request::Abort => out.put_u8(T_ABORT),
         Request::ReplSnapshot => out.put_u8(T_REPL_SNAPSHOT),
-        Request::ReplSubscribe { from } => {
+        Request::ReplSubscribe { from, term } => {
             out.put_u8(T_REPL_SUBSCRIBE);
             out.put_u64_le(*from);
+            out.put_u64_le(*term);
+        }
+        Request::ReplAck { term, lsn } => {
+            out.put_u8(T_REPL_ACK);
+            out.put_u64_le(*term);
+            out.put_u64_le(*lsn);
         }
         Request::CommitToken => out.put_u8(T_COMMIT_TOKEN),
         Request::ReadAt { table, key, min_lsn } => {
@@ -704,8 +762,9 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.put_u8(T_SNAP_END);
             out.put_u64_le(*page_count);
         }
-        Response::LogChunk { start, bytes } => {
+        Response::LogChunk { term, start, bytes } => {
             out.put_u8(T_LOG_CHUNK);
+            out.put_u64_le(*term);
             out.put_u64_le(*start);
             put_bytes(out, bytes);
         }
@@ -734,6 +793,16 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             for g in gtids {
                 out.put_u64_le(*g);
             }
+        }
+        Response::Fenced { term } => {
+            out.put_u8(T_FENCED);
+            out.put_u64_le(*term);
+        }
+        Response::QuorumTimeout { lsn, acked, needed } => {
+            out.put_u8(T_QUORUM_TIMEOUT);
+            out.put_u64_le(*lsn);
+            out.put_u32_le(*acked);
+            out.put_u32_le(*needed);
         }
     }
     end_frame(out, at);
@@ -815,7 +884,8 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
         T_COMMIT => Request::Commit,
         T_ABORT => Request::Abort,
         T_REPL_SNAPSHOT => Request::ReplSnapshot,
-        T_REPL_SUBSCRIBE => Request::ReplSubscribe { from: r.u64()? },
+        T_REPL_SUBSCRIBE => Request::ReplSubscribe { from: r.u64()?, term: r.u64()? },
+        T_REPL_ACK => Request::ReplAck { term: r.u64()?, lsn: r.u64()? },
         T_COMMIT_TOKEN => Request::CommitToken,
         T_READ_AT => Request::ReadAt { table: r.u32()?, key: r.u64()?, min_lsn: r.u64()? },
         T_SHARD_PREPARE => {
@@ -904,7 +974,7 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
         }
         T_SNAP_PAGE => Response::SnapPage { page_id: r.u64()?, bytes: r.bytes()? },
         T_SNAP_END => Response::SnapEnd { page_count: r.u64()? },
-        T_LOG_CHUNK => Response::LogChunk { start: r.u64()?, bytes: r.bytes()? },
+        T_LOG_CHUNK => Response::LogChunk { term: r.u64()?, start: r.u64()?, bytes: r.bytes()? },
         T_TOKEN => Response::Token { lsn: r.u64()? },
         T_LAGGING => Response::Lagging { applied: r.u64()? },
         T_SHARD_VOTE => Response::ShardVote { gtid: r.u64()?, outcome: get_outcome(&mut r)? },
@@ -925,6 +995,12 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
             }
             Response::ShardGtids(gtids)
         }
+        T_FENCED => Response::Fenced { term: r.u64()? },
+        T_QUORUM_TIMEOUT => Response::QuorumTimeout {
+            lsn: r.u64()?,
+            acked: r.u32()?,
+            needed: r.u32()?,
+        },
         _ => return Err(FrameError::Malformed("unknown response tag")),
     };
     r.finish()?;
@@ -972,7 +1048,9 @@ mod tests {
             ],
         });
         roundtrip_request(Request::ReplSnapshot);
-        roundtrip_request(Request::ReplSubscribe { from: u64::MAX });
+        roundtrip_request(Request::ReplSubscribe { from: u64::MAX, term: 0 });
+        roundtrip_request(Request::ReplSubscribe { from: 8, term: 1 << 33 });
+        roundtrip_request(Request::ReplAck { term: 3, lsn: u64::MAX });
         roundtrip_request(Request::CommitToken);
         roundtrip_request(Request::ReadAt { table: 7, key: 11, min_lsn: 1 << 40 });
     }
@@ -1055,10 +1133,12 @@ mod tests {
         });
         roundtrip_response(Response::SnapPage { page_id: 42, bytes: vec![0xAB; 8192] });
         roundtrip_response(Response::SnapEnd { page_count: 17 });
-        roundtrip_response(Response::LogChunk { start: 1 << 30, bytes: vec![1, 2, 3] });
-        roundtrip_response(Response::LogChunk { start: 8, bytes: vec![] });
+        roundtrip_response(Response::LogChunk { term: 1, start: 1 << 30, bytes: vec![1, 2, 3] });
+        roundtrip_response(Response::LogChunk { term: 0, start: 8, bytes: vec![] });
         roundtrip_response(Response::Token { lsn: u64::MAX });
         roundtrip_response(Response::Lagging { applied: 99 });
+        roundtrip_response(Response::Fenced { term: u64::MAX });
+        roundtrip_response(Response::QuorumTimeout { lsn: 1 << 40, acked: 1, needed: 2 });
     }
 
     fn sample_snapshot() -> ObsSnapshot {

@@ -15,7 +15,7 @@
 
 use crate::protocol::{decode_request, encode_response, FrameError, Request, Response, ServerStats};
 use esdb_core::config::ExecutionModel;
-use esdb_core::Database;
+use esdb_core::{Database, QuorumError, QuorumPolicy, ReplGroup};
 use esdb_txn::Txn;
 use esdb_wal::Lsn;
 use esdb_workload::TxnSpec;
@@ -63,6 +63,26 @@ pub struct ServerConfig {
     /// from the coordinator's decision log. `None` on servers that never act
     /// as 2PC participants (status queries then return an error).
     pub decision_source: Option<DecisionSource>,
+    /// Primary-side replication group: term, follower acks, fencing. Set on
+    /// servers that ship log to subscribers; the ship path consults it for
+    /// the term handshake and feeds follower acks into it.
+    pub repl_group: Option<Arc<ReplGroup>>,
+    /// Semi-sync commit mode: when set (and `repl_group` is too), the batch
+    /// group-commit wait additionally blocks until `k` followers have acked
+    /// durability at the batch's commit LSN, degrading to a typed
+    /// [`Response::QuorumTimeout`] when the bound expires.
+    pub quorum: Option<QuorumPolicy>,
+    /// Replica-side only: the feed thread's liveness flag. When the feed is
+    /// dead (`false`), a [`Request::ReadAt`] the frontier cannot satisfy
+    /// answers [`Response::Lagging`] immediately instead of burning the full
+    /// [`ServerConfig::read_at_wait`] — the frontier is not going to move.
+    pub feed_live: Option<Arc<AtomicBool>>,
+    /// Stalled-peer budget: a session whose peer has sent part of a frame
+    /// and then gone quiet for this long is closed with a typed
+    /// [`FrameError::Timeout`] error frame instead of holding its thread
+    /// (and session slot) forever. `None` keeps the historic wait-forever
+    /// behavior.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +94,10 @@ impl Default for ServerConfig {
             read_at_wait: Duration::from_millis(500),
             ship_chunk: 256 * 1024,
             decision_source: None,
+            repl_group: None,
+            quorum: None,
+            feed_live: None,
+            stall_timeout: None,
         }
     }
 }
@@ -243,15 +267,36 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut inbox: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut session = Session { txn: None };
+    let mut stalled_since: Option<std::time::Instant> = None;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => return, // client closed
-            Ok(n) => inbox.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                stalled_since = None;
+                inbox.extend_from_slice(&chunk[..n]);
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 // No new bytes. A graceful shutdown ends the session once
                 // everything already received has been processed.
                 if shared.shutdown.load(Ordering::SeqCst) && inbox.is_empty() {
                     return;
+                }
+                // A peer that started a frame and went quiet is hung, not
+                // idle: burn its slot only up to the configured budget, then
+                // close with a typed timeout.
+                if !inbox.is_empty() {
+                    if let Some(budget) = shared.config.stall_timeout {
+                        let began = *stalled_since.get_or_insert_with(std::time::Instant::now);
+                        if began.elapsed() >= budget {
+                            let mut outbox = Vec::new();
+                            encode_response(
+                                &Response::Error(FrameError::Timeout.to_string()),
+                                &mut outbox,
+                            );
+                            let _ = stream.write_all(&outbox);
+                            return;
+                        }
+                    }
                 }
                 continue;
             }
@@ -265,8 +310,15 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         loop {
             match decode_request(&inbox[consumed..]) {
                 Ok(Some((req, used))) => {
+                    // A subscribe flips the session into a log feed; stop
+                    // decoding here so bytes behind it (ack frames already in
+                    // flight) stay in the inbox for the ship loop.
+                    let is_subscribe = matches!(req, Request::ReplSubscribe { .. });
                     batch.push(req);
                     consumed += used;
+                    if is_subscribe {
+                        break;
+                    }
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -277,21 +329,21 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         }
         inbox.drain(..consumed);
         // A subscribe request flips the session into a one-way log feed: run
-        // whatever was pipelined ahead of it, then hand the socket to the
-        // ship loop and never come back. Requests pipelined *after* it are
-        // dropped — the client contract is that subscribe ends the dialogue.
+        // whatever was pipelined ahead of it, then hand the socket — and any
+        // bytes that followed the subscribe frame — to the ship loop and
+        // never come back.
         let subscribe = batch
             .iter()
             .position(|req| matches!(req, Request::ReplSubscribe { .. }));
         if let Some(i) = subscribe {
-            let Request::ReplSubscribe { from } = batch[i] else { unreachable!() };
+            let Request::ReplSubscribe { from, term } = batch[i] else { unreachable!() };
             if i > 0 {
                 let outbox = run_batch(&batch[..i], &mut session, shared);
                 if stream.write_all(&outbox).is_err() {
                     return;
                 }
             }
-            ship_loop(stream, shared, from);
+            ship_loop(stream, shared, from, term, std::mem::take(&mut inbox));
             return;
         }
         if !batch.is_empty() {
@@ -317,6 +369,9 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
     let db = &shared.db;
     let mut responses: Vec<Response> = Vec::with_capacity(batch.len());
     let mut flush_to: Option<Lsn> = None;
+    // Response slots acknowledging a durable commit; rewritten to a typed
+    // degradation if the semi-sync quorum wait below fails.
+    let mut commit_acks: Vec<usize> = Vec::new();
     fn note(lsn: Option<Lsn>, flush_to: &mut Option<Lsn>) {
         if let Some(lsn) = lsn {
             *flush_to = Some(flush_to.map_or(lsn, |m| m.max(lsn)));
@@ -343,6 +398,9 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
                 }
                 if outcome.is_committed() {
                     shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
+                    if lsn.is_some() {
+                        commit_acks.push(responses.len());
+                    }
                 }
                 note(lsn, &mut flush_to);
                 Response::Outcome(outcome)
@@ -386,7 +444,11 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
             Request::Commit => match session.txn.take() {
                 None => Response::Error("no open transaction".into()),
                 Some(txn) => {
-                    note(txn.commit_deferred(), &mut flush_to);
+                    let lsn = txn.commit_deferred();
+                    if lsn.is_some() {
+                        commit_acks.push(responses.len());
+                    }
+                    note(lsn, &mut flush_to);
                     Response::Ok
                 }
             },
@@ -405,6 +467,11 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
             // pipelined requests after subscribe, which the contract forbids.
             Request::ReplSubscribe { .. } => {
                 Response::Error("subscribe ends the request/response dialogue".into())
+            }
+            // Acks belong to subscribe feeds; on a request/response session
+            // they are a protocol misuse, answered typed rather than fatally.
+            Request::ReplAck { .. } => {
+                Response::Error("acks are only valid on a subscribe feed".into())
             }
             Request::CommitToken => Response::Token { lsn: db.wal().durable_lsn() },
             Request::ReadAt { table, key, min_lsn } => {
@@ -454,6 +521,31 @@ fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> 
     if let Some(lsn) = flush_to {
         let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
         db.wal().wait_durable(lsn);
+    }
+    // Semi-sync mode: the same flush point also waits for K follower acks.
+    // A failed wait never hangs and never lies — every commit ack in the
+    // batch is rewritten to the typed degradation (the commit *is* durable
+    // locally; only its replication guarantee is unmet).
+    if let (Some(lsn), Some(group), Some(policy)) = (
+        flush_to,
+        shared.config.repl_group.as_ref(),
+        shared.config.quorum.as_ref(),
+    ) {
+        let verdict = {
+            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
+            group.wait_quorum(lsn, policy)
+        };
+        if let Err(e) = verdict {
+            let downgrade = match e {
+                QuorumError::Timeout { lsn, acked, needed } => {
+                    Response::QuorumTimeout { lsn, acked, needed }
+                }
+                QuorumError::Fenced { term } => Response::Fenced { term },
+            };
+            for &i in &commit_acks {
+                responses[i] = downgrade.clone();
+            }
+        }
     }
     let mut outbox = Vec::new();
     for resp in &responses {
@@ -512,13 +604,22 @@ fn snapshot_into(db: &Arc<Database>, responses: &mut Vec<Response>) {
 /// primary (no watermark configured) every read is already fresh.
 fn read_at(db: &Arc<Database>, shared: &Arc<Shared>, table: u32, key: u64, min_lsn: Lsn) -> Response {
     if let Some(watermark) = &shared.config.applied_watermark {
+        let feed_dead = || {
+            shared
+                .config
+                .feed_live
+                .as_ref()
+                .is_some_and(|live| !live.load(Ordering::Acquire))
+        };
         let deadline = std::time::Instant::now() + shared.config.read_at_wait;
         loop {
             let applied = watermark.load(Ordering::Acquire);
             if applied >= min_lsn {
                 break;
             }
-            if std::time::Instant::now() >= deadline {
+            // A dead feed thread means the frontier will never move: answer
+            // Lagging now instead of burning the full bounded wait.
+            if feed_dead() || std::time::Instant::now() >= deadline {
                 return Response::Lagging { applied };
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -536,11 +637,76 @@ fn read_at(db: &Arc<Database>, shared: &Arc<Shared>, table: u32, key: u64, min_l
     resp
 }
 
+/// A follower's ack slot in the primary's [`ReplGroup`], dropped (and
+/// deregistered) however the ship loop exits.
+struct FollowerSlot {
+    group: Arc<ReplGroup>,
+    id: u64,
+}
+
+impl Drop for FollowerSlot {
+    fn drop(&mut self) {
+        self.group.deregister_follower(self.id);
+    }
+}
+
+/// Drains whatever ack frames the subscriber has pushed up the feed socket.
+/// Returns `Ok(false)` if the peer hung up, `Err` on a protocol violation.
+/// Non-ack requests on a feed are a contract breach and close it.
+fn drain_acks(
+    stream: &mut TcpStream,
+    ackbuf: &mut Vec<u8>,
+    slot: Option<&FollowerSlot>,
+) -> Result<bool, ()> {
+    // Exactly one bounded read per call, decoded immediately. Reading "until
+    // WouldBlock" would force every ack to wait out the trailing timed-out
+    // read before being processed — and kernels round socket timeouts up to
+    // a scheduler tick, which puts several milliseconds of pure idle waiting
+    // on the commit path of every semi-sync transaction. One read either
+    // wakes on arriving bytes (ack processed at once) or times out on a
+    // genuinely idle feed; leftover bytes are picked up next iteration.
+    let mut chunk = [0u8; 4 * 1024];
+    match stream.read(&mut chunk) {
+        Ok(0) => return Ok(false), // subscriber closed
+        Ok(n) => ackbuf.extend_from_slice(&chunk[..n]),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+        Err(_) => return Ok(false),
+    }
+    let mut consumed = 0;
+    loop {
+        match decode_request(&ackbuf[consumed..]) {
+            Ok(Some((Request::ReplAck { term, lsn }, used))) => {
+                consumed += used;
+                if let Some(s) = slot {
+                    s.group.note_ack(s.id, term, lsn);
+                }
+            }
+            Ok(Some((_, _))) => return Err(()),
+            Ok(None) => break,
+            Err(_) => return Err(()),
+        }
+    }
+    ackbuf.drain(..consumed);
+    Ok(true)
+}
+
 /// The primary half of log shipping: block on the WAL durability hub, cut
 /// the newly durable span into [`Response::LogChunk`] frames, push them, and
 /// repeat until the subscriber hangs up, the log is truncated past its
 /// cursor (it must re-bootstrap from a snapshot), or the server shuts down.
-fn ship_loop(mut stream: TcpStream, shared: &Arc<Shared>, mut from: Lsn) {
+///
+/// When a [`ReplGroup`] is configured, the feed is also the quorum and
+/// fencing channel: the subscriber's handshake term is checked (a higher
+/// term deposes this primary — [`Response::Fenced`], no shipping), every
+/// chunk is stamped with the current term, and [`Request::ReplAck`] frames
+/// coming back up the socket feed the group's ack table.
+fn ship_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    mut from: Lsn,
+    sub_term: u64,
+    mut ackbuf: Vec<u8>,
+) {
     let wal = shared.db.wal();
     let chunk_cap = shared
         .config
@@ -548,11 +714,57 @@ fn ship_loop(mut stream: TcpStream, shared: &Arc<Shared>, mut from: Lsn) {
         .min(crate::protocol::MAX_FRAME - 64)
         .max(1);
     let mut outbox = Vec::new();
+    let group = shared.config.repl_group.as_ref();
+    let fenced_reply = |stream: &mut TcpStream, term: u64| {
+        let mut out = Vec::new();
+        encode_response(&Response::Fenced { term }, &mut out);
+        let _ = stream.write_all(&out);
+    };
+    let slot = if let Some(g) = group {
+        // Term handshake. A subscriber speaking from a higher term is (or
+        // has seen) our successor: record the supersession and refuse to
+        // ship a single byte — the fence that keeps a deposed primary from
+        // feeding anyone its divergent tail.
+        if sub_term > g.term() {
+            g.fence(sub_term);
+        }
+        if let Some(t) = g.fenced_by() {
+            fenced_reply(&mut stream, t);
+            return;
+        }
+        Some(FollowerSlot { group: Arc::clone(g), id: g.register_follower() })
+    } else {
+        None
+    };
+    // Acks are polled, not blocked on: a short read timeout keeps the loop
+    // responsive to both newly durable bytes and incoming acks. `ackbuf`
+    // may arrive pre-seeded with ack bytes that were pipelined right behind
+    // the subscribe frame.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let durable = wal.wait_durable_beyond(from, shared.config.poll_interval);
+        match drain_acks(&mut stream, &mut ackbuf, slot.as_ref()) {
+            Ok(true) => {}
+            Ok(false) | Err(()) => return,
+        }
+        if let Some(g) = group {
+            if let Some(t) = g.fenced_by() {
+                fenced_reply(&mut stream, t);
+                return;
+            }
+        }
+        // With a quorum group, this socket is also the ack channel, and the
+        // subscriber's ack may be the only event in flight (every session can
+        // be parked in `wait_quorum`, so no flush will ring the hub). Never
+        // park here long enough to leave a delivered ack unread.
+        let hub_wait = if group.is_some() {
+            shared.config.poll_interval.min(Duration::from_millis(1))
+        } else {
+            shared.config.poll_interval
+        };
+        let durable = wal.wait_durable_beyond(from, hub_wait);
         if durable <= from {
             continue;
         }
@@ -570,12 +782,14 @@ fn ship_loop(mut stream: TcpStream, shared: &Arc<Shared>, mut from: Lsn) {
         if avail == 0 {
             continue;
         }
+        let term = group.map_or(0, |g| g.term());
         let mut off = 0;
         while off < avail {
             let n = (avail - off).min(chunk_cap);
             outbox.clear();
             encode_response(
                 &Response::LogChunk {
+                    term,
                     start: start + off as u64,
                     bytes: bytes[off..off + n].to_vec(),
                 },

@@ -93,7 +93,12 @@ fn request_strategy() -> BoxedStrategy<Request> {
             .prop_map(|(may_fail, ops)| Request::OneShot { may_fail, ops })
             .boxed(),
         Just(Request::ReplSnapshot).boxed(),
-        any::<u64>().prop_map(|from| Request::ReplSubscribe { from }).boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(from, term)| Request::ReplSubscribe { from, term })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(term, lsn)| Request::ReplAck { term, lsn })
+            .boxed(),
         Just(Request::CommitToken).boxed(),
         (0u32..64, any::<u64>(), any::<u64>())
             .prop_map(|(table, key, min_lsn)| Request::ReadAt { table, key, min_lsn })
@@ -170,11 +175,15 @@ fn repl_response_strategy() -> BoxedStrategy<Response> {
             .prop_map(|(page_id, bytes)| Response::SnapPage { page_id, bytes })
             .boxed(),
         any::<u64>().prop_map(|page_count| Response::SnapEnd { page_count }).boxed(),
-        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512))
-            .prop_map(|(start, bytes)| Response::LogChunk { start, bytes })
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(term, start, bytes)| Response::LogChunk { term, start, bytes })
             .boxed(),
         any::<u64>().prop_map(|lsn| Response::Token { lsn }).boxed(),
         any::<u64>().prop_map(|applied| Response::Lagging { applied }).boxed(),
+        any::<u64>().prop_map(|term| Response::Fenced { term }).boxed(),
+        (any::<u64>(), any::<u32>(), any::<u32>())
+            .prop_map(|(lsn, acked, needed)| Response::QuorumTimeout { lsn, acked, needed })
+            .boxed(),
     ]
     .boxed()
 }

@@ -35,5 +35,7 @@
 pub mod replica;
 pub mod runner;
 
-pub use replica::{local_snapshot, ship_available, Replica, ReplError};
+pub use replica::{
+    divergence_check, local_snapshot, ship_available, Promotion, Replica, ReplError,
+};
 pub use runner::{start_replica, ReplicaHandle};

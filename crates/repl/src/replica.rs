@@ -34,6 +34,27 @@ pub enum ReplError {
     },
     /// The snapshot is structurally unusable.
     BadSnapshot(&'static str),
+    /// A chunk (or a requested promotion term) carries a term below the
+    /// highest this replica has observed: a fenced-off old primary is still
+    /// talking, or the promotion would move the epoch backwards. Nothing
+    /// stamped with a stale term is ever applied.
+    StaleTerm {
+        /// The stale term that arrived.
+        got: u64,
+        /// The highest term this replica has observed.
+        ours: u64,
+    },
+    /// The demoted primary's durable WAL tail holds Commit records past the
+    /// fork point of the new history — transactions it decided alone that no
+    /// surviving replica ever saw. Merging them silently would fabricate
+    /// durability; the only exits are operator intervention or a fresh
+    /// snapshot re-sync that abandons the divergent suffix explicitly.
+    Diverged {
+        /// Old-stream LSN where the new history forked.
+        fork: Lsn,
+        /// Transactions with a Commit record at/past the fork.
+        committed: Vec<u64>,
+    },
     /// The wire layer failed.
     Net(esdb_net::NetError),
     /// Installing or reading replica storage failed.
@@ -50,6 +71,14 @@ impl std::fmt::Display for ReplError {
                 write!(f, "log gap: cursor expects {expected}, chunk starts at {got}")
             }
             ReplError::BadSnapshot(what) => write!(f, "unusable snapshot: {what}"),
+            ReplError::StaleTerm { got, ours } => {
+                write!(f, "stale replication term {got} (highest observed {ours})")
+            }
+            ReplError::Diverged { fork, committed } => write!(
+                f,
+                "divergent history: {} commit(s) past fork lsn {fork} (txns {committed:?})",
+                committed.len()
+            ),
             ReplError::Net(e) => write!(f, "replication transport: {e}"),
             ReplError::Storage(e) => write!(f, "replica storage: {e:?}"),
             ReplError::Db(e) => write!(f, "replica database: {e}"),
@@ -107,6 +136,9 @@ pub struct Replica {
     /// The commit-consistent apply frontier, published for follower reads
     /// (`ServerConfig::applied_watermark`).
     applied: Arc<AtomicU64>,
+    /// Highest replication term observed: chunk stamps fed through
+    /// [`Replica::ingest_term`] and `TermChange` records in the stream.
+    term: u64,
 }
 
 impl std::fmt::Debug for Replica {
@@ -137,6 +169,7 @@ impl Replica {
             pending: Vec::new(),
             resolved: HashMap::new(),
             applied: Arc::new(AtomicU64::new(start)),
+            term: 0,
         })
     }
 
@@ -168,11 +201,44 @@ impl Replica {
         &self.cursor
     }
 
+    /// The highest replication term this replica has observed.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Lands a chunk stamped with the shipping primary's term. A stamp below
+    /// the highest term this replica has observed is a fenced-off old
+    /// primary still talking — a typed halt before a single byte lands.
+    /// Higher stamps are adopted (a promotion happened upstream).
+    pub fn ingest_term(&mut self, term: u64, start: Lsn, bytes: &[u8]) -> Result<(), ReplError> {
+        self.land_term(term, start, bytes)?;
+        self.pump()
+    }
+
+    /// The landing half of [`Replica::ingest_term`]: term check plus durable
+    /// cursor append, without driving the apply loop. Once this returns, the
+    /// chunk's bytes are what [`Replica::subscribe_from`] covers — the point
+    /// at which a semi-sync follower may ack durability to its primary;
+    /// applying (an arbitrary amount of redo work) can happen after the ack
+    /// is already on the wire, off the primary's commit critical path.
+    pub fn land_term(&mut self, term: u64, start: Lsn, bytes: &[u8]) -> Result<(), ReplError> {
+        if term < self.term {
+            return Err(ReplError::StaleTerm { got: term, ours: self.term });
+        }
+        self.term = term;
+        self.land(start, bytes)
+    }
+
     /// Lands one shipped chunk in the durable cursor, then decodes and
     /// applies whatever became available. Chunks that overlap already-held
     /// bytes (a reconnecting primary replaying its tail) are deduplicated;
     /// a chunk *beyond* the cursor end is a [`ReplError::Gap`].
     pub fn ingest(&mut self, start: Lsn, bytes: &[u8]) -> Result<(), ReplError> {
+        self.land(start, bytes)?;
+        self.pump()
+    }
+
+    fn land(&mut self, start: Lsn, bytes: &[u8]) -> Result<(), ReplError> {
         let expected = self.subscribe_from();
         if start > expected {
             return Err(ReplError::Gap { expected, got: start });
@@ -189,7 +255,7 @@ impl Replica {
             let lag = shipped_end.saturating_sub(self.applied_lsn());
             esdb_obs::record_component(esdb_obs::Component::ReplLag, lag);
         }
-        self.pump()
+        Ok(())
     }
 
     /// Decodes newly durable cursor bytes and drives the apply frontier as
@@ -209,6 +275,9 @@ impl Replica {
                     }
                     LogBody::Abort => {
                         self.resolved.insert(r.txn_id, false);
+                    }
+                    LogBody::TermChange { term } => {
+                        self.term = self.term.max(term);
                     }
                     _ => {}
                 }
@@ -236,7 +305,9 @@ impl Replica {
         while idx < self.pending.len() {
             let r = &self.pending[idx];
             match &r.body {
-                LogBody::Begin | LogBody::Checkpoint { .. } => {}
+                // A term boundary carries no page effects; the term itself
+                // was adopted at decode time in `pump`.
+                LogBody::Begin | LogBody::Checkpoint { .. } | LogBody::TermChange { .. } => {}
                 // 2PC bookkeeping carries no page effects. A Prepare is
                 // deliberately *not* a terminator: data records of an
                 // in-doubt transaction keep stalling the frontier below
@@ -298,9 +369,104 @@ impl Replica {
             pending: Vec::new(),
             resolved: HashMap::new(),
             applied: Arc::new(AtomicU64::new(start)),
+            // Re-derived from the salvaged stream: `pump` adopts every
+            // TermChange record it decodes.
+            term: 0,
         };
         replica.pump()?;
         Ok(replica)
+    }
+
+    /// Promotes this replica to primary at `new_term`, consuming it.
+    ///
+    /// The feed is dead by definition here, so no terminator will ever
+    /// arrive for a transaction still unresolved at the frontier: every such
+    /// transaction is declared aborted (redo skips its records — that *is*
+    /// the promotion-time undo) and the frontier drains to the end of the
+    /// decodable stream. The undecodable torn tail is then truncated from
+    /// the durable cursor, fixing the **fork point**: the old-stream LSN
+    /// where this node's history and any divergent old-primary history part
+    /// ways.
+    ///
+    /// Safety argument for the quorum invariant: a quorum-acked commit has
+    /// its Commit record inside this replica's durable cursor (the ack
+    /// covered those bytes), so it decodes, resolves committed, and is
+    /// applied — never truncated. Only record-*suffixes* torn mid-record and
+    /// terminator-less transactions are dropped, and neither can carry an
+    /// acked commit.
+    ///
+    /// The returned database is the new primary: its WAL (a fresh stream,
+    /// disjoint from the old one) opens with a durable
+    /// [`LogBody::TermChange`] record so crash recovery and late subscribers
+    /// learn the epoch from the log itself. Old-stream followers cannot
+    /// splice onto the new stream; they re-sync via snapshot bootstrap.
+    pub fn promote(mut self, new_term: u64) -> Result<Promotion, ReplError> {
+        self.pump()?;
+        if new_term <= self.term {
+            return Err(ReplError::StaleTerm { got: new_term, ours: self.term });
+        }
+        for r in &self.pending {
+            self.resolved.entry(r.txn_id).or_insert(false);
+        }
+        self.advance_frontier();
+        debug_assert!(self.pending.is_empty());
+        self.cursor
+            .truncate_to((self.decoded_to - self.cursor.base()) as usize);
+        let fork_lsn = self.decoded_to;
+        let wal = self.db.wal();
+        let range = wal.append(0, esdb_wal::NULL_LSN, &LogBody::TermChange { term: new_term });
+        wal.wait_durable(range.end);
+        Ok(Promotion { term: new_term, fork_lsn, db: self.db })
+    }
+}
+
+/// A successful [`Replica::promote`]: the database now serving as primary,
+/// the term it serves at, and where its history forked from the old stream.
+#[derive(Clone)]
+pub struct Promotion {
+    /// The new primary's replication term.
+    pub term: u64,
+    /// Old-stream LSN where the new history forks. Everything below it is
+    /// shared with the old primary; nothing above it survived promotion.
+    pub fork_lsn: Lsn,
+    /// The promoted database — serve writes from it, ship its WAL.
+    pub db: Arc<Database>,
+}
+
+impl std::fmt::Debug for Promotion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Promotion")
+            .field("term", &self.term)
+            .field("fork_lsn", &self.fork_lsn)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Diffs a demoted primary's durable WAL against the fork point of the new
+/// history (see [`Promotion::fork_lsn`]).
+///
+/// Commit records at/past the fork are transactions the old primary decided
+/// alone — no surviving replica holds them, so the new history aborted them.
+/// They can never be merged silently: the result is the typed
+/// [`ReplError::Diverged`] listing every such transaction. An uncommitted or
+/// aborted suffix is benign (skipping it is the undo) and returns `Ok(())`;
+/// the demoted node then abandons its stream and re-syncs as a follower via
+/// snapshot bootstrap.
+pub fn divergence_check(old_wal: &esdb_wal::Wal, fork: Lsn) -> Result<(), ReplError> {
+    let salvaged = old_wal.durable_records_checked();
+    if let Some(e) = salvaged.corruption {
+        return Err(ReplError::Corrupt(e));
+    }
+    let committed: Vec<u64> = salvaged
+        .records
+        .iter()
+        .filter(|r| r.lsn >= fork && matches!(r.body, LogBody::Commit))
+        .map(|r| r.txn_id)
+        .collect();
+    if committed.is_empty() {
+        Ok(())
+    } else {
+        Err(ReplError::Diverged { fork, committed })
     }
 }
 

@@ -18,6 +18,7 @@ pub struct ReplicaHandle {
     db: Arc<Database>,
     applied: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    feed_live: Arc<AtomicBool>,
     feed: Option<JoinHandle<Result<(), ReplError>>>,
 }
 
@@ -36,6 +37,15 @@ impl ReplicaHandle {
     /// The current apply frontier.
     pub fn applied_lsn(&self) -> u64 {
         self.applied.load(Ordering::Acquire)
+    }
+
+    /// Liveness of the feed thread, for `ServerConfig::feed_live`: `true`
+    /// while the apply loop is running, flipped to `false` the moment it
+    /// exits for any reason. A server gating `ReadAt` on this answers
+    /// `Lagging` immediately once the watermark can no longer advance,
+    /// instead of burning the caller's full wait budget.
+    pub fn feed_live(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.feed_live)
     }
 
     /// Stops the feed thread and returns its verdict: `Ok(())` for a clean
@@ -73,11 +83,17 @@ pub fn start_replica(
     let db = Arc::clone(replica.db());
     let applied = replica.watermark();
     let stop = Arc::new(AtomicBool::new(false));
+    let feed_live = Arc::new(AtomicBool::new(true));
     let feed = {
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || feed_loop(&mut replica, Some(client), addr, &policy.clone(), &stop))
+        let live = Arc::clone(&feed_live);
+        std::thread::spawn(move || {
+            let verdict = feed_loop(&mut replica, Some(client), addr, &policy.clone(), &stop);
+            live.store(false, Ordering::SeqCst);
+            verdict
+        })
     };
-    Ok(ReplicaHandle { db, applied, stop, feed: Some(feed) })
+    Ok(ReplicaHandle { db, applied, stop, feed_live, feed: Some(feed) })
 }
 
 /// Subscribes and pumps chunks until stopped. A reconnectable transport
@@ -107,7 +123,7 @@ fn feed_loop(
             },
         };
         client.set_read_timeout(Some(Duration::from_millis(25)))?;
-        if let Err(e) = client.subscribe(replica.subscribe_from()) {
+        if let Err(e) = client.subscribe(replica.subscribe_from(), replica.term()) {
             if e.is_reconnectable() {
                 continue;
             }
@@ -118,7 +134,21 @@ fn feed_loop(
                 return Ok(());
             }
             match client.try_next_chunk() {
-                Ok(Some((start, bytes))) => replica.ingest(start, &bytes)?,
+                Ok(Some((term, start, bytes))) => {
+                    replica.land_term(term, start, &bytes)?;
+                    // Ack what is now *durable in the cursor* (not merely
+                    // applied) — that is the guarantee semi-sync quorum
+                    // commit needs from a follower — before paying for the
+                    // apply work, which would otherwise sit inside the
+                    // primary's commit latency.
+                    if let Err(e) = client.send_ack(replica.term(), replica.subscribe_from()) {
+                        if e.is_reconnectable() {
+                            break; // reconnect outer
+                        }
+                        return Err(e.into());
+                    }
+                    replica.pump()?;
+                }
                 Ok(None) => {}
                 Err(e) if e.is_reconnectable() => break, // reconnect outer
                 Err(e) => return Err(e.into()),

@@ -183,6 +183,15 @@ pub enum LogBody {
         /// First gtid the recovered allocator may hand out.
         next: u64,
     },
+    /// Replication term (epoch) boundary. Written as the first record of a
+    /// promoted primary's stream; every record after it was produced under
+    /// `term`. A stream reader that has adopted a higher term treats records
+    /// from a lower one as coming from a fenced, stale primary.
+    TermChange {
+        /// The new term, strictly greater than every prior term in the
+        /// stream.
+        term: u64,
+    },
 }
 
 impl LogBody {
@@ -198,6 +207,7 @@ impl LogBody {
             LogBody::Prepare { .. } => 7,
             LogBody::Decide { .. } => 8,
             LogBody::GtidWatermark { .. } => 9,
+            LogBody::TermChange { .. } => 10,
         }
     }
 }
@@ -256,6 +266,9 @@ pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
         }
         LogBody::GtidWatermark { next } => {
             out.put_u64_le(*next);
+        }
+        LogBody::TermChange { term } => {
+            out.put_u64_le(*term);
         }
         LogBody::Insert { table, key, rid, row } => {
             out.put_u32_le(*table);
@@ -402,6 +415,10 @@ fn decode_payload(r: &mut Reader<'_>) -> Option<(u64, Lsn, Option<LogBody>)> {
         9 => {
             let next = r.u64_le()?;
             LogBody::GtidWatermark { next }
+        }
+        10 => {
+            let term = r.u64_le()?;
+            LogBody::TermChange { term }
         }
         _ => return Some((txn_id, prev_lsn, None)), // unknown tag
     };
@@ -556,6 +573,7 @@ mod tests {
             (0, NULL_LSN, LogBody::Decide { gtid: 7, commit: true }),
             (0, NULL_LSN, LogBody::Decide { gtid: 8, commit: false }),
             (0, NULL_LSN, LogBody::GtidWatermark { next: 1024 }),
+            (0, NULL_LSN, LogBody::TermChange { term: 3 }),
         ]);
     }
 

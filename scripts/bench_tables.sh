@@ -6,8 +6,13 @@
 #   scripts/ci.sh            — writes to bench_out/, then gates the fresh
 #                              numbers against the committed snapshots with
 #                              bench_regress;
-#   scripts/bench_tables.sh . — refreshes the committed snapshots at the
-#                              repo root (run on the CI box, then commit).
+#   baseline refresh         — run the FULL scripts/ci.sh on the CI box,
+#                              then `cp bench_out/BENCH_*.json .` and commit.
+#                              Don't regenerate the baseline with a bare
+#                              `scripts/bench_tables.sh .` on an idle box:
+#                              CI's fresh numbers are measured under the
+#                              pipeline's ambient load, and an idle-box
+#                              baseline sits systematically above them.
 #
 # Knob values here are the single source of truth: fresh runs and committed
 # snapshots must be generated with identical sizes or the diff is noise.
@@ -21,11 +26,21 @@ TAB3_CONNS=2 TAB3_TXNS=4000 TAB3_SUBSCRIBERS=2000 TAB3_REPS=3 \
     ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab3_server
 
-echo "== bench: tab_repl (read offload onto one replica) =="
-TABR_READERS=2 TABR_READS=4000 TABR_WRITES=500 TABR_REPLICAS=0,1 \
+echo "== bench: tab_repl (read offload onto one replica + commit modes) =="
+TABR_READERS=2 TABR_READS=4000 TABR_WRITES=500 TABR_REPLICAS=0,1 TABR_REPS=3 TABR_COMMITS=4000 \
     ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_repl
 
 echo "== bench: tab_shard (sharded TPC-B, 1/2/4 shards x 0/10/50% cross) =="
 ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_shard
+
+echo "== bench: tab1_engine (native engine matrix) =="
+TAB1_TXNS=5000 TAB1_REPS=3 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab1_engine
+
+echo "== bench: fig6_breakdown (wait shares: measured threads + modeled contexts) =="
+FIG6_THREADS=1,2,4 FIG6_CONTEXTS=2,8,32 FIG6_TXNS=2000 FIG6_REPS=3 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin fig6_breakdown

@@ -40,6 +40,16 @@ echo "== smoke: replication (loopback primary + replica, TPC-B burst, RYW) =="
 # honored under a commit token, and feed survival across a server bounce.
 cargo test --release -q -p esdb-repl --test repl_net
 
+echo "== smoke: failover (quorum commit, fencing, promotion torture matrix) =="
+# failover_torture sweeps {primary crash, follower crash, partition, old
+# primary returns} x {before ship, after ship/before ack, after quorum} x 3
+# seeds (36 seeded rounds) plus the double-promotion split-brain scenario;
+# the oracle asserts no quorum-acked commit is lost and no divergent commit
+# survives. net_failover covers the same machinery at the wire level
+# (typed QuorumTimeout/Fenced frames, stalled-peer timeout, dead-feed reads).
+cargo test --release -q -p esdb-repl --test failover_torture
+cargo test --release -q -p esdb-net --test net_failover
+
 echo "== smoke: sharding (2-shard loopback cluster, 2PC burst, coordinator crash + recover) =="
 # The shard_net integration test is the smoke: two shard servers over TCP, a
 # mixed single/cross-shard TPC-B burst through the router, one cross-shard
@@ -55,8 +65,14 @@ echo "== gate: bench regression (fresh numbers vs committed snapshots) =="
 # The tool's contract is a 10% band, but this runner is a single-vCPU
 # microVM whose absolute throughput drifts with host load; 35% catches
 # real collapses without flaking on steal-time. Tighten on dedicated
-# hardware.
+# hardware. tpmc comes from the deterministic CMP simulator (fig6b), so it
+# is gated alongside the throughput family — it cannot flake on load.
+# tab1/fig6's measured engine_tps cells are snapshot-recorded but NOT
+# gated: the consolidation-array cells are bimodal under single-vCPU
+# preemption (3-5x swings that survive best-of-N), so gating them is pure
+# flake until this runs on real cores.
 BENCH_NEW_DIR=bench_out BENCH_GATE_PCT=35 \
+    BENCH_GATE_METRICS="tps,read_tps,tpmc" \
     cargo run --release -p esdb-bench --bin bench_regress
 
 echo "== ci: all green =="

@@ -13,6 +13,11 @@ export TAB3_CONNS=${OBS_GATE_CONNS:-2}
 export TAB3_TXNS=${OBS_GATE_TXNS:-400}
 export TAB3_SUBSCRIBERS=${OBS_GATE_SUBSCRIBERS:-500}
 export TAB3_DEPTHS=4
+# tab3_server also emits BENCH_tab3_server.json, and with ESDB_BENCH_DIR
+# unset that lands in the repo root — overwriting the committed regression
+# baseline with this gate's depth-4-only smoke numbers. Park it in target/.
+export ESDB_BENCH_DIR=target/obs-gate
+mkdir -p "$ESDB_BENCH_DIR"
 
 echo "-- building tab3_server, obs enabled --"
 cargo build --release -q -p esdb-bench --bin tab3_server
