@@ -15,17 +15,27 @@
 //! still, and the throughput gap between the two server rows is the
 //! round-trip + flush latency the pipeline amortized away.
 //!
+//! Two reactor-era rows ride along: `p50_us` (depth-1 request/response
+//! latency through the event loop — the number that must NOT regress when
+//! trading threads for reactors) and `max_connections` (live sessions held
+//! at once — the number the reactor exists to multiply: a thread-per-session
+//! server caps at its thread budget, default 64; the reactor holds the
+//! whole herd on a handful of threads).
+//!
 //! Env knobs (CI smoke): TAB3_CONNS, TAB3_TXNS, TAB3_SUBSCRIBERS, TAB3_REPS
-//! (each mode reports its median run), and TAB3_DEPTHS (comma-separated
+//! (each mode reports its median run), TAB3_DEPTHS (comma-separated
 //! pipeline depths, default `1,8` — the obs overhead gate in
-//! `scripts/obs_overhead_gate.sh` runs a single depth-4).
+//! `scripts/obs_overhead_gate.sh` runs a single depth-4), TAB3_REACTORS
+//! (reactor thread count, 0 = host default) and TAB3_MAX_CONNS (herd size
+//! for the max_connections row).
 
 use esdb_bench::json::{write_bench_json, BenchRecord};
 use esdb_bench::{header, row};
 use esdb_core::{Database, EngineConfig};
 use esdb_net::{run_load, Client, LoadConfig, Server, ServerConfig};
-use esdb_workload::Tatp;
+use esdb_workload::{Tatp, Workload};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -54,11 +64,22 @@ fn report_row(mode: &str, report: &esdb_core::WorkloadReport, db: &Database) -> 
     ]
 }
 
+/// The bench's server config: `reactors == 0` keeps the host default.
+fn server_config(max_sessions: usize, reactors: usize) -> ServerConfig {
+    let mut config = ServerConfig { max_sessions, ..ServerConfig::default() };
+    if reactors > 0 {
+        config.reactors = reactors;
+    }
+    config
+}
+
 fn main() {
     let conns = env_u64("TAB3_CONNS", 4) as usize;
     let txns = env_u64("TAB3_TXNS", 5_000);
     let subscribers = env_u64("TAB3_SUBSCRIBERS", 10_000);
     let reps = env_u64("TAB3_REPS", 3) as usize;
+    let reactors = env_u64("TAB3_REACTORS", 0) as usize;
+    let max_conns = env_u64("TAB3_MAX_CONNS", 1_000) as usize;
     let depths: Vec<usize> = std::env::var("TAB3_DEPTHS")
         .map(|s| {
             s.split(',')
@@ -106,7 +127,7 @@ fn main() {
             let server = Server::start(
                 Arc::clone(&db),
                 "127.0.0.1:0",
-                ServerConfig { max_sessions: conns + 1, ..ServerConfig::default() },
+                server_config(conns + 1, reactors),
             )
             .expect("bind loopback");
             let report = run_load(
@@ -135,6 +156,78 @@ fn main() {
             config: format!("server depth={depth}"),
             metric: "tps".into(),
             value: report.throughput(),
+            seed: 42,
+        });
+    }
+
+    // Reactor scale rows: depth-1 p50 latency (the latency the refactor must
+    // not cost) and the largest live herd the server holds at once (the
+    // capacity it must buy).
+    {
+        let mut workload = Tatp::new(subscribers, 42);
+        let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+        db.load_population(&workload).expect("population load");
+        let server = Server::start(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            server_config(max_conns + 8, reactors),
+        )
+        .expect("bind loopback");
+
+        // p50: one strict request/response client, no pipelining — every
+        // sample is a full socket round trip through the reactor tick.
+        let p50_us = median_run(reps, || {
+            let mut client = Client::connect(server.local_addr()).expect("latency probe");
+            for _ in 0..200 {
+                client.one_shot(&workload.next_txn()).expect("warm-up txn");
+            }
+            let mut samples: Vec<u64> = (0..1_000)
+                .map(|_| {
+                    let spec = workload.next_txn();
+                    let started = Instant::now();
+                    client.one_shot(&spec).expect("latency txn");
+                    started.elapsed().as_micros() as u64
+                })
+                .collect();
+            samples.sort_unstable();
+            let p50 = samples[samples.len() / 2];
+            // median_run keys on throughput-like "higher is better"; negate
+            // so the kept run is the median *latency* run.
+            (-(p50 as f64), p50)
+        });
+        println!("\ndepth-1 p50 latency: {p50_us} us (single client, strict request/response)");
+        records.push(BenchRecord {
+            config: "server depth=1".into(),
+            metric: "p50_us".into(),
+            value: p50_us as f64,
+            seed: 42,
+        });
+
+        // max_connections: open the herd, prove a sample is live, count what
+        // the server reports. A thread-per-session build needs `held` stacks
+        // for this row; the reactors hold it on `config.reactors` threads.
+        let mut herd = Vec::with_capacity(max_conns);
+        for _ in 0..max_conns {
+            match Client::connect(server.local_addr()) {
+                Ok(c) => herd.push(c),
+                Err(_) => break,
+            }
+        }
+        for idx in [0, herd.len() / 2, herd.len().saturating_sub(1)] {
+            herd[idx].ping().expect("herd member must answer");
+        }
+        let held = herd.len();
+        let active = herd[0].stats().expect("stats").sessions_active;
+        drop(herd);
+        server.shutdown();
+        println!(
+            "max_connections: {held} live sessions held concurrently \
+             (server reports {active} active; threaded default cap was 64)"
+        );
+        records.push(BenchRecord {
+            config: "reactor".into(),
+            metric: "max_connections".into(),
+            value: held as f64,
             seed: 42,
         });
     }

@@ -5,12 +5,15 @@
 //! * [`protocol`] — a length-prefixed binary wire format (`u32` length +
 //!   tagged payload over the `bytes` traits). Decoding distinguishes
 //!   incomplete from malformed input and never panics on hostile bytes.
-//! * [`server`] — a threaded TCP server over `std::net` wrapping an
-//!   `Arc<Database>`: a bounded session table with explicit load shedding
-//!   (connections beyond the cap get a structured `Busy` greeting, not a
-//!   queue slot), per-session request pipelining whose one-shot commits ride
-//!   a single group-commit WAL flush per batch, and graceful shutdown that
-//!   drains in-flight work and forces the log durable.
+//! * [`server`] + [`reactor`] — an event-driven TCP server over `std::net`
+//!   wrapping an `Arc<Database>`: N per-core reactor threads run epoll-style
+//!   readiness loops (the vendored `minipoll` stub), each session a
+//!   nonblocking state machine owned by exactly one reactor. Admission stays
+//!   bounded with explicit load shedding (connections beyond the cap get a
+//!   structured `Busy` greeting, not a queue slot); pipelined one-shot
+//!   commits from *every* session on a reactor ride a single group-commit
+//!   WAL flush per tick; graceful shutdown drains in-flight work and forces
+//!   the log durable.
 //! * [`client`] — a blocking client (`one_shot`, pipelined batches,
 //!   interactive BEGIN/READ/UPDATE/INSERT/COMMIT/ABORT) plus a
 //!   multi-connection load generator producing the same [`WorkloadReport`]
@@ -36,10 +39,12 @@
 
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Snapshot};
 pub use protocol::{FrameError, Request, Response, ServerStats, MAX_FRAME};
+pub use reactor::FrameCursor;
 pub use server::{DecisionSource, Server, ServerConfig};
 
 use esdb_core::WorkloadReport;

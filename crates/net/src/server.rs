@@ -1,26 +1,32 @@
-//! Threaded TCP front-end over an [`esdb_core::Database`].
+//! Event-driven TCP front-end over an [`esdb_core::Database`].
 //!
-//! One OS thread per admitted session, a bounded session table, and explicit
-//! load shedding: a connection beyond the cap gets a [`Response::Busy`]
-//! greeting and is closed, so overload surfaces as a structured retry signal
-//! instead of unbounded queueing.
+//! The server runs **N per-core reactor threads**, not a thread per session.
+//! Each accepted socket is sharded to one reactor by fd hash and lives there
+//! for its whole life as a nonblocking state machine (see [`crate::reactor`]):
+//! shared-nothing session state owned by exactly one reactor, an epoll-style
+//! readiness loop (the vendored [`minipoll`] stub) instead of blocked reads,
+//! and per-tick batching of the expensive shared work.
 //!
-//! Sessions are **pipelined**: each loop iteration drains every complete
-//! request frame the socket has delivered and executes them as one batch.
+//! Admission control is unchanged from the threaded design: a bounded global
+//! session budget, and a connection beyond the cap gets a [`Response::Busy`]
+//! greeting and a close, so overload surfaces as a structured retry signal
+//! instead of unbounded queueing. The budget is a single atomic — reserved
+//! *before* the greeting so two racing connections cannot both squeeze past
+//! the cap — while the session state itself is per-reactor.
+//!
+//! Sessions are **pipelined**: each reactor tick drains every complete
+//! request frame a socket has delivered and executes them as one batch.
 //! One-shot transactions inside a batch commit via the engine's deferred
-//! path (`run_spec_deferred`), and the batch pays a *single* WAL durability
-//! wait covering the highest commit LSN — the network front-end's analogue
-//! of group commit. A client that keeps several transactions in flight
-//! therefore amortizes the log-device latency across all of them.
+//! path (`run_spec_deferred`), and the *tick* pays a single WAL durability
+//! wait ([`esdb_wal::Wal::flush_batch`]) covering the highest commit LSN of
+//! every session that completed a batch this tick — group commit across
+//! sessions, not just within one connection's pipeline.
 
-use crate::protocol::{decode_request, encode_response, FrameError, Request, Response, ServerStats};
-use esdb_core::config::ExecutionModel;
-use esdb_core::{Database, QuorumError, QuorumPolicy, ReplGroup};
-use esdb_txn::Txn;
-use esdb_wal::Lsn;
-use esdb_workload::TxnSpec;
-use parking_lot::Mutex;
-use std::io::{ErrorKind, Read as IoRead, Write as IoWrite};
+use crate::protocol::{encode_response, Response, ServerStats};
+use crate::reactor::{self, ReactorHandle};
+use esdb_core::{Database, QuorumPolicy, ReplGroup};
+use minipoll::{Poller, Waker};
+use std::io::{ErrorKind, Write as IoWrite};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,9 +34,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Where a participant server looks up a coordinator's durable verdict for
-/// an in-doubt transaction ([`Request::ShardStatus`]). The closure returns
-/// `Some(commit)` when the coordinator logged a decision and `None` when it
-/// never did — which, under presumed abort, the server reports as an abort.
+/// an in-doubt transaction ([`crate::protocol::Request::ShardStatus`]). The
+/// closure returns `Some(commit)` when the coordinator logged a decision and
+/// `None` when it never did — which, under presumed abort, the server
+/// reports as an abort.
 #[derive(Clone)]
 pub struct DecisionSource(pub Arc<dyn Fn(u64) -> Option<bool> + Send + Sync>);
 
@@ -44,44 +51,60 @@ impl std::fmt::Debug for DecisionSource {
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum concurrently admitted sessions; connection `max_sessions + 1`
-    /// is shed with [`Response::Busy`].
+    /// is shed with [`Response::Busy`]. The budget is global across all
+    /// reactors.
     pub max_sessions: usize,
-    /// How often blocked reads wake up to observe a shutdown request.
+    /// Reactor threads serving sessions. Accepted sockets are sharded across
+    /// reactors by fd hash; each session's state is owned by one reactor for
+    /// its whole life. Defaults to the host's available parallelism, capped
+    /// at 4 — reactors are I/O multiplexers, not compute workers, and a few
+    /// go a long way.
+    pub reactors: usize,
+    /// Upper bound on a reactor tick: how long the readiness wait may block
+    /// when nothing is happening. Parked sessions (quorum/read-at waits, log
+    /// shipping) shorten the effective tick to ~1ms.
     pub poll_interval: Duration,
     /// Replica-side only: the apply loop's durable frontier. When set,
-    /// [`Request::ReadAt`] waits (up to [`ServerConfig::read_at_wait`]) for
-    /// the frontier to reach the request's token before reading; when `None`
-    /// (a primary), every read is trivially fresh.
+    /// [`crate::protocol::Request::ReadAt`] waits (up to
+    /// [`ServerConfig::read_at_wait`]) for the frontier to reach the
+    /// request's token before reading; when `None` (a primary), every read
+    /// is trivially fresh.
     pub applied_watermark: Option<Arc<AtomicU64>>,
-    /// How long a [`Request::ReadAt`] may wait for the apply frontier before
-    /// the server gives up with [`Response::Lagging`].
+    /// How long a [`crate::protocol::Request::ReadAt`] may wait for the
+    /// apply frontier before the server gives up with [`Response::Lagging`].
+    /// The session parks; its reactor keeps serving everyone else.
     pub read_at_wait: Duration,
     /// Largest log span per shipped [`Response::LogChunk`]; must leave frame
     /// headroom below [`crate::protocol::MAX_FRAME`].
     pub ship_chunk: usize,
-    /// Participant-side 2PC recovery oracle: answers [`Request::ShardStatus`]
-    /// from the coordinator's decision log. `None` on servers that never act
-    /// as 2PC participants (status queries then return an error).
+    /// Participant-side 2PC recovery oracle: answers
+    /// [`crate::protocol::Request::ShardStatus`] from the coordinator's
+    /// decision log. `None` on servers that never act as 2PC participants
+    /// (status queries then return an error).
     pub decision_source: Option<DecisionSource>,
     /// Primary-side replication group: term, follower acks, fencing. Set on
     /// servers that ship log to subscribers; the ship path consults it for
     /// the term handshake and feeds follower acks into it.
     pub repl_group: Option<Arc<ReplGroup>>,
-    /// Semi-sync commit mode: when set (and `repl_group` is too), the batch
-    /// group-commit wait additionally blocks until `k` followers have acked
-    /// durability at the batch's commit LSN, degrading to a typed
-    /// [`Response::QuorumTimeout`] when the bound expires.
+    /// Semi-sync commit mode: when set (and `repl_group` is too), a commit
+    /// acknowledgment additionally waits until `k` followers have acked
+    /// durability at the commit LSN, degrading to a typed
+    /// [`Response::QuorumTimeout`] when the bound expires. The wait is a
+    /// *parked session state*, not a blocked thread: the reactor keeps
+    /// draining follower acks (possibly on the very same reactor) while the
+    /// committing session waits, so quorum can never deadlock the server.
     pub quorum: Option<QuorumPolicy>,
     /// Replica-side only: the feed thread's liveness flag. When the feed is
-    /// dead (`false`), a [`Request::ReadAt`] the frontier cannot satisfy
-    /// answers [`Response::Lagging`] immediately instead of burning the full
-    /// [`ServerConfig::read_at_wait`] — the frontier is not going to move.
+    /// dead (`false`), a [`crate::protocol::Request::ReadAt`] the frontier
+    /// cannot satisfy answers [`Response::Lagging`] immediately instead of
+    /// burning the full [`ServerConfig::read_at_wait`] — the frontier is not
+    /// going to move.
     pub feed_live: Option<Arc<AtomicBool>>,
     /// Stalled-peer budget: a session whose peer has sent part of a frame
     /// and then gone quiet for this long is closed with a typed
-    /// [`FrameError::Timeout`] error frame instead of holding its thread
-    /// (and session slot) forever. `None` keeps the historic wait-forever
-    /// behavior.
+    /// [`crate::protocol::FrameError::Timeout`] error frame instead of
+    /// holding its session slot forever. `None` keeps the historic
+    /// wait-forever behavior.
     pub stall_timeout: Option<Duration>,
 }
 
@@ -89,6 +112,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_sessions: 64,
+            reactors: default_reactors(),
             poll_interval: Duration::from_millis(20),
             applied_watermark: None,
             read_at_wait: Duration::from_millis(500),
@@ -102,26 +126,32 @@ impl Default for ServerConfig {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    active: AtomicU64,
-    txns_executed: AtomicU64,
-    txns_committed: AtomicU64,
-    batches: AtomicU64,
+fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
 }
 
-struct Shared {
-    db: Arc<Database>,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    counters: Counters,
-    sessions: Mutex<Vec<JoinHandle<()>>>,
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) txns_executed: AtomicU64,
+    pub(crate) txns_committed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+}
+
+pub(crate) struct Shared {
+    pub(crate) db: Arc<Database>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) counters: Counters,
 }
 
 impl Shared {
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         ServerStats {
             engine: self.db.stats_snapshot(),
             sessions_accepted: self.counters.accepted.load(Ordering::Relaxed),
@@ -139,10 +169,13 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    handles: Arc<Vec<Arc<ReactorHandle>>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the reactor
+    /// threads, and starts accepting.
     pub fn start(
         db: Arc<Database>,
         addr: &str,
@@ -152,18 +185,48 @@ impl Server {
         let local = listener.local_addr()?;
         // Non-blocking accept so the loop can observe the shutdown flag.
         listener.set_nonblocking(true)?;
+        let n = config.reactors.max(1);
         let shared = Arc::new(Shared {
             db,
             config,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
-            sessions: Mutex::new(Vec::new()),
         });
+        // Build every poller/waker pair before spawning anything so the
+        // acceptor sees a complete routing table from its first connection.
+        let mut parts = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, reactor::WAKER_TOKEN)?;
+            let handle = Arc::new(ReactorHandle::new(waker.handle()?));
+            handles.push(Arc::clone(&handle));
+            parts.push((poller, waker, handle));
+        }
+        let handles = Arc::new(handles);
+        let reactors = parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, (poller, waker, handle))| {
+                let shared = Arc::clone(&shared);
+                let peers = Arc::clone(&handles);
+                std::thread::spawn(move || {
+                    reactor::run(id, shared, poller, waker, handle, peers)
+                })
+            })
+            .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
+            let handles = Arc::clone(&handles);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &handles))
         };
-        Ok(Server { shared, addr: local, acceptor: Some(acceptor) })
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            reactors,
+            handles,
+        })
     }
 
     /// The bound address (the actual port when started with port 0).
@@ -176,10 +239,10 @@ impl Server {
         self.shared.stats()
     }
 
-    /// Graceful shutdown: stop accepting, let every session finish the batch
-    /// it is processing (plus anything already buffered), join all threads,
-    /// then force the WAL durable to its end so committed work survives a
-    /// subsequent crash/restart.
+    /// Graceful shutdown: stop accepting, let every reactor drain what its
+    /// sessions have already sent (finishing in-flight pipelined batches),
+    /// join all threads, then force the WAL durable to its end so committed
+    /// work survives a subsequent crash/restart.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -189,8 +252,11 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let sessions = std::mem::take(&mut *self.shared.sessions.lock());
-        for h in sessions {
+        // Reactors may be parked in a poll wait; ring every doorbell.
+        for handle in self.handles.iter() {
+            handle.wake();
+        }
+        for h in std::mem::take(&mut self.reactors) {
             let _ = h.join();
         }
         let wal = self.shared.db.wal();
@@ -206,13 +272,17 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handles: &Arc<Vec<Arc<ReactorHandle>>>,
+) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => admit(stream, shared),
+            Ok((stream, _peer)) => admit(stream, shared, handles),
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(shared.config.poll_interval);
             }
@@ -221,10 +291,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Admission control: greet with Hello and spawn a session, or shed with
-/// Busy and close. The session slot is reserved *before* the greeting so two
-/// racing connections cannot both squeeze past the cap.
-fn admit(mut stream: TcpStream, shared: &Arc<Shared>) {
+/// Admission control: greet with Hello and hand the socket to a reactor, or
+/// shed with Busy and close. The session slot is reserved *before* the
+/// greeting so two racing connections cannot both squeeze past the cap.
+fn admit(mut stream: TcpStream, shared: &Arc<Shared>, handles: &Arc<Vec<Arc<ReactorHandle>>>) {
     let _ = stream.set_nodelay(true);
     let cap = shared.config.max_sessions as u64;
     let admitted = shared
@@ -245,571 +315,12 @@ fn admit(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
     shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
     encode_response(&Response::Hello, &mut greeting);
-    if stream.write_all(&greeting).is_err() {
+    if stream.write_all(&greeting).is_err() || stream.set_nonblocking(true).is_err() {
         shared.counters.active.fetch_sub(1, Ordering::SeqCst);
         return;
     }
-    let session_shared = Arc::clone(shared);
-    let handle = std::thread::spawn(move || {
-        session_loop(stream, &session_shared);
-        session_shared.counters.active.fetch_sub(1, Ordering::SeqCst);
-    });
-    shared.sessions.lock().push(handle);
-}
-
-/// Per-session state: at most one open interactive transaction.
-struct Session {
-    txn: Option<Txn>,
-}
-
-fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let mut inbox: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 64 * 1024];
-    let mut session = Session { txn: None };
-    let mut stalled_since: Option<std::time::Instant> = None;
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed
-            Ok(n) => {
-                stalled_since = None;
-                inbox.extend_from_slice(&chunk[..n]);
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // No new bytes. A graceful shutdown ends the session once
-                // everything already received has been processed.
-                if shared.shutdown.load(Ordering::SeqCst) && inbox.is_empty() {
-                    return;
-                }
-                // A peer that started a frame and went quiet is hung, not
-                // idle: burn its slot only up to the configured budget, then
-                // close with a typed timeout.
-                if !inbox.is_empty() {
-                    if let Some(budget) = shared.config.stall_timeout {
-                        let began = *stalled_since.get_or_insert_with(std::time::Instant::now);
-                        if began.elapsed() >= budget {
-                            let mut outbox = Vec::new();
-                            encode_response(
-                                &Response::Error(FrameError::Timeout.to_string()),
-                                &mut outbox,
-                            );
-                            let _ = stream.write_all(&outbox);
-                            return;
-                        }
-                    }
-                }
-                continue;
-            }
-            Err(_) => return,
-        }
-        // Drain every complete frame the socket delivered: this is the
-        // pipelining window. Everything decoded here executes as one batch.
-        let mut batch = Vec::new();
-        let mut consumed = 0;
-        let mut fatal: Option<FrameError> = None;
-        loop {
-            match decode_request(&inbox[consumed..]) {
-                Ok(Some((req, used))) => {
-                    // A subscribe flips the session into a log feed; stop
-                    // decoding here so bytes behind it (ack frames already in
-                    // flight) stay in the inbox for the ship loop.
-                    let is_subscribe = matches!(req, Request::ReplSubscribe { .. });
-                    batch.push(req);
-                    consumed += used;
-                    if is_subscribe {
-                        break;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    fatal = Some(e);
-                    break;
-                }
-            }
-        }
-        inbox.drain(..consumed);
-        // A subscribe request flips the session into a one-way log feed: run
-        // whatever was pipelined ahead of it, then hand the socket — and any
-        // bytes that followed the subscribe frame — to the ship loop and
-        // never come back.
-        let subscribe = batch
-            .iter()
-            .position(|req| matches!(req, Request::ReplSubscribe { .. }));
-        if let Some(i) = subscribe {
-            let Request::ReplSubscribe { from, term } = batch[i] else { unreachable!() };
-            if i > 0 {
-                let outbox = run_batch(&batch[..i], &mut session, shared);
-                if stream.write_all(&outbox).is_err() {
-                    return;
-                }
-            }
-            ship_loop(stream, shared, from, term, std::mem::take(&mut inbox));
-            return;
-        }
-        if !batch.is_empty() {
-            let outbox = run_batch(&batch, &mut session, shared);
-            if stream.write_all(&outbox).is_err() {
-                return;
-            }
-        }
-        if let Some(e) = fatal {
-            // Protocol desync is unrecoverable: report and close.
-            let mut outbox = Vec::new();
-            encode_response(&Response::Error(e.to_string()), &mut outbox);
-            let _ = stream.write_all(&outbox);
-            return;
-        }
-    }
-}
-
-/// Executes one pipelined batch. Commit acknowledgments are written only
-/// after a single `wait_durable` covering the batch's highest commit LSN —
-/// deferred commits from every transaction in the batch ride one flush.
-fn run_batch(batch: &[Request], session: &mut Session, shared: &Arc<Shared>) -> Vec<u8> {
-    let db = &shared.db;
-    let mut responses: Vec<Response> = Vec::with_capacity(batch.len());
-    let mut flush_to: Option<Lsn> = None;
-    // Response slots acknowledging a durable commit; rewritten to a typed
-    // degradation if the semi-sync quorum wait below fails.
-    let mut commit_acks: Vec<usize> = Vec::new();
-    fn note(lsn: Option<Lsn>, flush_to: &mut Option<Lsn>) {
-        if let Some(lsn) = lsn {
-            *flush_to = Some(flush_to.map_or(lsn, |m| m.max(lsn)));
-        }
-    }
-    for req in batch {
-        let resp = match req {
-            Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(shared.stats()),
-            Request::ObsStats => Response::ObsStats(Box::new(db.obs_snapshot())),
-            Request::OneShot { may_fail, ops } => {
-                shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
-                let spec = TxnSpec { kind: "net", ops: ops.clone(), may_fail: *may_fail };
-                // Per-txn profile covers execution only; the batch's shared
-                // group-commit flush below is accounted once as CommitFlush
-                // rather than attributed to any single transaction.
-                let ((outcome, lsn), profile) =
-                    esdb_obs::profile_scope(|| db.run_spec_deferred(&spec));
-                if esdb_obs::enabled() {
-                    esdb_obs::record_component(
-                        esdb_obs::Component::TxnLatency,
-                        profile.wall(),
-                    );
-                }
-                if outcome.is_committed() {
-                    shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
-                    if lsn.is_some() {
-                        commit_acks.push(responses.len());
-                    }
-                }
-                note(lsn, &mut flush_to);
-                Response::Outcome(outcome)
-            }
-            Request::Begin => match session.txn {
-                Some(_) => Response::Error("transaction already open".into()),
-                None => {
-                    if matches!(db.config().execution, ExecutionModel::Dora { .. }) {
-                        Response::Error(
-                            "interactive transactions require the conventional engine; \
-                             DORA accepts one-shot TXN frames only"
-                                .into(),
-                        )
-                    } else {
-                        session.txn = Some(db.txn_manager().begin());
-                        Response::Ok
-                    }
-                }
-            },
-            Request::Read { table, key } => {
-                match session.txn.as_mut().map(|txn| txn.read(*table, *key)) {
-                    None => Response::Error("no open transaction".into()),
-                    Some(Ok(row)) => Response::Row(row),
-                    Some(Err(e)) => abort_with(session, e),
-                }
-            }
-            Request::Update { table, key, row } => {
-                match session.txn.as_mut().map(|txn| txn.update(*table, *key, row)) {
-                    None => Response::Error("no open transaction".into()),
-                    Some(Ok(_)) => Response::Ok,
-                    Some(Err(e)) => abort_with(session, e),
-                }
-            }
-            Request::Insert { table, key, row } => {
-                match session.txn.as_mut().map(|txn| txn.insert(*table, *key, row)) {
-                    None => Response::Error("no open transaction".into()),
-                    Some(Ok(())) => Response::Ok,
-                    Some(Err(e)) => abort_with(session, e),
-                }
-            }
-            Request::Commit => match session.txn.take() {
-                None => Response::Error("no open transaction".into()),
-                Some(txn) => {
-                    let lsn = txn.commit_deferred();
-                    if lsn.is_some() {
-                        commit_acks.push(responses.len());
-                    }
-                    note(lsn, &mut flush_to);
-                    Response::Ok
-                }
-            },
-            Request::Abort => match session.txn.take() {
-                None => Response::Error("no open transaction".into()),
-                Some(txn) => {
-                    txn.abort();
-                    Response::Ok
-                }
-            },
-            Request::ReplSnapshot => {
-                snapshot_into(db, &mut responses);
-                continue;
-            }
-            // Intercepted in `session_loop`; reaching here means the client
-            // pipelined requests after subscribe, which the contract forbids.
-            Request::ReplSubscribe { .. } => {
-                Response::Error("subscribe ends the request/response dialogue".into())
-            }
-            // Acks belong to subscribe feeds; on a request/response session
-            // they are a protocol misuse, answered typed rather than fatally.
-            Request::ReplAck { .. } => {
-                Response::Error("acks are only valid on a subscribe feed".into())
-            }
-            Request::CommitToken => Response::Token { lsn: db.wal().durable_lsn() },
-            Request::ReadAt { table, key, min_lsn } => {
-                read_at(db, shared, *table, *key, *min_lsn)
-            }
-            // 2PC phase one: execute the ops, force the Prepare record, and
-            // vote. A yes-vote parks the transaction (locks held) in the
-            // engine's prepared registry until a ShardDecide arrives.
-            Request::ShardPrepare { gtid, ops } => {
-                shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
-                let spec = TxnSpec { kind: "shard", ops: ops.clone(), may_fail: true };
-                let outcome = match db.run_spec_prepare(*gtid, &spec) {
-                    esdb_core::PrepareVote::Commit { reads } => {
-                        esdb_core::spec_exec::SpecOutcome::Committed { reads }
-                    }
-                    esdb_core::PrepareVote::Abort { outcome } => outcome,
-                };
-                Response::ShardVote { gtid: *gtid, outcome }
-            }
-            // 2PC phase two: finish a prepared transaction. Unknown gtids
-            // are acknowledged too — a retried decision must be idempotent.
-            Request::ShardDecide { gtid, commit } => {
-                if db.decide(*gtid, *commit) && *commit {
-                    shared.counters.txns_committed.fetch_add(1, Ordering::Relaxed);
-                }
-                Response::Ok
-            }
-            // Participant recovery asks the coordinator's decision log what
-            // became of an in-doubt gtid; no durable decision means abort
-            // (presumed abort).
-            Request::ShardStatus { gtid } => match &shared.config.decision_source {
-                Some(source) => Response::ShardDecision {
-                    gtid: *gtid,
-                    commit: (source.0)(*gtid).unwrap_or(false),
-                },
-                None => Response::Error("no coordinator decision source configured".into()),
-            },
-            Request::ShardInDoubt => Response::ShardGtids(db.prepared_gtids()),
-        };
-        responses.push(resp);
-    }
-    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-    // The group-commit point: every deferred commit in this batch becomes
-    // durable under one wait before any acknowledgment leaves the server.
-    // Accounted as commit-flush wait: the batch's commits are what block on
-    // it (the nested log-wait timer inside wait_durable records nothing).
-    if let Some(lsn) = flush_to {
-        let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
-        db.wal().wait_durable(lsn);
-    }
-    // Semi-sync mode: the same flush point also waits for K follower acks.
-    // A failed wait never hangs and never lies — every commit ack in the
-    // batch is rewritten to the typed degradation (the commit *is* durable
-    // locally; only its replication guarantee is unmet).
-    if let (Some(lsn), Some(group), Some(policy)) = (
-        flush_to,
-        shared.config.repl_group.as_ref(),
-        shared.config.quorum.as_ref(),
-    ) {
-        let verdict = {
-            let _wait = esdb_obs::wait_timer(esdb_obs::WaitClass::CommitFlush);
-            group.wait_quorum(lsn, policy)
-        };
-        if let Err(e) = verdict {
-            let downgrade = match e {
-                QuorumError::Timeout { lsn, acked, needed } => {
-                    Response::QuorumTimeout { lsn, acked, needed }
-                }
-                QuorumError::Fenced { term } => Response::Fenced { term },
-            };
-            for &i in &commit_acks {
-                responses[i] = downgrade.clone();
-            }
-        }
-    }
-    let mut outbox = Vec::new();
-    for resp in &responses {
-        encode_response(resp, &mut outbox);
-    }
-    outbox
-}
-
-/// Takes a checkpoint and appends the full page snapshot to `responses`:
-/// one [`Response::SnapBegin`] carrying the redo start LSN and catalog, a
-/// [`Response::SnapPage`] per heap page, and a closing [`Response::SnapEnd`].
-/// Pages may be dirtied again while we read them — that is the *fuzzy* part;
-/// a page newer than the checkpoint just makes the replica's page-LSN
-/// idempotent redo skip the already-applied records.
-fn snapshot_into(db: &Arc<Database>, responses: &mut Vec<Response>) {
-    let start_lsn = match db.checkpoint() {
-        Ok(lsn) => lsn,
-        Err(e) => {
-            responses.push(Response::Error(format!("snapshot failed: {e}")));
-            return;
-        }
-    };
-    let catalog = db.catalog();
-    responses.push(Response::SnapBegin {
-        start_lsn,
-        catalog: catalog
-            .iter()
-            .map(|(id, name, arity, pages)| (*id, name.clone(), *arity as u32, pages.clone()))
-            .collect(),
-    });
-    let disk = db.disk();
-    let mut page = esdb_storage::page::Page::new();
-    let mut page_count = 0u64;
-    for (_, _, _, pages) in &catalog {
-        for &pid in pages {
-            match disk.read(pid, &mut page) {
-                Ok(()) => {
-                    responses.push(Response::SnapPage {
-                        page_id: pid,
-                        bytes: page.as_bytes().to_vec(),
-                    });
-                    page_count += 1;
-                }
-                Err(e) => {
-                    responses.push(Response::Error(format!("snapshot page {pid}: {e:?}")));
-                    return;
-                }
-            }
-        }
-    }
-    responses.push(Response::SnapEnd { page_count });
-}
-
-/// A follower read: wait for the apply frontier to reach the caller's token,
-/// then serve the row through a throwaway read-only transaction. On a
-/// primary (no watermark configured) every read is already fresh.
-fn read_at(db: &Arc<Database>, shared: &Arc<Shared>, table: u32, key: u64, min_lsn: Lsn) -> Response {
-    if let Some(watermark) = &shared.config.applied_watermark {
-        let feed_dead = || {
-            shared
-                .config
-                .feed_live
-                .as_ref()
-                .is_some_and(|live| !live.load(Ordering::Acquire))
-        };
-        let deadline = std::time::Instant::now() + shared.config.read_at_wait;
-        loop {
-            let applied = watermark.load(Ordering::Acquire);
-            if applied >= min_lsn {
-                break;
-            }
-            // A dead feed thread means the frontier will never move: answer
-            // Lagging now instead of burning the full bounded wait.
-            if feed_dead() || std::time::Instant::now() >= deadline {
-                return Response::Lagging { applied };
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-    }
-    if matches!(db.config().execution, ExecutionModel::Dora { .. }) {
-        return Response::Error("follower reads require the conventional engine".into());
-    }
-    let mut txn = db.txn_manager().begin();
-    let resp = match txn.read(table, key) {
-        Ok(row) => Response::Row(row),
-        Err(e) => Response::Error(format!("read failed: {e}")),
-    };
-    txn.abort();
-    resp
-}
-
-/// A follower's ack slot in the primary's [`ReplGroup`], dropped (and
-/// deregistered) however the ship loop exits.
-struct FollowerSlot {
-    group: Arc<ReplGroup>,
-    id: u64,
-}
-
-impl Drop for FollowerSlot {
-    fn drop(&mut self) {
-        self.group.deregister_follower(self.id);
-    }
-}
-
-/// Drains whatever ack frames the subscriber has pushed up the feed socket.
-/// Returns `Ok(false)` if the peer hung up, `Err` on a protocol violation.
-/// Non-ack requests on a feed are a contract breach and close it.
-fn drain_acks(
-    stream: &mut TcpStream,
-    ackbuf: &mut Vec<u8>,
-    slot: Option<&FollowerSlot>,
-) -> Result<bool, ()> {
-    // Exactly one bounded read per call, decoded immediately. Reading "until
-    // WouldBlock" would force every ack to wait out the trailing timed-out
-    // read before being processed — and kernels round socket timeouts up to
-    // a scheduler tick, which puts several milliseconds of pure idle waiting
-    // on the commit path of every semi-sync transaction. One read either
-    // wakes on arriving bytes (ack processed at once) or times out on a
-    // genuinely idle feed; leftover bytes are picked up next iteration.
-    let mut chunk = [0u8; 4 * 1024];
-    match stream.read(&mut chunk) {
-        Ok(0) => return Ok(false), // subscriber closed
-        Ok(n) => ackbuf.extend_from_slice(&chunk[..n]),
-        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-        Err(_) => return Ok(false),
-    }
-    let mut consumed = 0;
-    loop {
-        match decode_request(&ackbuf[consumed..]) {
-            Ok(Some((Request::ReplAck { term, lsn }, used))) => {
-                consumed += used;
-                if let Some(s) = slot {
-                    s.group.note_ack(s.id, term, lsn);
-                }
-            }
-            Ok(Some((_, _))) => return Err(()),
-            Ok(None) => break,
-            Err(_) => return Err(()),
-        }
-    }
-    ackbuf.drain(..consumed);
-    Ok(true)
-}
-
-/// The primary half of log shipping: block on the WAL durability hub, cut
-/// the newly durable span into [`Response::LogChunk`] frames, push them, and
-/// repeat until the subscriber hangs up, the log is truncated past its
-/// cursor (it must re-bootstrap from a snapshot), or the server shuts down.
-///
-/// When a [`ReplGroup`] is configured, the feed is also the quorum and
-/// fencing channel: the subscriber's handshake term is checked (a higher
-/// term deposes this primary — [`Response::Fenced`], no shipping), every
-/// chunk is stamped with the current term, and [`Request::ReplAck`] frames
-/// coming back up the socket feed the group's ack table.
-fn ship_loop(
-    mut stream: TcpStream,
-    shared: &Arc<Shared>,
-    mut from: Lsn,
-    sub_term: u64,
-    mut ackbuf: Vec<u8>,
-) {
-    let wal = shared.db.wal();
-    let chunk_cap = shared
-        .config
-        .ship_chunk
-        .min(crate::protocol::MAX_FRAME - 64)
-        .max(1);
-    let mut outbox = Vec::new();
-    let group = shared.config.repl_group.as_ref();
-    let fenced_reply = |stream: &mut TcpStream, term: u64| {
-        let mut out = Vec::new();
-        encode_response(&Response::Fenced { term }, &mut out);
-        let _ = stream.write_all(&out);
-    };
-    let slot = if let Some(g) = group {
-        // Term handshake. A subscriber speaking from a higher term is (or
-        // has seen) our successor: record the supersession and refuse to
-        // ship a single byte — the fence that keeps a deposed primary from
-        // feeding anyone its divergent tail.
-        if sub_term > g.term() {
-            g.fence(sub_term);
-        }
-        if let Some(t) = g.fenced_by() {
-            fenced_reply(&mut stream, t);
-            return;
-        }
-        Some(FollowerSlot { group: Arc::clone(g), id: g.register_follower() })
-    } else {
-        None
-    };
-    // Acks are polled, not blocked on: a short read timeout keeps the loop
-    // responsive to both newly durable bytes and incoming acks. `ackbuf`
-    // may arrive pre-seeded with ack bytes that were pipelined right behind
-    // the subscribe frame.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match drain_acks(&mut stream, &mut ackbuf, slot.as_ref()) {
-            Ok(true) => {}
-            Ok(false) | Err(()) => return,
-        }
-        if let Some(g) = group {
-            if let Some(t) = g.fenced_by() {
-                fenced_reply(&mut stream, t);
-                return;
-            }
-        }
-        // With a quorum group, this socket is also the ack channel, and the
-        // subscriber's ack may be the only event in flight (every session can
-        // be parked in `wait_quorum`, so no flush will ring the hub). Never
-        // park here long enough to leave a delivered ack unread.
-        let hub_wait = if group.is_some() {
-            shared.config.poll_interval.min(Duration::from_millis(1))
-        } else {
-            shared.config.poll_interval
-        };
-        let durable = wal.wait_durable_beyond(from, hub_wait);
-        if durable <= from {
-            continue;
-        }
-        let Some((bytes, start)) = wal.durable_tail(from) else {
-            // The log was truncated past this subscriber's cursor; only a
-            // fresh snapshot can help it. Closing the feed signals that.
-            return;
-        };
-        if start != from {
-            return;
-        }
-        // The store may hold flushed bytes the durable watermark has not
-        // published yet; never ship past what the WAL calls durable.
-        let avail = ((durable - start) as usize).min(bytes.len());
-        if avail == 0 {
-            continue;
-        }
-        let term = group.map_or(0, |g| g.term());
-        let mut off = 0;
-        while off < avail {
-            let n = (avail - off).min(chunk_cap);
-            outbox.clear();
-            encode_response(
-                &Response::LogChunk {
-                    term,
-                    start: start + off as u64,
-                    bytes: bytes[off..off + n].to_vec(),
-                },
-                &mut outbox,
-            );
-            if stream.write_all(&outbox).is_err() {
-                return;
-            }
-            off += n;
-        }
-        from = start + avail as u64;
-    }
-}
-
-/// An interactive statement failed: abort the open transaction (2PL already
-/// released nothing early) and report the error. The session stays usable —
-/// the client may BEGIN again.
-fn abort_with(session: &mut Session, e: esdb_txn::TxnError) -> Response {
-    if let Some(txn) = session.txn.take() {
-        txn.abort();
-    }
-    Response::Error(format!("transaction aborted: {e}"))
+    // Shard by fd hash: cheap, stable for the socket's lifetime, and evenly
+    // spread (fds are densely allocated). The session never migrates.
+    let idx = reactor::raw_fd(&stream) as usize % handles.len();
+    handles[idx].inject(stream);
 }

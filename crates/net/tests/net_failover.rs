@@ -232,3 +232,68 @@ fn dead_feed_answers_lagging_immediately() {
     assert_eq!(client.read_at(t, 1, 40).unwrap(), Ok(vec![7]));
     server.shutdown();
 }
+
+/// Satellite: the reactor refactor's nastiest hazard, pinned. With exactly
+/// ONE reactor the committing session and the follower feed that must ack
+/// it share a thread. A blocking quorum wait inside the tick would
+/// deadlock — the thread waiting for the ack is the only thread that can
+/// read it — and surface here as a QuorumTimeout. The parked AwaitQuorum
+/// phase keeps the tick turning, so the commit succeeds.
+#[test]
+fn single_reactor_commit_is_acked_by_a_feed_on_the_same_reactor() {
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    let t = db.create_table("kv", 1).unwrap();
+    let group = Arc::new(ReplGroup::new(1));
+    let server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            reactors: 1,
+            repl_group: Some(Arc::clone(&group)),
+            // Generous timeout: on a correct server the ack arrives in
+            // milliseconds; on a deadlocked one we'd burn all of it and
+            // fail typed below.
+            quorum: Some(QuorumPolicy { k: 1, timeout: Duration::from_secs(5) }),
+            poll_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The follower lives on the same (only) reactor and acks every chunk.
+    let stop = Arc::new(AtomicBool::new(false));
+    let feed_stop = Arc::clone(&stop);
+    let addr = server.local_addr();
+    let start_from = db.wal().durable_lsn();
+    let feed = std::thread::spawn(move || {
+        let mut follower = Client::connect(addr).unwrap();
+        follower.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        follower.subscribe(start_from, 1).unwrap();
+        while !feed_stop.load(std::sync::atomic::Ordering::SeqCst) {
+            match follower.try_next_chunk() {
+                Ok(Some((_term, start, bytes))) => {
+                    follower.send_ack(1, start + bytes.len() as u64).unwrap();
+                }
+                Ok(None) => {}
+                Err(e) => panic!("feed died: {e:?}"),
+            }
+        }
+    });
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let started = Instant::now();
+    for key in 0..5 {
+        client.one_shot(&spec_insert(t, key)).unwrap_or_else(|e| {
+            panic!("semi-sync commit on a single reactor must succeed, got {e:?}")
+        });
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "commits took {:?} — the reactor was not draining acks while parked",
+        started.elapsed()
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    feed.join().unwrap();
+    server.shutdown();
+}

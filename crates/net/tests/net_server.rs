@@ -296,3 +296,47 @@ fn interactive_txn_roundtrip_with_conflict_abort() {
     assert_eq!(a.read_committed(t, 2).unwrap(), Some(vec![50, 0]));
     server.shutdown();
 }
+
+/// Satellite: per-reactor drain-and-flush must not hang on a session that
+/// stopped mid-frame. The complete prefix (a Ping) is answered, the
+/// half-frame tail is discarded, and shutdown completes promptly.
+#[test]
+fn shutdown_with_mid_frame_peer_answers_prefix_and_exits() {
+    let (db, server) = start_server(EngineConfig::conventional_baseline(), 4);
+    let t = db.create_table("kv", 1).unwrap();
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut greeting = [0u8; 5];
+    raw.read_exact(&mut greeting).unwrap(); // Hello
+    // One complete Ping, then the first 3 bytes of a larger frame's length
+    // prefix — a client that froze mid-send.
+    let mut wire = Vec::new();
+    esdb_net::protocol::encode_request(&esdb_net::Request::Ping, &mut wire);
+    wire.extend_from_slice(&[0x40, 0x00, 0x00]);
+    raw.write_all(&wire).unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait for a frame that will never finish"
+    );
+
+    // The complete prefix was answered before the close.
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut replies = Vec::new();
+    raw.read_to_end(&mut replies).unwrap();
+    let mut decoded = Vec::new();
+    while let Some((resp, used)) = esdb_net::protocol::decode_response(&replies).unwrap() {
+        decoded.push(resp);
+        replies.drain(..used);
+    }
+    assert_eq!(decoded, vec![esdb_net::Response::Pong]);
+    assert!(replies.is_empty(), "no partial junk after the last frame");
+
+    // The discarded half-frame left no mark on the engine.
+    let recovered = db.simulate_crash(false);
+    assert!(recovered.read_committed(t, 1).is_err(), "nothing was ever committed");
+}

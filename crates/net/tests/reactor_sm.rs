@@ -1,0 +1,259 @@
+//! Reactor state-machine properties: the nonblocking frame cursor at the
+//! heart of every reactor session must decode a byte stream *identically*
+//! no matter how the kernel fragments it, must never lose or re-read a
+//! byte, and must be a pure function of its buffered state — `Ok(None)` on
+//! a partial frame is a stable answer, not a spin loop. The last test
+//! drives the property end-to-end through a real socket: a byte-by-byte
+//! dribbled session gets the same responses as a well-behaved one.
+
+use esdb_core::{Database, EngineConfig};
+use esdb_net::protocol::{decode_response, encode_request, FrameError, Request, Response};
+use esdb_net::{Client, FrameCursor, Server, ServerConfig};
+use esdb_workload::{TxnSpec, WorkloadOp};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn row_strategy() -> BoxedStrategy<Vec<i64>> {
+    prop::collection::vec((-1_000i64..1_000).boxed(), 0..4).boxed()
+}
+
+fn ops_strategy() -> BoxedStrategy<Vec<WorkloadOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..8, 0u64..100).prop_map(|(table, key)| WorkloadOp::Read { table, key }),
+            (0u32..8, 0u64..100, row_strategy())
+                .prop_map(|(table, key, row)| WorkloadOp::Write { table, key, row }),
+            (0u32..8, 0u64..100, row_strategy())
+                .prop_map(|(table, key, row)| WorkloadOp::Insert { table, key, row }),
+        ],
+        1..4,
+    )
+    .boxed()
+}
+
+/// Every request shape a reactor session can see on its inline path.
+fn request_strategy() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Ping).boxed(),
+        Just(Request::Stats).boxed(),
+        Just(Request::Begin).boxed(),
+        Just(Request::Commit).boxed(),
+        Just(Request::Abort).boxed(),
+        Just(Request::CommitToken).boxed(),
+        ops_strategy().prop_map(|ops| Request::OneShot { may_fail: true, ops }).boxed(),
+        (0u32..8, 0u64..100).prop_map(|(table, key)| Request::Read { table, key }).boxed(),
+        (0u32..8, 0u64..100, row_strategy())
+            .prop_map(|(table, key, row)| Request::Update { table, key, row })
+            .boxed(),
+        (0u32..8, 0u64..100, row_strategy())
+            .prop_map(|(table, key, row)| Request::Insert { table, key, row })
+            .boxed(),
+        (0u64..10_000, 1u64..5).prop_map(|(lsn, term)| Request::ReplAck { lsn, term }).boxed(),
+        (0u32..8, 0u64..100, 0u64..10_000)
+            .prop_map(|(table, key, min_lsn)| Request::ReadAt { table, key, min_lsn })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn encode_all(reqs: &[Request]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for r in reqs {
+        encode_request(r, &mut wire);
+    }
+    wire
+}
+
+/// Drains every complete frame currently buffered in `cursor`.
+fn drain(cursor: &mut FrameCursor) -> Vec<Request> {
+    let mut out = Vec::new();
+    loop {
+        match cursor.next() {
+            Ok(Some(req)) => out.push(req),
+            Ok(None) => return out,
+            Err(e) => panic!("valid stream must never error: {e}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Tentpole property: for *any* fragmentation of a valid request
+    /// stream — including pathological one-byte reads — the cursor yields
+    /// exactly the original request sequence, with nothing buffered at the
+    /// end. Fragmentation is invisible above the cursor.
+    #[test]
+    fn any_split_of_the_stream_decodes_identically(
+        reqs in prop::collection::vec(request_strategy(), 1..6),
+        chunks in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        let wire = encode_all(&reqs);
+        let mut cursor = FrameCursor::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < wire.len() {
+            let n = chunks[i % chunks.len()].min(wire.len() - off);
+            i += 1;
+            cursor.feed(&wire[off..off + n]);
+            off += n;
+            got.extend(drain(&mut cursor));
+        }
+        prop_assert_eq!(got, reqs);
+        prop_assert_eq!(cursor.buffered(), 0);
+    }
+
+    /// One byte at a time is the worst case the kernel can serve; it must
+    /// still reconstruct the stream exactly.
+    #[test]
+    fn byte_by_byte_feed_loses_nothing(reqs in prop::collection::vec(request_strategy(), 1..4)) {
+        let wire = encode_all(&reqs);
+        let mut cursor = FrameCursor::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            cursor.feed(std::slice::from_ref(b));
+            got.extend(drain(&mut cursor));
+        }
+        prop_assert_eq!(got, reqs);
+        prop_assert_eq!(cursor.buffered(), 0);
+    }
+
+    /// No-busy-spin contract: a partial frame answers `Ok(None)` and calling
+    /// `next()` again (as an over-eager reactor tick might) is a no-op — the
+    /// buffered byte count never moves until new bytes arrive. Feeding the
+    /// tail then completes the very request that was cut.
+    #[test]
+    fn partial_frame_is_a_stable_need_more(req in request_strategy(), cut_seed in 1usize..10_000) {
+        let wire = encode_all(std::slice::from_ref(&req));
+        let cut = 1 + cut_seed % (wire.len() - 1).max(1); // strict, non-empty prefix
+        let cut = cut.min(wire.len() - 1);
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&wire[..cut]);
+        for _ in 0..16 {
+            prop_assert_eq!(cursor.next().expect("prefix of a valid frame is not malformed"), None);
+            prop_assert_eq!(cursor.buffered(), cut);
+        }
+        cursor.feed(&wire[cut..]);
+        prop_assert_eq!(cursor.next().unwrap(), Some(req));
+        prop_assert_eq!(cursor.buffered(), 0);
+    }
+
+    /// `take_rest` (the request→feed flip) hands back exactly the unconsumed
+    /// suffix: frames already popped are gone, pipelined trailing bytes —
+    /// complete or partial — survive verbatim, and the cursor is empty after.
+    #[test]
+    fn take_rest_returns_exactly_the_unconsumed_suffix(
+        consumed in prop::collection::vec(request_strategy(), 0..3),
+        trailing in prop::collection::vec(request_strategy(), 0..3),
+        partial_tail in prop::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let mut wire = encode_all(&consumed);
+        let mut suffix = encode_all(&trailing);
+        // A few raw bytes mimic a frame still in flight at flip time. Three
+        // bytes is shorter than any length prefix, so they cannot complete
+        // a frame and perturb the consumed count.
+        suffix.extend_from_slice(&partial_tail);
+        wire.extend_from_slice(&suffix);
+
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&wire);
+        for expected in &consumed {
+            prop_assert_eq!(cursor.next().unwrap().as_ref(), Some(expected));
+        }
+        let mut rest = FrameCursor::from_bytes(cursor.take_rest());
+        prop_assert_eq!(cursor.buffered(), 0);
+        prop_assert_eq!(drain(&mut rest), trailing);
+        prop_assert_eq!(rest.buffered(), partial_tail.len());
+    }
+}
+
+/// Malformed input surfaces the typed decode error instead of panicking or
+/// pretending to need more bytes; the error is sticky across retries.
+#[test]
+fn malformed_bytes_error_typed_and_sticky() {
+    // An oversized length prefix — the same hostile frame net_server.rs
+    // throws at the full server.
+    let mut cursor = FrameCursor::new();
+    cursor.feed(&[0xFF, 0xFF, 0xFF, 0xFF, 0x00]);
+    assert_eq!(cursor.next(), Err(FrameError::Oversized(0xFFFF_FFFF)));
+    assert_eq!(
+        cursor.next(),
+        Err(FrameError::Oversized(0xFFFF_FFFF)),
+        "error must not self-heal"
+    );
+}
+
+/// End-to-end: a session whose bytes arrive one at a time (forcing the
+/// reactor through every partial-frame state) produces byte-identical
+/// responses to the blocking client driving the same requests.
+#[test]
+fn dribbled_session_matches_blocking_path_responses() {
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    let t = db.create_table("kv", 2).unwrap();
+    let server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { poll_interval: Duration::from_millis(2), ..ServerConfig::default() },
+    )
+    .unwrap();
+
+    // Control path: the blocking client, one request per round trip.
+    let mut control = Client::connect(server.local_addr()).unwrap();
+    control.ping().unwrap();
+    let spec = TxnSpec {
+        kind: "ctl",
+        ops: vec![WorkloadOp::Insert { table: t, key: 1, row: vec![7, 7] }],
+        may_fail: false,
+    };
+    control.one_shot(&spec).unwrap();
+    assert_eq!(control.read_committed(t, 1).unwrap(), Some(vec![7, 7]));
+
+    // Dribble path: same request shapes (fresh key), one byte per write.
+    let mut wire = Vec::new();
+    encode_request(&Request::Ping, &mut wire);
+    encode_request(
+        &Request::OneShot {
+            may_fail: false,
+            ops: vec![WorkloadOp::Insert { table: t, key: 2, row: vec![7, 7] }],
+        },
+        &mut wire,
+    );
+    encode_request(&Request::Begin, &mut wire);
+    encode_request(&Request::Read { table: t, key: 2 }, &mut wire);
+    encode_request(&Request::Commit, &mut wire);
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut greeting = [0u8; 5];
+    raw.read_exact(&mut greeting).unwrap(); // Hello
+    for b in &wire {
+        raw.write_all(std::slice::from_ref(b)).unwrap();
+        raw.flush().unwrap();
+    }
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let mut replies = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut decoded = Vec::new();
+    while decoded.len() < 5 {
+        let n = raw.read(&mut buf).expect("five responses are owed");
+        assert!(n > 0, "server closed before answering everything");
+        replies.extend_from_slice(&buf[..n]);
+        while let Some((resp, used)) = decode_response(&replies).unwrap() {
+            decoded.push(resp);
+            replies.drain(..used);
+        }
+    }
+    assert_eq!(decoded[0], Response::Pong);
+    match &decoded[1] {
+        Response::Outcome(outcome) if outcome.is_committed() => {}
+        other => panic!("dribbled one-shot must commit exactly like the blocking path: {other:?}"),
+    }
+    assert_eq!(decoded[2], Response::Ok, "BEGIN");
+    assert_eq!(decoded[3], Response::Row(vec![7, 7]));
+    assert_eq!(decoded[4], Response::Ok, "COMMIT");
+    server.shutdown();
+}

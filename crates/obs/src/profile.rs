@@ -258,10 +258,19 @@ pub enum Component {
     ReplLag = 4,
     /// Replica apply-batch durations (decode + redo + index maintenance).
     ReplApply = 5,
+    /// Reactor idle time: how long each poller wait blocked before events
+    /// (or its timeout) arrived. High values mean the reactor is starved for
+    /// work, not slow.
+    ReactorPoll = 6,
+    /// Reactor busy time per tick: everything between returning from the
+    /// poller and going back to sleep — reads, decode, execution, the tick's
+    /// group flush, and writes. The per-reactor analogue of the wait
+    /// breakdown: `tick / (tick + poll)` is that reactor's duty cycle.
+    ReactorTick = 7,
 }
 
 /// Number of per-component histograms.
-pub const COMPONENTS: usize = 6;
+pub const COMPONENTS: usize = 8;
 
 impl Component {
     /// All components, in `repr` order.
@@ -272,6 +281,8 @@ impl Component {
         Component::TxnLatency,
         Component::ReplLag,
         Component::ReplApply,
+        Component::ReactorPoll,
+        Component::ReactorTick,
     ];
 
     /// Stable lower-snake name.
@@ -283,6 +294,8 @@ impl Component {
             Component::TxnLatency => "txn_latency",
             Component::ReplLag => "repl_lag",
             Component::ReplApply => "repl_apply",
+            Component::ReactorPoll => "reactor_poll",
+            Component::ReactorTick => "reactor_tick",
         }
     }
 }
@@ -317,6 +330,8 @@ static GLOBAL: GlobalObs = GlobalObs {
     ],
     useful: AtomicU64::new(0),
     hists: [
+        Histogram::new(),
+        Histogram::new(),
         Histogram::new(),
         Histogram::new(),
         Histogram::new(),
@@ -441,7 +456,16 @@ mod tests {
         );
         assert_eq!(
             Component::ALL.map(|c| c.name()),
-            ["lock_wait", "wal_flush", "pool_miss", "txn_latency", "repl_lag", "repl_apply"]
+            [
+                "lock_wait",
+                "wal_flush",
+                "pool_miss",
+                "txn_latency",
+                "repl_lag",
+                "repl_apply",
+                "reactor_poll",
+                "reactor_tick"
+            ]
         );
     }
 }

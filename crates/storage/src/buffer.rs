@@ -227,18 +227,51 @@ impl BufferPool {
         Err(StorageError::PoolExhausted)
     }
 
-    /// Writes back every dirty page. Pages stay resident.
+    /// Retries a whole-batch submission with the same backoff policy as the
+    /// single-page paths. Rewriting full page images is idempotent, so
+    /// retrying a batch whose prefix landed is harmless.
+    fn write_batch_retrying(&self, batch: &[(PageId, &Page)]) -> Result<()> {
+        let mut backoff = esdb_sync::Backoff::new();
+        let mut retry_wait = None;
+        for attempt in 1..=IO_ATTEMPTS {
+            match self.disk.write_batch(batch) {
+                Err(StorageError::TransientIo { .. }) if attempt < IO_ATTEMPTS => {
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    retry_wait
+                        .get_or_insert_with(|| esdb_obs::wait_timer(esdb_obs::WaitClass::IoRetry));
+                    backoff.pause();
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
+    /// Writes back every dirty page as **one vectored submission**
+    /// ([`PageStore::write_batch`]): a single WAL fence covering the highest
+    /// dirty-page LSN, then one batched device round trip, instead of a
+    /// fence + write per page. Pages stay resident.
     pub fn flush_all(&self) -> Result<()> {
         let _map = self.map.lock();
+        let mut guards: Vec<(PageId, RwLockReadGuard<'_, Page>)> = Vec::new();
+        let mut max_lsn = 0u64;
         for frame in &self.frames {
             let id = frame.page_id.load(Ordering::Relaxed);
             if id != NO_PAGE && frame.dirty.swap(false, Ordering::Relaxed) {
                 let page = frame.data.read();
-                self.wal_fence(page.lsn());
-                self.write_retrying(id, &page)?;
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                max_lsn = max_lsn.max(page.lsn());
+                guards.push((id, page));
             }
         }
+        if guards.is_empty() {
+            return Ok(());
+        }
+        // One fence bounds every page in the batch: the log is durable up to
+        // the newest dirty LSN before any page image hits the store.
+        self.wal_fence(max_lsn);
+        let batch: Vec<(PageId, &Page)> = guards.iter().map(|(id, g)| (*id, &**g)).collect();
+        self.write_batch_retrying(&batch)?;
+        self.writebacks.fetch_add(batch.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 

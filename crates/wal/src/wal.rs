@@ -149,6 +149,21 @@ impl Wal {
         self.notify_durable();
     }
 
+    /// The batched group-commit entry point: makes every LSN in `lsns`
+    /// durable with **one** physical flush covering the maximum, and returns
+    /// that covering LSN (`None` when the batch is empty — no flush at all).
+    ///
+    /// This is what a reactor tick calls: every session that committed during
+    /// the tick contributes its commit LSN, and the whole tick pays a single
+    /// log-device wait instead of one per session. `wait_durable` in a loop
+    /// would be *correct* (later waits return instantly) but would still ring
+    /// the flush path per call; this never touches the device more than once.
+    pub fn flush_batch(&self, lsns: impl IntoIterator<Item = Lsn>) -> Option<Lsn> {
+        let max = lsns.into_iter().max()?;
+        self.wait_durable(max);
+        Some(max)
+    }
+
     /// Blocks until the durable LSN advances *past* `lsn` or `timeout`
     /// expires, returning the durable LSN either way. This is the log
     /// shipper's subscription point: commits ring the condvar, and the wait
@@ -315,6 +330,26 @@ mod tests {
         // ...until explicitly waited on.
         wal.wait_durable(c.end);
         assert_eq!(wal.durable_records().len(), 2);
+    }
+
+    #[test]
+    fn flush_batch_covers_the_max_with_one_flush() {
+        let wal = Wal::new(LogPolicy::Consolidated, None);
+        let mut ends = Vec::new();
+        for txn in 0..4u64 {
+            let b = wal.append(txn, NULL_LSN, &LogBody::Begin);
+            let c = wal.commit_no_flush(txn, b.start);
+            ends.push(c.end);
+        }
+        assert!(wal.durable_lsn() < *ends.iter().max().unwrap());
+        let before = wal.flush_count();
+        let covered = wal.flush_batch(ends.iter().copied()).expect("non-empty batch");
+        assert_eq!(covered, *ends.iter().max().unwrap());
+        assert!(wal.durable_lsn() >= covered, "every commit in the batch is durable");
+        assert_eq!(wal.flush_count(), before + 1, "one physical flush for the whole batch");
+        // An empty batch flushes nothing.
+        assert_eq!(wal.flush_batch(std::iter::empty()), None);
+        assert_eq!(wal.flush_count(), before + 1);
     }
 
     #[test]

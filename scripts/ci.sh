@@ -50,6 +50,24 @@ echo "== smoke: failover (quorum commit, fencing, promotion torture matrix) =="
 cargo test --release -q -p esdb-repl --test failover_torture
 cargo test --release -q -p esdb-net --test net_failover
 
+echo "== smoke: reactor scale (tab3 loopback at 1 and 2 reactors + reduced herd) =="
+# The same tab3 loopback run pinned to one reactor and then two: numbers
+# may differ, behavior may not — every row must complete with zero failures
+# however sessions shard across event loops. The reduced net_scale run then
+# holds a 300-connection idle herd against an active session (p99 bounded)
+# and drains pipelined in-flight txns through a shutdown. reactor_sm pins
+# the nonblocking decoder's split-point properties. The herd row here is
+# smoke-sized; the committed 1000-connection snapshot row comes from
+# bench_tables.sh below.
+TAB3_CONNS=2 TAB3_TXNS=1000 TAB3_SUBSCRIBERS=1000 TAB3_REPS=1 \
+    TAB3_REACTORS=1 TAB3_MAX_CONNS=300 ESDB_BENCH_DIR=bench_out/reactor_smoke \
+    cargo run --release -q -p esdb-bench --bin tab3_server
+TAB3_CONNS=2 TAB3_TXNS=1000 TAB3_SUBSCRIBERS=1000 TAB3_REPS=1 \
+    TAB3_REACTORS=2 TAB3_MAX_CONNS=300 ESDB_BENCH_DIR=bench_out/reactor_smoke \
+    cargo run --release -q -p esdb-bench --bin tab3_server
+NET_SCALE_CONNS=300 cargo test --release -q -p esdb-net --test net_scale
+cargo test --release -q -p esdb-net --test reactor_sm
+
 echo "== smoke: sharding (2-shard loopback cluster, 2PC burst, coordinator crash + recover) =="
 # The shard_net integration test is the smoke: two shard servers over TCP, a
 # mixed single/cross-shard TPC-B burst through the router, one cross-shard
@@ -67,12 +85,16 @@ echo "== gate: bench regression (fresh numbers vs committed snapshots) =="
 # real collapses without flaking on steal-time. Tighten on dedicated
 # hardware. tpmc comes from the deterministic CMP simulator (fig6b), so it
 # is gated alongside the throughput family — it cannot flake on load.
-# tab1/fig6's measured engine_tps cells are snapshot-recorded but NOT
-# gated: the consolidation-array cells are bimodal under single-vCPU
-# preemption (3-5x swings that survive best-of-N), so gating them is pure
-# flake until this runs on real cores.
+# commit_tps/write_tps (tab_repl) join the gate: their cells run 1-4
+# loopback connections, which a single vCPU schedules stably, and they are
+# the rows a reactor/ship-loop regression would show up in first. Still
+# ungated (see EXPERIMENTS.md "What is gated"): tab1/fig6's measured
+# engine_tps cells — the consolidation-array cells are bimodal under
+# single-vCPU preemption (3-5x swings that survive best-of-N) — and the
+# latency-family cells (p50_us, lag_p99_bytes), where lower-is-better
+# inverts the gate's drop test and host jitter dominates at these sizes.
 BENCH_NEW_DIR=bench_out BENCH_GATE_PCT=35 \
-    BENCH_GATE_METRICS="tps,read_tps,tpmc" \
+    BENCH_GATE_METRICS="tps,read_tps,write_tps,commit_tps,tpmc" \
     cargo run --release -p esdb-bench --bin bench_regress
 
 echo "== ci: all green =="

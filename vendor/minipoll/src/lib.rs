@@ -1,0 +1,436 @@
+//! Offline stand-in for a `mio`/`polling`-style readiness poller.
+//!
+//! The build container has no registry access, so — like the other `vendor/`
+//! stubs — this crate reimplements exactly the API subset the workspace
+//! uses: register a raw fd with a token and an interest set, block for
+//! readiness events with a timeout, and wake the blocked poller from another
+//! thread.
+//!
+//! On Linux it is a thin wrapper over **epoll**, declared through
+//! `extern "C"` against the libc symbols that `std` already links — no new
+//! dependency, which is the whole point of the stub. Everywhere else a
+//! degraded level-triggered fallback reports every registered fd as ready
+//! after a short capped sleep; callers that treat readiness as a *hint*
+//! (retrying `WouldBlock` reads/writes, as the esdb reactor does) stay
+//! correct, just less efficient.
+//!
+//! Events are **level-triggered** in both backends: a socket with unread
+//! bytes keeps reporting readable. The reactor's contract is therefore
+//! "drain until `WouldBlock`", never "count wakeups".
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What readiness a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of a request/response session.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Readable and writable — armed while an outbox has pending bytes.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness event: which registration fired and how.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes peer hangup/error: a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Direct `extern "C"` declarations against the libc that `std` links.
+    use std::os::raw::c_int;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+}
+
+/// A readiness poller over raw fds.
+///
+/// Linux: an epoll instance. Fallback: a registration table whose `wait`
+/// sleeps (capped) and then reports everything ready — level-triggered
+/// correctness for `WouldBlock`-tolerant callers, without the syscalls.
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: i32,
+    #[cfg(not(target_os = "linux"))]
+    registered: std::sync::Mutex<Vec<(i32, u64, Interest)>>,
+    woken: AtomicBool,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Creates a poller.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd, woken: AtomicBool::new(false) })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, token: u64, interest: Option<Interest>) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.map_or(0, |i| {
+                let mut bits = sys::EPOLLRDHUP;
+                if i.readable {
+                    bits |= sys::EPOLLIN;
+                }
+                if i.writable {
+                    bits |= sys::EPOLLOUT;
+                }
+                bits
+            }),
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn add(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, Some(interest))
+    }
+
+    /// Changes an existing registration's interest set.
+    pub fn modify(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, Some(interest))
+    }
+
+    /// Removes a registration. Safe to call for an fd about to be closed.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, None)
+    }
+
+    /// Blocks until readiness events arrive, `timeout` expires, or
+    /// [`Poller::notify`] was called. Appends into `events` (cleared first).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        if self.woken.swap(false, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs request never becomes a busy spin at 0ms.
+            Some(t) => t.as_millis().min(i32::MAX as u128).max(1) as i32,
+        };
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = unsafe { sys::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in &buf[..n as usize] {
+            let bits = ev.events;
+            events.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    /// Creates a poller (fallback: registration table, no kernel object).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { registered: std::sync::Mutex::new(Vec::new()), woken: AtomicBool::new(false) })
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn add(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.registered.lock().unwrap().push((fd, token, interest));
+        Ok(())
+    }
+
+    /// Changes an existing registration's interest set.
+    pub fn modify(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        let mut reg = self.registered.lock().unwrap();
+        for slot in reg.iter_mut() {
+            if slot.0 == fd {
+                *slot = (fd, token, interest);
+                return Ok(());
+            }
+        }
+        reg.push((fd, token, interest));
+        Ok(())
+    }
+
+    /// Removes a registration.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.registered.lock().unwrap().retain(|&(f, _, _)| f != fd);
+        Ok(())
+    }
+
+    /// Degraded wait: sleep up to `timeout` (capped at 5ms so readiness is
+    /// never starved), then report every registered fd as ready per its
+    /// interest. Correct for callers that tolerate `WouldBlock`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        if !self.woken.swap(false, Ordering::AcqRel) {
+            let cap = Duration::from_millis(5);
+            std::thread::sleep(timeout.map_or(cap, |t| t.min(cap)));
+            self.woken.store(false, Ordering::Release);
+        }
+        for &(_, token, interest) in self.registered.lock().unwrap().iter() {
+            events.push(Event { token, readable: interest.readable, writable: interest.writable });
+        }
+        Ok(())
+    }
+}
+
+impl Poller {
+    /// Marks the poller as woken: the next (or current) `wait` returns
+    /// promptly with whatever is ready. Used by [`Waker`]; also callable
+    /// directly for same-thread "skip the next sleep" hints.
+    pub fn set_woken(&self) {
+        self.woken.store(true, Ordering::Release);
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`] blocked in `wait`.
+///
+/// Built on a nonblocking `UnixStream` pair (std-portable on unix): the read
+/// end is registered with the poller under a caller-chosen token, the write
+/// end is cloned into producer threads. On non-unix platforms the fallback
+/// poller's capped sleep bounds wake latency instead and `Waker::wake` only
+/// sets the woken flag.
+pub struct Waker {
+    #[cfg(unix)]
+    tx: std::os::unix::net::UnixStream,
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    /// Creates a waker and registers its read end under `token`.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        use std::os::unix::io::AsRawFd;
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        poller.add(rx.as_raw_fd(), token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Wakes the poller. Never blocks; a full pipe already guarantees a
+    /// pending wakeup, so `WouldBlock` is success.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drains pending wake bytes; call when the waker token fires.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// A clonable handle that can wake from other threads.
+    pub fn handle(&self) -> io::Result<WakeHandle> {
+        Ok(WakeHandle { tx: self.tx.try_clone()? })
+    }
+}
+
+#[cfg(not(unix))]
+impl Waker {
+    /// Creates a waker (fallback: flag only; the capped sleep bounds latency).
+    pub fn new(_poller: &Poller, _token: u64) -> io::Result<Waker> {
+        Ok(Waker {})
+    }
+
+    /// Wakes the poller (flag only on this platform).
+    pub fn wake(&self) {}
+
+    /// Drains pending wake bytes (no-op on this platform).
+    pub fn drain(&self) {}
+
+    /// A clonable handle that can wake from other threads.
+    pub fn handle(&self) -> io::Result<WakeHandle> {
+        Ok(WakeHandle {})
+    }
+}
+
+/// Clonable cross-thread wake handle (see [`Waker::handle`]).
+#[derive(Debug)]
+pub struct WakeHandle {
+    #[cfg(unix)]
+    tx: std::os::unix::net::UnixStream,
+}
+
+impl WakeHandle {
+    /// Wakes the poller this handle's waker is registered with.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write;
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+impl Clone for WakeHandle {
+    fn clone(&self) -> Self {
+        #[cfg(unix)]
+        {
+            WakeHandle { tx: self.tx.try_clone().expect("clone wake handle") }
+        }
+        #[cfg(not(unix))]
+        {
+            WakeHandle {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[cfg(unix)]
+    use std::os::unix::io::AsRawFd;
+
+    #[cfg(unix)]
+    #[test]
+    fn readable_event_fires_on_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut peer = TcpStream::connect(addr).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        sock.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(sock.as_raw_fd(), 7, Interest::READABLE).unwrap();
+
+        // Nothing to read yet: a short wait times out empty.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        #[cfg(target_os = "linux")]
+        assert!(events.is_empty(), "no bytes, no event");
+
+        peer.write_all(b"x").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "readable event never fired");
+        }
+        let mut buf = [0u8; 8];
+        let sock_ref = &sock;
+        assert_eq!({ sock_ref }.read(&mut buf).unwrap(), 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn waker_interrupts_a_long_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, 0).unwrap();
+        let handle = waker.handle().unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            handle.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        // A 5s wait must be cut short by the wake.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            if events.iter().any(|e| e.token == 0) || Instant::now() >= deadline {
+                break;
+            }
+        }
+        assert!(start.elapsed() < Duration::from_secs(4), "wake did not interrupt the wait");
+        waker.drain();
+        t.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn write_interest_toggles_via_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _peer = TcpStream::connect(addr).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        sock.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(sock.as_raw_fd(), 3, Interest::READABLE).unwrap();
+        poller.modify(sock.as_raw_fd(), 3, Interest::BOTH).unwrap();
+        // An idle socket with buffer space is immediately writable.
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.token == 3 && e.writable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "writable event never fired");
+        }
+        poller.delete(sock.as_raw_fd()).unwrap();
+    }
+}
