@@ -51,6 +51,7 @@ pub use runner::{
     Violation,
 };
 pub use scenario::{
-    tpcb_micro, tpcb_tables, transfer_snapshot, Invariant, RunView, Scenario, TRANSFER_ACCOUNTS,
+    htap_snapshot, tpcb_micro, tpcb_tables, transfer_snapshot, Invariant, RunView, Scenario,
+    HTAP_ACCOUNTS, TRANSFER_ACCOUNTS,
 };
 pub use schedule::{Strategy, Trace, TraceStep};

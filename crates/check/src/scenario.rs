@@ -280,6 +280,156 @@ pub fn transfer_snapshot(
     }
 }
 
+// ---------------------------------------------------------------------------
+// HTAP follower scenario: transfers + commit-consistent follower queries
+// ---------------------------------------------------------------------------
+
+/// Account table id for [`htap_snapshot`].
+pub const HTAP_ACCOUNTS: u32 = 0;
+const HTAP_KEYS: u64 = 4;
+const HTAP_INITIAL: i64 = 100;
+
+/// Money transfers under the seeded scheduler, with a **follower-side**
+/// snapshot oracle: at quiescence the schedule's durable WAL is replayed
+/// into a fresh replica in seeded chunk cuts, and after every chunk a pinned
+/// [`esdb_repl::HtapView::query_at`] aggregate runs at the follower's
+/// current consistent cut. Every such query must observe either the
+/// pre-population empty state or an exactly conserved total — a torn
+/// transaction or an uncommitted write at *any* cut is a violation.
+///
+/// This is the checker-shaped statement of the HTAP guarantee: the primary's
+/// interleaving (which the scheduler perturbs per seed) decides the WAL's
+/// record order, and no record order may ever let a pinned follower query
+/// see half a transfer.
+pub fn htap_snapshot(
+    config: EngineConfig,
+    writers: usize,
+    txns_per_writer: usize,
+    seed: u64,
+) -> Scenario {
+    let total: i64 = HTAP_KEYS as i64 * HTAP_INITIAL;
+    let population = (0..HTAP_KEYS)
+        .map(|k| (HTAP_ACCOUNTS, k, vec![HTAP_INITIAL]))
+        .collect();
+
+    let mut rng = Rng::new(seed);
+    let mut scripts = Vec::new();
+    for _ in 0..writers {
+        let mut script = Vec::new();
+        for _ in 0..txns_per_writer {
+            let from = rng.below(HTAP_KEYS);
+            let to = (from + 1 + rng.below(HTAP_KEYS - 1)) % HTAP_KEYS;
+            let amount = rng.range(1, 40) as i64;
+            script.push(TxnSpec {
+                kind: "transfer",
+                ops: vec![
+                    WorkloadOp::Add { table: HTAP_ACCOUNTS, key: from, col: 0, delta: -amount },
+                    WorkloadOp::Add { table: HTAP_ACCOUNTS, key: to, col: 0, delta: amount },
+                ],
+                may_fail: false,
+            });
+        }
+        scripts.push(script);
+    }
+
+    Scenario {
+        name: "htap-snapshot",
+        config,
+        tables: vec![("accounts", 1)],
+        population,
+        clients: scripts,
+        invariants: vec![
+            Invariant::new("conservation", move |v| {
+                let sum = v.table_sum(HTAP_ACCOUNTS, 0);
+                if sum == total {
+                    Ok(())
+                } else {
+                    Err(format!("account sum {sum}, expected {total}"))
+                }
+            }),
+            Invariant::new("follower-consistent-cuts", move |v| {
+                follower_cuts_hold(v.db, total)
+            }),
+        ],
+    }
+}
+
+/// The follower oracle behind [`htap_snapshot`]: bootstrap a replica from an
+/// *empty* snapshot at the WAL's origin (the population itself loads through
+/// a logged setup transaction, so replay reconstructs everything), feed the
+/// durable stream in seeded cuts, and interrogate every cut with a pinned
+/// aggregate query.
+fn follower_cuts_hold(db: &Database, total: i64) -> Result<(), String> {
+    use esdb_staged::{AggFunc, PlanNode};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let wal = db.wal();
+    wal.wait_durable(wal.current_lsn());
+    let start = wal.start_lsn();
+    let snap = esdb_net::Snapshot {
+        start_lsn: start,
+        catalog: db
+            .catalog()
+            .into_iter()
+            .map(|(id, name, arity, _)| (id, name, arity as u32, Vec::new()))
+            .collect(),
+        indexes: Vec::new(),
+        pages: Vec::new(),
+    };
+    let mut replica =
+        esdb_repl::Replica::bootstrap(snap, EngineConfig::conventional_baseline())
+            .map_err(|e| format!("follower bootstrap: {e}"))?;
+    let view = replica.htap_view();
+    let durable = wal.durable_lsn();
+    if durable <= start {
+        return Ok(());
+    }
+    let (bytes, s0) = wal
+        .durable_tail(start)
+        .ok_or_else(|| "durable tail unavailable".to_string())?;
+    let avail = ((durable - s0) as usize).min(bytes.len());
+    let mut cuts = Rng::new(0x47A9 ^ avail as u64);
+    let mut off = 0usize;
+    while off < avail {
+        let end = (off + 1 + cuts.below(384) as usize).min(avail);
+        replica
+            .ingest(s0 + off as u64, &bytes[off..end])
+            .map_err(|e| format!("follower ingest: {e}"))?;
+        off = end;
+        let table = view
+            .db()
+            .table(HTAP_ACCOUNTS)
+            .ok_or_else(|| "accounts table missing on follower".to_string())?;
+        // Scan output is `[key, col0]`, so the balance is plan column 1.
+        let sum_plan = PlanNode::scan(Arc::clone(&table)).aggregate(None, 1, AggFunc::Sum);
+        let cnt_plan = PlanNode::scan(table).aggregate(None, 1, AggFunc::Count);
+        let watermark = view.watermark();
+        let sum_rows = view
+            .query_at(0, &sum_plan, Duration::ZERO)
+            .map_err(|lag| format!("follower lagging at {lag}"))?;
+        let cnt_rows = view
+            .query_at(0, &cnt_plan, Duration::ZERO)
+            .map_err(|lag| format!("follower lagging at {lag}"))?;
+        let sum = sum_rows.first().map_or(0, |r| r[0]);
+        let cnt = cnt_rows.first().map_or(0, |r| r[0]);
+        let consistent = (cnt == 0 && sum == 0) || (cnt == HTAP_KEYS as i64 && sum == total);
+        if !consistent {
+            return Err(format!(
+                "torn follower cut at watermark {watermark}: \
+                 count {cnt}, sum {sum} (want 0/0 or {HTAP_KEYS}/{total})"
+            ));
+        }
+    }
+    if replica.applied_lsn() < durable {
+        return Err(format!(
+            "follower frontier {} short of durable {durable} at quiescence",
+            replica.applied_lsn()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,8 @@
 //! Set `CHECK_SCHEDULES=50` for a quick local run.
 
 use esdb_check::{
-    check, replay, tpcb_micro, transfer_snapshot, CheckConfig, Mutation, Strategy, Violation,
+    check, htap_snapshot, replay, tpcb_micro, transfer_snapshot, CheckConfig, Mutation, Strategy,
+    Violation,
 };
 use esdb_core::{EngineConfig, ExecutionModel};
 use esdb_workload::TxnSpec;
@@ -51,12 +52,16 @@ fn run_cell(name: &str, scenario: &esdb_check::Scenario, schedules: usize, strat
 /// engine.
 #[test]
 fn clean_engine_passes_seeded_schedules() {
-    let per_cell = (total_schedules() / 8).max(1);
+    let per_cell = (total_schedules() / 12).max(1);
     let cells: Vec<(&str, esdb_check::Scenario)> = vec![
         ("conv/tpcb", tpcb_micro(conv_config(), 3, 3, 11)),
         ("conv/transfer", transfer_snapshot(conv_config(), 2, 3, 2, 12)),
         ("dora/tpcb", tpcb_micro(dora_config(), 3, 3, 13)),
         ("dora/transfer", transfer_snapshot(dora_config(), 2, 3, 2, 14)),
+        // HTAP: every seeded interleaving's WAL is replayed into a follower
+        // and probed with pinned queries at every consistent cut.
+        ("conv/htap", htap_snapshot(conv_config(), 2, 3, 15)),
+        ("dora/htap", htap_snapshot(dora_config(), 2, 3, 16)),
     ];
     for (name, scenario) in &cells {
         run_cell(

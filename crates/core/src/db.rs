@@ -205,12 +205,35 @@ impl Database {
     /// Fails with [`DbError::TablesFrozen`] after the first transaction on a
     /// DORA-configured database (executors capture the table set at startup).
     pub fn create_table(&self, name: &str, arity: usize) -> Result<TableId, DbError> {
+        self.create_table_with_indexes(name, arity, Vec::new())
+    }
+
+    /// Creates a table carrying secondary index declarations; returns its
+    /// id. The declarations become part of the table's schema, so they are
+    /// durable against crash recovery ([`Database::simulate_crash`]) and
+    /// travel with replication snapshots ([`Database::index_catalog`]).
+    /// Index declarations are create-time only — there is no online index
+    /// build.
+    pub fn create_table_with_indexes(
+        &self,
+        name: &str,
+        arity: usize,
+        indexes: Vec<esdb_storage::IndexDef>,
+    ) -> Result<TableId, DbError> {
+        for def in &indexes {
+            assert!(
+                def.col < arity,
+                "index {:?} on table {name:?} names column {} but arity is {arity}",
+                def.name,
+                def.col
+            );
+        }
         let frozen = self.frozen.lock();
         if *frozen {
             return Err(DbError::TablesFrozen { name: name.to_string() });
         }
         let id = self.next_table.fetch_add(1, Ordering::Relaxed) as TableId;
-        let table = Arc::new(Table::create(id, name, arity, self.pool.clone()));
+        let table = Arc::new(Table::create_indexed(id, name, arity, indexes, self.pool.clone()));
         self.txn_mgr.register_table(table.clone());
         self.tables.write().insert(id, table);
         Ok(id)
@@ -461,27 +484,55 @@ impl Database {
         out
     }
 
+    /// Secondary index declarations per table, sorted by table id; tables
+    /// without indexes are omitted. Ships alongside [`Database::catalog`] in
+    /// replication snapshots so followers rebuild the same indexes.
+    pub fn index_catalog(&self) -> Vec<(TableId, Vec<esdb_storage::IndexDef>)> {
+        let tables = self.tables.read();
+        let mut out: Vec<_> = tables
+            .values()
+            .filter(|t| !t.schema().indexes.is_empty())
+            .map(|t| (t.id(), t.schema().indexes.clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Rebuilds a database from a shipped snapshot: a page store already
     /// populated with checkpoint-consistent pages plus the primary's
-    /// [`Database::catalog`]. Indexes are rebuilt from heap scans. The local
-    /// WAL starts far past any primary LSN so page-LSN ordering (and the
-    /// pool's flush barrier) stay trivially satisfied on the replica.
+    /// [`Database::catalog`] and [`Database::index_catalog`]. Primary and
+    /// secondary indexes are rebuilt from heap scans. The local WAL starts
+    /// far past any primary LSN so page-LSN ordering (and the pool's flush
+    /// barrier) stay trivially satisfied on the replica.
     pub fn restore_from_snapshot(
         config: EngineConfig,
         disk: Arc<dyn PageStore>,
         catalog: &[(TableId, String, usize, Vec<u64>)],
+        index_catalog: &[(TableId, Vec<esdb_storage::IndexDef>)],
     ) -> Result<Database, DbError> {
         let pool = Arc::new(BufferPool::new(config.buffer_frames, disk.clone()));
         let wal = Arc::new(Wal::new_at(1 << 62, config.log.into(), config.flush_latency));
         let db = Self::assemble(config, disk, pool.clone(), wal);
         let mut max_id = 0u64;
         for (id, name, arity, pages) in catalog {
-            let heap = HeapFile::from_pages(pool.clone(), pages.clone());
+            // A table that was empty at snapshot time ships no pages; give
+            // it a fresh heap rather than asserting on the empty page list.
+            let heap = if pages.is_empty() {
+                HeapFile::create(pool.clone()).map_err(DbError::CheckpointIo)?
+            } else {
+                HeapFile::from_pages(pool.clone(), pages.clone())
+            };
+            let indexes = index_catalog
+                .iter()
+                .find(|(t, _)| t == id)
+                .map(|(_, defs)| defs.clone())
+                .unwrap_or_default();
             let table = Arc::new(Table::from_heap(
-                Schema::new(*id, name.clone(), *arity),
+                Schema::with_indexes(*id, name.clone(), *arity, indexes),
                 heap,
             ));
             table.rebuild_index().map_err(DbError::CheckpointIo)?;
+            table.rebuild_secondaries().map_err(DbError::CheckpointIo)?;
             db.txn_mgr.register_table(table.clone());
             db.tables.write().insert(*id, table);
             max_id = max_id.max(*id as u64 + 1);
@@ -570,14 +621,9 @@ impl Database {
         let mut tables = HashMap::new();
         for (id, table) in self.tables.read().iter() {
             let heap = HeapFile::from_pages(pool.clone(), table.heap().pages());
-            let schema = table.schema().clone();
-            tables.insert(
-                *id,
-                Arc::new(Table::from_heap(
-                    Schema::new(schema.id, schema.name.clone(), schema.arity),
-                    heap,
-                )),
-            );
+            // The full schema — index declarations included — survives the
+            // crash: it is catalog metadata, not volatile index state.
+            tables.insert(*id, Arc::new(Table::from_heap(table.schema().clone(), heap)));
         }
         let report = esdb_wal::recovery::recover(&records, &tables)
             .expect("recovery I/O on the surviving page store");
@@ -887,6 +933,32 @@ mod tests {
         // And the recovered database accepts new transactions.
         recovered.execute(|txn| txn.insert(t, 3, &[30])).unwrap();
         assert_eq!(recovered.read_committed(t, 3).unwrap(), vec![30]);
+    }
+
+    #[test]
+    fn secondary_index_declarations_survive_crash() {
+        use esdb_storage::{IndexDef, IndexKind};
+        let db = Database::open(EngineConfig::conventional_baseline());
+        let t = db
+            .create_table_with_indexes(
+                "t",
+                2,
+                vec![IndexDef { id: 0, name: "by_col0".into(), col: 0, kind: IndexKind::Range }],
+            )
+            .unwrap();
+        db.execute(|txn| {
+            txn.insert(t, 1, &[10, 0])?;
+            txn.insert(t, 2, &[10, 0])?;
+            txn.insert(t, 3, &[20, 0])
+        })
+        .unwrap();
+        assert_eq!(db.index_catalog().len(), 1);
+
+        let recovered = db.simulate_crash(false);
+        let table = recovered.table(t).unwrap();
+        assert_eq!(table.schema().indexes.len(), 1, "declaration recovered");
+        assert_eq!(table.secondary(0).unwrap().lookup_eq(10), vec![1, 2]);
+        assert_eq!(table.secondary(0).unwrap().lookup_range(15, 25).unwrap(), vec![3]);
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub struct Snapshot {
     pub start_lsn: u64,
     /// Per table: id, name, arity, heap page ids in heap order.
     pub catalog: Vec<(u32, String, u32, Vec<u64>)>,
+    /// Secondary index declarations, flattened: `(table_id, index_id, name,
+    /// column, kind)` — kind as in `esdb_storage::IndexKind::as_u8`. Only
+    /// declarations ship; the replica rebuilds contents from the heap.
+    pub indexes: Vec<(u32, u32, String, u32, u8)>,
     /// `(page_id, raw page bytes)` for every heap page in the catalog.
     pub pages: Vec<(u64, Vec<u8>)>,
 }
@@ -407,8 +411,10 @@ impl Client {
     /// replica's bootstrap image plus the LSN its log apply must start at.
     pub fn fetch_snapshot(&mut self) -> Result<Snapshot, NetError> {
         self.send(&Request::ReplSnapshot)?;
-        let (start_lsn, catalog) = match self.recv()? {
-            Response::SnapBegin { start_lsn, catalog } => (start_lsn, catalog),
+        let (start_lsn, catalog, indexes) = match self.recv()? {
+            Response::SnapBegin { start_lsn, catalog, indexes } => {
+                (start_lsn, catalog, indexes)
+            }
             Response::Error(msg) => return Err(NetError::Server(msg)),
             _ => return Err(NetError::Unexpected("snap begin")),
         };
@@ -420,7 +426,7 @@ impl Client {
                     if page_count != pages.len() as u64 {
                         return Err(NetError::Unexpected("snapshot page count"));
                     }
-                    return Ok(Snapshot { start_lsn, catalog, pages });
+                    return Ok(Snapshot { start_lsn, catalog, indexes, pages });
                 }
                 Response::Error(msg) => return Err(NetError::Server(msg)),
                 _ => return Err(NetError::Unexpected("snap page")),
@@ -502,6 +508,27 @@ impl Client {
             Response::Lagging { applied } => Ok(Err(applied)),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("row or lagging")),
+        }
+    }
+
+    /// Follower OLAP query gated on a token: execute `plan` at a
+    /// commit-consistent snapshot no older than `min_lsn` (0 = no freshness
+    /// requirement). `Ok(Ok(rows))` once the replica has applied past
+    /// `min_lsn`; `Ok(Err(applied))` if it is still lagging at `applied`
+    /// when its wait budget runs out. Invalid plans (unknown table or index
+    /// id, out-of-range column) surface as [`NetError::Server`], as does
+    /// sending a query to a primary.
+    pub fn query_at(
+        &mut self,
+        min_lsn: u64,
+        plan: &crate::protocol::WirePlan,
+    ) -> Result<Result<Vec<Vec<i64>>, u64>, NetError> {
+        self.send(&Request::Query { min_lsn, plan: plan.clone() })?;
+        match self.recv()? {
+            Response::Rows(rows) => Ok(Ok(rows)),
+            Response::Lagging { applied } => Ok(Err(applied)),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("rows or lagging")),
         }
     }
 

@@ -43,7 +43,7 @@ pub mod reactor;
 pub mod server;
 
 pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Snapshot};
-pub use protocol::{FrameError, Request, Response, ServerStats, MAX_FRAME};
+pub use protocol::{FrameError, Request, Response, ServerStats, WirePlan, MAX_FRAME};
 pub use reactor::FrameCursor;
 pub use server::{DecisionSource, Server, ServerConfig};
 

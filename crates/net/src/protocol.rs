@@ -15,6 +15,7 @@ use bytes::{Buf, BufMut};
 use esdb_core::spec_exec::SpecOutcome;
 use esdb_core::{ObsSnapshot, StatsSnapshot, OBS_SNAPSHOT_VERSION};
 use esdb_obs::{HistogramSnapshot, WaitProfile, BUCKETS};
+use esdb_staged::{AggFunc, CmpOp};
 use esdb_workload::{TxnSpec, WorkloadOp};
 
 /// Frame header size: the `u32` payload length.
@@ -181,6 +182,84 @@ pub enum Request {
     /// Recovering coordinator → participant: which gtids are prepared here
     /// and still awaiting a decision? Answered with [`Response::ShardGtids`].
     ShardInDoubt,
+    /// Follower OLAP query gated on a token: execute `plan` at a
+    /// commit-consistent snapshot no older than `min_lsn`, answered with
+    /// [`Response::Rows`] (or [`Response::Lagging`] if the replica cannot
+    /// catch up within its wait budget). Only servers with an apply frontier
+    /// configured (followers) serve queries; a primary answers a typed
+    /// [`Response::Error`].
+    Query {
+        /// The read-your-writes token (0 = no freshness requirement).
+        min_lsn: u64,
+        /// The plan to execute.
+        plan: WirePlan,
+    },
+}
+
+/// Maximum [`WirePlan`] nesting depth a decoder accepts. Caps recursion so
+/// a hostile frame full of `Filter` tags cannot blow the reactor's stack.
+pub const MAX_PLAN_DEPTH: usize = 64;
+
+/// A serializable query plan: the wire face of `esdb_staged::PlanNode`,
+/// with tables and secondary indexes referenced by catalog id. The server
+/// resolves ids and validates column offsets against its own catalog and
+/// answers a typed [`Response::Error`] for anything unknown — a stale or
+/// hostile client can never make the execution engine panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirePlan {
+    /// Full scan; output rows are `[key, col0, col1, ...]`.
+    Scan {
+        /// Table id.
+        table: u32,
+    },
+    /// Index-assisted scan: rows whose indexed column lies in `[lo, hi]`
+    /// (inclusive), in primary-key order. Same output shape as `Scan`.
+    IndexScan {
+        /// Table id.
+        table: u32,
+        /// Secondary index id within the table.
+        index: u32,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Keep rows where `row[col] OP value`.
+    Filter {
+        /// Input plan.
+        input: Box<WirePlan>,
+        /// Column tested (plan-output offset: 0 is the key for scans).
+        col: u32,
+        /// Comparison.
+        op: CmpOp,
+        /// Constant operand.
+        value: i64,
+    },
+    /// Keep only the listed columns, in order.
+    Project {
+        /// Input plan.
+        input: Box<WirePlan>,
+        /// Column offsets to keep.
+        cols: Vec<u32>,
+    },
+    /// Group-by aggregate. Output: `[group, agg]` (or `[agg]` if no group).
+    Aggregate {
+        /// Input plan.
+        input: Box<WirePlan>,
+        /// Optional grouping column.
+        group_col: Option<u32>,
+        /// Aggregated column.
+        agg_col: u32,
+        /// Function.
+        func: AggFunc,
+    },
+    /// Sort ascending by column.
+    Sort {
+        /// Input plan.
+        input: Box<WirePlan>,
+        /// Sort column.
+        col: u32,
+    },
 }
 
 /// Server-side counters the STATS command reports alongside the engine's
@@ -234,6 +313,12 @@ pub enum Response {
         start_lsn: u64,
         /// Per table: id, name, arity, heap page ids in heap order.
         catalog: Vec<(u32, String, u32, Vec<u64>)>,
+        /// Secondary index declarations, flattened: `(table_id, index_id,
+        /// name, column, kind)` with kind as in
+        /// `esdb_storage::IndexKind::as_u8`. Index *contents* never ride a
+        /// snapshot — they are derived state the replica rebuilds from the
+        /// installed heap and keeps current through redo.
+        indexes: Vec<(u32, u32, String, u32, u8)>,
     },
     /// One checkpointed page (raw [`esdb_storage`] page bytes).
     SnapPage {
@@ -311,6 +396,10 @@ pub enum Response {
         /// Acks the quorum policy required.
         needed: u32,
     },
+    /// Result rows of a [`Request::Query`]. The whole result is one frame,
+    /// so the server bounds result size and answers [`Response::Error`]
+    /// when a query would overflow it.
+    Rows(Vec<Vec<i64>>),
 }
 
 // Payload tags. Requests and responses share one byte space so a tag is
@@ -330,6 +419,7 @@ const T_REPL_SUBSCRIBE: u8 = 0x21;
 const T_COMMIT_TOKEN: u8 = 0x22;
 const T_READ_AT: u8 = 0x23;
 const T_REPL_ACK: u8 = 0x24;
+const T_QUERY: u8 = 0x25;
 const T_SHARD_PREPARE: u8 = 0x30;
 const T_SHARD_DECIDE: u8 = 0x31;
 const T_SHARD_STATUS: u8 = 0x32;
@@ -354,6 +444,7 @@ const T_SHARD_DECISION: u8 = 0x97;
 const T_SHARD_GTIDS: u8 = 0x98;
 const T_FENCED: u8 = 0x99;
 const T_QUORUM_TIMEOUT: u8 = 0x9A;
+const T_ROWS: u8 = 0x9B;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -366,6 +457,56 @@ const OP_DELETE: u8 = 4;
 const OUT_COMMITTED: u8 = 0;
 const OUT_LOGICAL: u8 = 1;
 const OUT_CONFLICT: u8 = 2;
+
+// Plan node tags inside Query.
+const WP_SCAN: u8 = 0;
+const WP_INDEX_SCAN: u8 = 1;
+const WP_FILTER: u8 = 2;
+const WP_PROJECT: u8 = 3;
+const WP_AGGREGATE: u8 = 4;
+const WP_SORT: u8 = 5;
+
+fn cmp_to_u8(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from_u8(tag: u8) -> Result<CmpOp, FrameError> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return Err(FrameError::Malformed("unknown comparison tag")),
+    })
+}
+
+fn agg_to_u8(func: AggFunc) -> u8 {
+    match func {
+        AggFunc::Sum => 0,
+        AggFunc::Count => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+    }
+}
+
+fn agg_from_u8(tag: u8) -> Result<AggFunc, FrameError> {
+    Ok(match tag {
+        0 => AggFunc::Sum,
+        1 => AggFunc::Count,
+        2 => AggFunc::Min,
+        3 => AggFunc::Max,
+        _ => return Err(FrameError::Malformed("unknown aggregate tag")),
+    })
+}
 
 /// Checked cursor over a payload: every read verifies length first, so
 /// truncated or lying frames surface as [`FrameError::Malformed`], never as
@@ -567,6 +708,108 @@ fn decode_op(r: &mut Reader<'_>) -> Result<WorkloadOp, FrameError> {
     }
 }
 
+fn encode_plan(out: &mut Vec<u8>, plan: &WirePlan) {
+    match plan {
+        WirePlan::Scan { table } => {
+            out.put_u8(WP_SCAN);
+            out.put_u32_le(*table);
+        }
+        WirePlan::IndexScan { table, index, lo, hi } => {
+            out.put_u8(WP_INDEX_SCAN);
+            out.put_u32_le(*table);
+            out.put_u32_le(*index);
+            out.put_i64_le(*lo);
+            out.put_i64_le(*hi);
+        }
+        WirePlan::Filter { input, col, op, value } => {
+            out.put_u8(WP_FILTER);
+            encode_plan(out, input);
+            out.put_u32_le(*col);
+            out.put_u8(cmp_to_u8(*op));
+            out.put_i64_le(*value);
+        }
+        WirePlan::Project { input, cols } => {
+            out.put_u8(WP_PROJECT);
+            encode_plan(out, input);
+            debug_assert!(cols.len() <= u16::MAX as usize);
+            out.put_u16_le(cols.len() as u16);
+            for c in cols {
+                out.put_u32_le(*c);
+            }
+        }
+        WirePlan::Aggregate { input, group_col, agg_col, func } => {
+            out.put_u8(WP_AGGREGATE);
+            encode_plan(out, input);
+            match group_col {
+                Some(g) => {
+                    out.put_u8(1);
+                    out.put_u32_le(*g);
+                }
+                None => out.put_u8(0),
+            }
+            out.put_u32_le(*agg_col);
+            out.put_u8(agg_to_u8(*func));
+        }
+        WirePlan::Sort { input, col } => {
+            out.put_u8(WP_SORT);
+            encode_plan(out, input);
+            out.put_u32_le(*col);
+        }
+    }
+}
+
+fn decode_plan(r: &mut Reader<'_>, depth: usize) -> Result<WirePlan, FrameError> {
+    if depth >= MAX_PLAN_DEPTH {
+        return Err(FrameError::Malformed("plan nested too deeply"));
+    }
+    Ok(match r.u8()? {
+        WP_SCAN => WirePlan::Scan { table: r.u32()? },
+        WP_INDEX_SCAN => WirePlan::IndexScan {
+            table: r.u32()?,
+            index: r.u32()?,
+            lo: r.i64()?,
+            hi: r.i64()?,
+        },
+        WP_FILTER => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            WirePlan::Filter {
+                input,
+                col: r.u32()?,
+                op: cmp_from_u8(r.u8()?)?,
+                value: r.i64()?,
+            }
+        }
+        WP_PROJECT => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let n = r.u16()? as usize;
+            let mut cols = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                cols.push(r.u32()?);
+            }
+            WirePlan::Project { input, cols }
+        }
+        WP_AGGREGATE => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            let group_col = match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                _ => return Err(FrameError::Malformed("bad option tag")),
+            };
+            WirePlan::Aggregate {
+                input,
+                group_col,
+                agg_col: r.u32()?,
+                func: agg_from_u8(r.u8()?)?,
+            }
+        }
+        WP_SORT => {
+            let input = Box::new(decode_plan(r, depth + 1)?);
+            WirePlan::Sort { input, col: r.u32()? }
+        }
+        _ => return Err(FrameError::Malformed("unknown plan tag")),
+    })
+}
+
 /// Outcome payload: shared by [`Response::Outcome`] and
 /// [`Response::ShardVote`].
 fn put_outcome(out: &mut Vec<u8>, outcome: &SpecOutcome) {
@@ -683,6 +926,11 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.put_u64_le(*gtid);
         }
         Request::ShardInDoubt => out.put_u8(T_SHARD_IN_DOUBT),
+        Request::Query { min_lsn, plan } => {
+            out.put_u8(T_QUERY);
+            out.put_u64_le(*min_lsn);
+            encode_plan(out, plan);
+        }
     }
     end_frame(out, at);
 }
@@ -737,7 +985,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.put_u8(T_ERROR);
             put_string(out, msg);
         }
-        Response::SnapBegin { start_lsn, catalog } => {
+        Response::SnapBegin { start_lsn, catalog, indexes } => {
             out.put_u8(T_SNAP_BEGIN);
             out.put_u64_le(*start_lsn);
             debug_assert!(catalog.len() <= u16::MAX as usize);
@@ -751,6 +999,15 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                 for page in pages {
                     out.put_u64_le(*page);
                 }
+            }
+            debug_assert!(indexes.len() <= u16::MAX as usize);
+            out.put_u16_le(indexes.len() as u16);
+            for (table, index, name, col, kind) in indexes {
+                out.put_u32_le(*table);
+                out.put_u32_le(*index);
+                put_string(out, name);
+                out.put_u32_le(*col);
+                out.put_u8(*kind);
             }
         }
         Response::SnapPage { page_id, bytes } => {
@@ -803,6 +1060,14 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.put_u64_le(*lsn);
             out.put_u32_le(*acked);
             out.put_u32_le(*needed);
+        }
+        Response::Rows(rows) => {
+            out.put_u8(T_ROWS);
+            debug_assert!(rows.len() <= u32::MAX as usize);
+            out.put_u32_le(rows.len() as u32);
+            for row in rows {
+                put_row(out, row);
+            }
         }
     }
     end_frame(out, at);
@@ -908,6 +1173,10 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
         }
         T_SHARD_STATUS => Request::ShardStatus { gtid: r.u64()? },
         T_SHARD_IN_DOUBT => Request::ShardInDoubt,
+        T_QUERY => {
+            let min_lsn = r.u64()?;
+            Request::Query { min_lsn, plan: decode_plan(&mut r, 0)? }
+        }
         _ => return Err(FrameError::Malformed("unknown request tag")),
     };
     r.finish()?;
@@ -970,7 +1239,12 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
                 }
                 catalog.push((id, name, arity, pages));
             }
-            Response::SnapBegin { start_lsn, catalog }
+            let ni = r.u16()? as usize;
+            let mut indexes = Vec::with_capacity(ni.min(1024));
+            for _ in 0..ni {
+                indexes.push((r.u32()?, r.u32()?, r.string()?, r.u32()?, r.u8()?));
+            }
+            Response::SnapBegin { start_lsn, catalog, indexes }
         }
         T_SNAP_PAGE => Response::SnapPage { page_id: r.u64()?, bytes: r.bytes()? },
         T_SNAP_END => Response::SnapEnd { page_count: r.u64()? },
@@ -1001,6 +1275,14 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
             acked: r.u32()?,
             needed: r.u32()?,
         },
+        T_ROWS => {
+            let n = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                rows.push(r.row()?);
+            }
+            Response::Rows(rows)
+        }
         _ => return Err(FrameError::Malformed("unknown response tag")),
     };
     r.finish()?;
@@ -1053,6 +1335,68 @@ mod tests {
         roundtrip_request(Request::ReplAck { term: 3, lsn: u64::MAX });
         roundtrip_request(Request::CommitToken);
         roundtrip_request(Request::ReadAt { table: 7, key: 11, min_lsn: 1 << 40 });
+    }
+
+    #[test]
+    fn query_frames_roundtrip() {
+        roundtrip_request(Request::Query {
+            min_lsn: 1 << 33,
+            plan: WirePlan::Scan { table: 2 },
+        });
+        roundtrip_request(Request::Query {
+            min_lsn: 0,
+            plan: WirePlan::Aggregate {
+                input: Box::new(WirePlan::Filter {
+                    input: Box::new(WirePlan::IndexScan {
+                        table: 0,
+                        index: 1,
+                        lo: i64::MIN,
+                        hi: 99,
+                    }),
+                    col: 2,
+                    op: CmpOp::Ne,
+                    value: -4,
+                }),
+                group_col: Some(1),
+                agg_col: 2,
+                func: AggFunc::Sum,
+            },
+        });
+        roundtrip_request(Request::Query {
+            min_lsn: 7,
+            plan: WirePlan::Sort {
+                input: Box::new(WirePlan::Project {
+                    input: Box::new(WirePlan::Scan { table: 1 }),
+                    cols: vec![2, 0],
+                }),
+                col: 0,
+            },
+        });
+        roundtrip_request(Request::Query {
+            min_lsn: 7,
+            plan: WirePlan::Aggregate {
+                input: Box::new(WirePlan::Scan { table: 1 }),
+                group_col: None,
+                agg_col: 0,
+                func: AggFunc::Count,
+            },
+        });
+        roundtrip_response(Response::Rows(vec![]));
+        roundtrip_response(Response::Rows(vec![vec![1, 2], vec![], vec![i64::MIN]]));
+    }
+
+    #[test]
+    fn over_deep_plan_is_malformed_not_a_stack_overflow() {
+        let mut plan = WirePlan::Scan { table: 0 };
+        for _ in 0..MAX_PLAN_DEPTH + 10 {
+            plan = WirePlan::Sort { input: Box::new(plan), col: 0 };
+        }
+        let mut buf = Vec::new();
+        encode_request(&Request::Query { min_lsn: 0, plan }, &mut buf);
+        assert_eq!(
+            decode_request(&buf),
+            Err(FrameError::Malformed("plan nested too deeply"))
+        );
     }
 
     #[test]
@@ -1130,6 +1474,15 @@ mod tests {
                 (0, "accounts".into(), 2, vec![3, 9, 11]),
                 (1, "".into(), 0, vec![]),
             ],
+            indexes: vec![
+                (0, 0, "accounts_branch".into(), 1, 0),
+                (0, 1, "accounts_balance".into(), 0, 1),
+            ],
+        });
+        roundtrip_response(Response::SnapBegin {
+            start_lsn: 0,
+            catalog: vec![],
+            indexes: vec![],
         });
         roundtrip_response(Response::SnapPage { page_id: 42, bytes: vec![0xAB; 8192] });
         roundtrip_response(Response::SnapEnd { page_count: 17 });

@@ -51,7 +51,7 @@
 //! answer and stays out of scope here.
 
 use crate::protocol::{
-    decode_request, encode_response, FrameError, Request, Response, MAX_FRAME,
+    decode_request, encode_response, FrameError, Request, Response, WirePlan, MAX_FRAME,
 };
 use crate::server::Shared;
 use esdb_core::config::ExecutionModel;
@@ -196,6 +196,9 @@ enum Phase {
     Request,
     /// A follower read waiting for the apply frontier (or its deadline).
     AwaitReadAt { table: u32, key: u64, min_lsn: Lsn, deadline: Instant },
+    /// A follower OLAP query waiting for the apply frontier (or its
+    /// deadline); once fresh, the plan runs pinned under the apply gate.
+    AwaitQuery { min_lsn: Lsn, plan: WirePlan, deadline: Instant },
     /// A completed batch whose commit acks wait for the follower quorum.
     AwaitQuorum { lsn: Lsn, deadline: Instant },
     /// A one-way log feed (post-subscribe): ships chunks, drains acks.
@@ -377,7 +380,10 @@ impl Reactor {
         let parked = self.conns.values().any(|c| {
             matches!(
                 c.phase,
-                Phase::AwaitQuorum { .. } | Phase::AwaitReadAt { .. } | Phase::Shipping(_)
+                Phase::AwaitQuorum { .. }
+                    | Phase::AwaitReadAt { .. }
+                    | Phase::AwaitQuery { .. }
+                    | Phase::Shipping(_)
             ) || c.stalled_since.is_some()
                 || c.outbox.len() > c.out_pos
         });
@@ -437,6 +443,15 @@ impl Reactor {
             }
             if let Phase::AwaitReadAt { table, key, min_lsn, deadline } = conn.phase {
                 resolve_read_at(&shared, conn, table, key, min_lsn, Some(deadline), now);
+            }
+            if matches!(conn.phase, Phase::AwaitQuery { .. }) {
+                // The plan is not Copy: take the phase out, re-park inside
+                // resolve_query if the frontier is still short.
+                if let Phase::AwaitQuery { min_lsn, plan, deadline } =
+                    std::mem::replace(&mut conn.phase, Phase::Request)
+                {
+                    resolve_query(&shared, conn, min_lsn, plan, Some(deadline), now);
+                }
             }
             if matches!(conn.phase, Phase::Request) {
                 exec_pending(&shared, conn, now, false);
@@ -577,6 +592,13 @@ impl Reactor {
                 Phase::AwaitReadAt { table, key, min_lsn, .. } => {
                     // No more ticks are coming: resolve now or lag now.
                     resolve_read_at(&shared, conn, table, key, min_lsn, None, now);
+                }
+                Phase::AwaitQuery { .. } => {
+                    if let Phase::AwaitQuery { min_lsn, plan, .. } =
+                        std::mem::replace(&mut conn.phase, Phase::Request)
+                    {
+                        resolve_query(&shared, conn, min_lsn, plan, None, now);
+                    }
                 }
                 _ => {}
             }
@@ -846,8 +868,150 @@ fn exec_one(shared: &Arc<Shared>, conn: &mut Conn, req: Request, now: Instant, i
             None => Response::Error("no coordinator decision source configured".into()),
         },
         Request::ShardInDoubt => Response::ShardGtids(db.prepared_gtids()),
+        Request::Query { min_lsn, plan } => {
+            if shared.config.applied_watermark.is_some() {
+                // Follower: resolve now if fresh, park otherwise (or answer
+                // Lagging straight away during a shutdown drain).
+                let deadline =
+                    if immediate { None } else { Some(now + shared.config.read_at_wait) };
+                resolve_query(shared, conn, min_lsn, plan, deadline, now);
+                return;
+            }
+            // A primary never serves plans: its heap has no consistent-cut
+            // pin (writers mutate it mid-scan). OLAP is the followers' job —
+            // that asymmetry is the HTAP design, not an accident.
+            Response::Error("queries are served by followers; connect to a replica".into())
+        }
     };
     conn.staged.push(resp);
+}
+
+/// Re-checks a parked follower query (or resolves a fresh one). `deadline:
+/// None` means resolve now: run pinned if the frontier arrived, `Lagging`
+/// otherwise. Re-parks the session when the frontier is short but the
+/// deadline has not passed and the feed is alive.
+fn resolve_query(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    min_lsn: Lsn,
+    plan: WirePlan,
+    deadline: Option<Instant>,
+    now: Instant,
+) {
+    let applied = shared
+        .config
+        .applied_watermark
+        .as_ref()
+        .map_or(u64::MAX, |w| w.load(Ordering::Acquire));
+    if applied >= min_lsn {
+        conn.phase = Phase::Request;
+        let resp = run_query(shared, &plan);
+        conn.staged.push(resp);
+    } else if deadline.map_or(true, |d| now >= d) || feed_dead(shared) {
+        conn.phase = Phase::Request;
+        conn.staged.push(Response::Lagging { applied });
+    } else {
+        conn.phase = Phase::AwaitQuery {
+            min_lsn,
+            plan,
+            deadline: deadline.expect("parking requires a deadline"),
+        };
+    }
+}
+
+/// Result-size bounds: the whole result rides one frame, so refuse anything
+/// that could overflow [`MAX_FRAME`] instead of truncating it (a truncated
+/// result is a wrong answer; a typed error is not).
+const MAX_QUERY_ROWS: usize = 16_384;
+const MAX_QUERY_CELLS: usize = 100_000;
+
+/// Executes a validated plan pinned under the apply gate. Holding the read
+/// side keeps the apply loop out of its write section for the whole plan,
+/// so every operator sees the heap at one applied frontier — and the
+/// frontier only advances at transaction-consistent cuts.
+fn run_query(shared: &Arc<Shared>, plan: &WirePlan) -> Response {
+    let _pin = shared.config.apply_gate.as_ref().map(|g| g.read());
+    let node = match compile_wire(&shared.db, plan) {
+        Ok((node, _)) => node,
+        Err(msg) => return Response::Error(msg),
+    };
+    let rows = esdb_staged::execute_staged(&node, esdb_staged::DEFAULT_BATCH);
+    let cells: usize = rows.iter().map(|r| r.len()).sum();
+    if rows.len() > MAX_QUERY_ROWS || cells > MAX_QUERY_CELLS {
+        return Response::Error(format!(
+            "query result too large for one frame ({} rows); aggregate or narrow the plan",
+            rows.len()
+        ));
+    }
+    Response::Rows(rows)
+}
+
+/// Compiles a wire plan against the server's catalog, returning the plan
+/// plus its output row width. Every table id, index id, and column offset
+/// is validated here — the execution engines index rows unchecked, so this
+/// is the panic barrier between the wire and the engine.
+fn compile_wire(
+    db: &Arc<Database>,
+    plan: &WirePlan,
+) -> Result<(esdb_staged::PlanNode, usize), String> {
+    use esdb_staged::PlanNode;
+    let resolve = |id: u32| {
+        db.table(id).ok_or_else(|| format!("unknown table {id}"))
+    };
+    Ok(match plan {
+        WirePlan::Scan { table } => {
+            let t = resolve(*table)?;
+            let width = t.schema().arity + 1;
+            (PlanNode::scan(t), width)
+        }
+        WirePlan::IndexScan { table, index, lo, hi } => {
+            let t = resolve(*table)?;
+            if t.secondary(*index).is_none() {
+                return Err(format!("unknown index {index} on table {table}"));
+            }
+            let width = t.schema().arity + 1;
+            (PlanNode::index_scan(t, *index, *lo, *hi), width)
+        }
+        WirePlan::Filter { input, col, op, value } => {
+            let (node, width) = compile_wire(db, input)?;
+            if *col as usize >= width {
+                return Err(format!("filter column {col} out of range (width {width})"));
+            }
+            (node.filter(*col as usize, *op, *value), width)
+        }
+        WirePlan::Project { input, cols } => {
+            let (node, width) = compile_wire(db, input)?;
+            if let Some(bad) = cols.iter().find(|&&c| c as usize >= width) {
+                return Err(format!("project column {bad} out of range (width {width})"));
+            }
+            let cols: Vec<usize> = cols.iter().map(|&c| c as usize).collect();
+            let out = cols.len();
+            (node.project(cols), out)
+        }
+        WirePlan::Aggregate { input, group_col, agg_col, func } => {
+            let (node, width) = compile_wire(db, input)?;
+            if *agg_col as usize >= width {
+                return Err(format!("aggregate column {agg_col} out of range (width {width})"));
+            }
+            if let Some(g) = group_col {
+                if *g as usize >= width {
+                    return Err(format!("group column {g} out of range (width {width})"));
+                }
+            }
+            let out = if group_col.is_some() { 2 } else { 1 };
+            (
+                node.aggregate(group_col.map(|g| g as usize), *agg_col as usize, *func),
+                out,
+            )
+        }
+        WirePlan::Sort { input, col } => {
+            let (node, width) = compile_wire(db, input)?;
+            if *col as usize >= width {
+                return Err(format!("sort column {col} out of range (width {width})"));
+            }
+            (node.sort(*col as usize), width)
+        }
+    })
 }
 
 fn feed_dead(shared: &Shared) -> bool {
@@ -1138,6 +1302,16 @@ fn snapshot_into(db: &Arc<Database>, responses: &mut Vec<Response>) {
         catalog: catalog
             .iter()
             .map(|(id, name, arity, pages)| (*id, name.clone(), *arity as u32, pages.clone()))
+            .collect(),
+        // Declarations only — index contents are derived state the replica
+        // rebuilds from the installed heap.
+        indexes: db
+            .index_catalog()
+            .into_iter()
+            .flat_map(|(tid, defs)| {
+                defs.into_iter()
+                    .map(move |d| (tid, d.id, d.name, d.col as u32, d.kind.as_u8()))
+            })
             .collect(),
     });
     let disk = db.disk();

@@ -100,6 +100,15 @@ pub struct ServerConfig {
     /// burning the full [`ServerConfig::read_at_wait`] — the frontier is not
     /// going to move.
     pub feed_live: Option<Arc<AtomicBool>>,
+    /// Replica-side only: the replica's snapshot pin. The apply loop holds
+    /// the write side while it applies a batch of redo; a
+    /// [`crate::protocol::Request::Query`] executes its whole plan under the
+    /// read side, so it observes the heap only between apply batches — and
+    /// since the paired [`ServerConfig::applied_watermark`] advances only at
+    /// transaction-consistent cuts, a pinned plan can never see a torn
+    /// transaction. `None` (with a watermark set) degrades queries to
+    /// unpinned reads; both `None` on a primary.
+    pub apply_gate: Option<Arc<parking_lot::RwLock<()>>>,
     /// Stalled-peer budget: a session whose peer has sent part of a frame
     /// and then gone quiet for this long is closed with a typed
     /// [`crate::protocol::FrameError::Timeout`] error frame instead of
@@ -121,6 +130,7 @@ impl Default for ServerConfig {
             repl_group: None,
             quorum: None,
             feed_live: None,
+            apply_gate: None,
             stall_timeout: None,
         }
     }

@@ -164,12 +164,26 @@ fn catalog_strategy() -> BoxedStrategy<Vec<(u32, String, u32, Vec<u64>)>> {
     .boxed()
 }
 
+fn index_catalog_strategy() -> BoxedStrategy<Vec<(u32, u32, String, u32, u8)>> {
+    prop::collection::vec(
+        (0u32..64, 0u32..4, name_strategy(), 0u32..8, 0u8..2)
+            .prop_map(|(table, index, name, col, kind)| (table, index, name, col, kind))
+            .boxed(),
+        0..4,
+    )
+    .boxed()
+}
+
 /// The replication-only response frames: snapshot streaming, shipped log
 /// chunks, and follower-read tokens.
 fn repl_response_strategy() -> BoxedStrategy<Response> {
     prop_oneof![
-        (any::<u64>(), catalog_strategy())
-            .prop_map(|(start_lsn, catalog)| Response::SnapBegin { start_lsn, catalog })
+        (any::<u64>(), catalog_strategy(), index_catalog_strategy())
+            .prop_map(|(start_lsn, catalog, indexes)| Response::SnapBegin {
+                start_lsn,
+                catalog,
+                indexes,
+            })
             .boxed(),
         (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512))
             .prop_map(|(page_id, bytes)| Response::SnapPage { page_id, bytes })

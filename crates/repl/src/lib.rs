@@ -32,9 +32,11 @@
 //!
 //! See `DESIGN.md` ("Replication") for the invariants and their arguments.
 
+pub mod htap;
 pub mod replica;
 pub mod runner;
 
+pub use htap::HtapView;
 pub use replica::{
     divergence_check, local_snapshot, ship_available, Promotion, Replica, ReplError,
 };

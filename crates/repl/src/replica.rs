@@ -11,7 +11,8 @@ use esdb_storage::{InMemoryDisk, StorageError, Table};
 use esdb_wal::buffer::LogStore;
 use esdb_wal::record::decode_stream_checked;
 use esdb_wal::{apply_redo, LogBody, LogRecord, Lsn, WalError};
-use std::collections::HashMap;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -139,6 +140,12 @@ pub struct Replica {
     /// Highest replication term observed: chunk stamps fed through
     /// [`Replica::ingest_term`] and `TermChange` records in the stream.
     term: u64,
+    /// Snapshot pin for OLAP reads: `advance_frontier` holds the write side
+    /// while applying a batch of redo, and a pinned query (an
+    /// [`crate::HtapView`], or a server's `ServerConfig::apply_gate`) holds
+    /// the read side across its whole plan — so a query only ever observes
+    /// the heap *between* consistent cuts, never mid-apply.
+    gate: Arc<RwLock<()>>,
 }
 
 impl std::fmt::Debug for Replica {
@@ -170,6 +177,7 @@ impl Replica {
             resolved: HashMap::new(),
             applied: Arc::new(AtomicU64::new(start)),
             term: 0,
+            gate: Arc::new(RwLock::new(())),
         })
     }
 
@@ -199,6 +207,24 @@ impl Replica {
     /// The durable cursor device, exposed for fault injection in tests.
     pub fn cursor_store(&self) -> &Arc<LogStore> {
         &self.cursor
+    }
+
+    /// The snapshot pin, shared with a serving
+    /// `esdb_net::ServerConfig::apply_gate`.
+    pub fn apply_gate(&self) -> Arc<RwLock<()>> {
+        Arc::clone(&self.gate)
+    }
+
+    /// A handle for in-process commit-consistent OLAP reads over this
+    /// replica's database (see [`crate::HtapView`]). The view stays valid
+    /// while the replica lives; after a crash/[`Replica::reopen`] it points
+    /// at the dead pre-crash database and must be re-fetched.
+    pub fn htap_view(&self) -> crate::HtapView {
+        crate::HtapView::new(
+            Arc::clone(&self.db),
+            Arc::clone(&self.applied),
+            Arc::clone(&self.gate),
+        )
     }
 
     /// The highest replication term this replica has observed.
@@ -295,50 +321,86 @@ impl Replica {
         Ok(())
     }
 
-    /// Applies pending records in strict LSN order. A data record is redone
-    /// only once its transaction is known committed; the frontier *stalls*
-    /// at the first record of a still-unresolved transaction, which is what
-    /// makes the published watermark commit-consistent (a follower read at
-    /// the watermark can never observe an uncommitted or doomed write).
+    /// Applies pending records in strict LSN order, publishing the frontier
+    /// only at **transaction-consistent cuts**.
+    ///
+    /// Pass 1 finds the cut. Walking `pending`, a known-committed
+    /// transaction *opens* at its first data record and *closes* at its
+    /// terminator; the walk stops at the first data record whose outcome is
+    /// still unknown (its terminator has not been decoded — it necessarily
+    /// lies beyond `pending`, because decode order is LSN order). The cut is
+    /// the longest prefix with no transaction left open. Records of distinct
+    /// transactions interleave freely in the stream, so a per-record
+    /// watermark could expose half of a committed transaction whose other
+    /// half sits past a stalled record; the cut cannot.
+    ///
+    /// Pass 2 redoes the prefix under the write side of the pin gate:
+    /// pinned OLAP readers are excluded for the whole batch and observe the
+    /// heap only at cut boundaries. Together with pass 1 this is the
+    /// follower-side snapshot guarantee: a reader that checks the watermark
+    /// and then takes the read side sees every record below the watermark
+    /// applied and nothing above it mid-flight.
     fn advance_frontier(&mut self) {
-        let mut idx = 0;
-        while idx < self.pending.len() {
-            let r = &self.pending[idx];
+        let mut open: HashSet<u64> = HashSet::new();
+        let mut cut = 0usize;
+        for (idx, r) in self.pending.iter().enumerate() {
             match &r.body {
-                // A term boundary carries no page effects; the term itself
-                // was adopted at decode time in `pump`.
-                LogBody::Begin | LogBody::Checkpoint { .. } | LogBody::TermChange { .. } => {}
-                // 2PC bookkeeping carries no page effects. A Prepare is
-                // deliberately *not* a terminator: data records of an
-                // in-doubt transaction keep stalling the frontier below
-                // until the participant's Commit/Abort lands, so follower
-                // reads never observe a half-decided cross-shard txn.
-                LogBody::Prepare { .. }
+                // Term boundaries, checkpoints, and 2PC bookkeeping carry no
+                // page effects (the term itself was adopted at decode time
+                // in `pump`). A Prepare is deliberately *not* a terminator:
+                // data records of an in-doubt transaction keep stalling the
+                // cut below until the participant's Commit/Abort lands, so
+                // pinned reads never observe a half-decided cross-shard txn.
+                LogBody::Begin
+                | LogBody::Checkpoint { .. }
+                | LogBody::TermChange { .. }
+                | LogBody::Prepare { .. }
                 | LogBody::Decide { .. }
                 | LogBody::GtidWatermark { .. } => {}
-                // The terminator is a transaction's last record, so its
-                // outcome entry is no longer needed once consumed.
                 LogBody::Commit | LogBody::Abort => {
-                    self.resolved.remove(&r.txn_id);
+                    open.remove(&r.txn_id);
                 }
                 LogBody::Insert { .. } | LogBody::Update { .. } | LogBody::Delete { .. } => {
                     match self.resolved.get(&r.txn_id) {
                         Some(true) => {
-                            apply_redo(r, &self.tables);
+                            open.insert(r.txn_id);
                         }
                         Some(false) => {} // aborted: never touches pages
-                        None => break,    // outcome unknown: stall here
+                        None => break,    // outcome unknown: the cut stops
                     }
                 }
             }
-            let end = self
-                .pending
-                .get(idx + 1)
-                .map_or(self.decoded_to, |next| next.lsn);
-            self.applied.store(end, Ordering::Release);
-            idx += 1;
+            if open.is_empty() {
+                cut = idx + 1;
+            }
         }
-        self.pending.drain(..idx);
+        if cut == 0 {
+            return;
+        }
+        let cut_lsn = self
+            .pending
+            .get(cut)
+            .map_or(self.decoded_to, |next| next.lsn);
+        {
+            let _apply = self.gate.write();
+            for r in &self.pending[..cut] {
+                match &r.body {
+                    // The terminator is a transaction's last record, so its
+                    // outcome entry is no longer needed once consumed.
+                    LogBody::Commit | LogBody::Abort => {
+                        self.resolved.remove(&r.txn_id);
+                    }
+                    LogBody::Insert { .. } | LogBody::Update { .. } | LogBody::Delete { .. } => {
+                        if self.resolved.get(&r.txn_id) == Some(&true) {
+                            apply_redo(r, &self.tables);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.applied.store(cut_lsn, Ordering::Release);
+        }
+        self.pending.drain(..cut);
     }
 
     /// Crash-restarts the replica: all volatile state (the database, decode
@@ -349,7 +411,7 @@ impl Replica {
     /// re-applied from the snapshot's `start_lsn`. Applying the same stream
     /// twice is safe: redo is page-LSN idempotent.
     pub fn reopen(self) -> Result<Replica, ReplError> {
-        let Replica { cursor, snapshot, config, .. } = self;
+        let Replica { cursor, snapshot, config, gate, .. } = self;
         let raw = cursor.read_from(cursor.base());
         let salvaged = decode_stream_checked(&raw, cursor.base());
         if let Some(e) = salvaged.corruption {
@@ -369,6 +431,9 @@ impl Replica {
             pending: Vec::new(),
             resolved: HashMap::new(),
             applied: Arc::new(AtomicU64::new(start)),
+            // The gate survives restart so long-lived HtapView handles keep
+            // pinning against the reopened apply loop.
+            gate,
             // Re-derived from the salvaged stream: `pump` adopts every
             // TermChange record it decodes.
             term: 0,
@@ -491,6 +556,14 @@ pub fn local_snapshot(db: &Database) -> Result<Snapshot, ReplError> {
             .into_iter()
             .map(|(id, name, arity, pages)| (id, name, arity as u32, pages))
             .collect(),
+        indexes: db
+            .index_catalog()
+            .into_iter()
+            .flat_map(|(tid, defs)| {
+                defs.into_iter()
+                    .map(move |d| (tid, d.id, d.name, d.col as u32, d.kind.as_u8()))
+            })
+            .collect(),
         pages,
     })
 }
@@ -542,7 +615,31 @@ fn install_snapshot(snapshot: &Snapshot, config: EngineConfig) -> Result<Arc<Dat
             return Err(ReplError::BadSnapshot("catalog references a missing page"));
         }
     }
-    let db = Database::restore_from_snapshot(config, disk, &catalog)?;
+    // Index *declarations* ship with the snapshot; contents are derived
+    // state, rebuilt from the installed heaps by `restore_from_snapshot`.
+    // Everything wire-provided is validated before it touches the engine.
+    let mut index_catalog: HashMap<TableId, Vec<esdb_storage::IndexDef>> = HashMap::new();
+    for (tid, iid, name, col, kind) in &snapshot.indexes {
+        let Some(kind) = esdb_storage::IndexKind::from_u8(*kind) else {
+            return Err(ReplError::BadSnapshot("unknown index kind"));
+        };
+        let Some((_, _, arity, _)) = catalog.iter().find(|(id, _, _, _)| id == tid) else {
+            return Err(ReplError::BadSnapshot("index on a table missing from the catalog"));
+        };
+        if *col as usize >= *arity {
+            return Err(ReplError::BadSnapshot("index column out of range"));
+        }
+        index_catalog.entry(*tid).or_default().push(esdb_storage::IndexDef {
+            id: *iid,
+            name: name.clone(),
+            col: *col as usize,
+            kind,
+        });
+    }
+    let mut index_catalog: Vec<(TableId, Vec<esdb_storage::IndexDef>)> =
+        index_catalog.into_iter().collect();
+    index_catalog.sort_by_key(|(tid, _)| *tid);
+    let db = Database::restore_from_snapshot(config, disk, &catalog, &index_catalog)?;
     Ok(Arc::new(db))
 }
 

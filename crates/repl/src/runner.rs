@@ -2,10 +2,12 @@
 //! apply loop fed on a background thread, reconnecting through the client's
 //! jittered backoff when the primary restarts or drops the feed.
 
+use crate::htap::HtapView;
 use crate::replica::{Replica, ReplError};
 use esdb_core::config::EngineConfig;
 use esdb_core::Database;
 use esdb_net::{Client, ReconnectPolicy};
+use parking_lot::RwLock;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,6 +19,7 @@ use std::time::Duration;
 pub struct ReplicaHandle {
     db: Arc<Database>,
     applied: Arc<AtomicU64>,
+    gate: Arc<RwLock<()>>,
     stop: Arc<AtomicBool>,
     feed_live: Arc<AtomicBool>,
     feed: Option<JoinHandle<Result<(), ReplError>>>,
@@ -32,6 +35,20 @@ impl ReplicaHandle {
     /// The apply frontier, for `ServerConfig::applied_watermark`.
     pub fn watermark(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.applied)
+    }
+
+    /// The apply pin gate, for `ServerConfig::apply_gate`: the feed thread
+    /// holds the write side for each redo batch, so a server (or an
+    /// [`HtapView`]) holding the read side observes the heap only at
+    /// transaction-consistent cuts.
+    pub fn apply_gate(&self) -> Arc<RwLock<()>> {
+        Arc::clone(&self.gate)
+    }
+
+    /// A commit-consistent analytical view over this replica, for in-process
+    /// OLAP ([`HtapView::query_at`]).
+    pub fn htap_view(&self) -> HtapView {
+        HtapView::new(Arc::clone(&self.db), Arc::clone(&self.applied), Arc::clone(&self.gate))
     }
 
     /// The current apply frontier.
@@ -82,6 +99,7 @@ pub fn start_replica(
     let mut replica = Replica::bootstrap(snapshot, config)?;
     let db = Arc::clone(replica.db());
     let applied = replica.watermark();
+    let gate = replica.apply_gate();
     let stop = Arc::new(AtomicBool::new(false));
     let feed_live = Arc::new(AtomicBool::new(true));
     let feed = {
@@ -93,7 +111,7 @@ pub fn start_replica(
             verdict
         })
     };
-    Ok(ReplicaHandle { db, applied, stop, feed_live, feed: Some(feed) })
+    Ok(ReplicaHandle { db, applied, gate, stop, feed_live, feed: Some(feed) })
 }
 
 /// Subscribes and pumps chunks until stopped. A reconnectable transport

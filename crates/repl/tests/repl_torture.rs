@@ -12,6 +12,7 @@
 use esdb_core::config::EngineConfig;
 use esdb_core::Database;
 use esdb_repl::{local_snapshot, ship_available, ReplError, Replica};
+use esdb_storage::{IndexDef, IndexKind};
 use esdb_wal::LogFault;
 use std::sync::Arc;
 
@@ -184,6 +185,165 @@ fn cursor_bit_flip_detected_on_restart() {
     // surface the damage as a typed error.
     let mid = replica.cursor_store().base() + 33;
     replica.cursor_store().flip_bit(mid, 5);
+    let err = replica.reopen().unwrap_err();
+    assert!(matches!(err, ReplError::Corrupt(_)), "err = {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Secondary-index torture: the index must either equal the heap exactly or
+// halt with a typed error — a follower crash at *any* point during index
+// build or incremental maintenance must never leave an index that answers
+// wrong.
+
+fn indexed_primary(n: u64) -> (Arc<Database>, u32) {
+    let db = Arc::new(Database::open(EngineConfig::conventional_baseline()));
+    let t = db
+        .create_table_with_indexes(
+            "accounts",
+            2,
+            vec![
+                IndexDef { id: 0, name: "by_bal".into(), col: 0, kind: IndexKind::Hash },
+                IndexDef { id: 1, name: "by_flag".into(), col: 1, kind: IndexKind::Range },
+            ],
+        )
+        .unwrap();
+    db.execute(|txn| {
+        for k in 0..n {
+            txn.insert(t, k, &[(k % 16) as i64, (k % 5) as i64])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (db, t)
+}
+
+fn index_dump(db: &Database, t: u32) -> Vec<Vec<(i64, Vec<u64>)>> {
+    let table = db.table(t).unwrap();
+    table.secondaries().iter().map(|ix| ix.entries()).collect()
+}
+
+/// Crash the follower's cursor device mid-stream — i.e. mid-incremental
+/// index maintenance — then restart TWICE. Both restarts rebuild the indexes
+/// from scratch (snapshot heap + full re-apply), and both must converge to
+/// contents byte-identical to an uninterrupted follower's.
+#[test]
+fn follower_crash_mid_index_maintenance_double_restart_converges() {
+    let (db, t) = indexed_primary(80);
+    let snap = local_snapshot(&db).unwrap();
+    // The uninterrupted control follower.
+    let mut control =
+        Replica::bootstrap(snap.clone(), EngineConfig::conventional_baseline()).unwrap();
+    let mut replica = Replica::bootstrap(snap, EngineConfig::conventional_baseline()).unwrap();
+    mutate(&db, t, 60);
+    ship_available(db.wal(), &mut control).unwrap();
+    let wal = db.wal();
+    // The victim's cursor device dies partway through the shipped stream:
+    // some maintained index entries are already applied, the rest never land.
+    replica
+        .cursor_store()
+        .set_fault(LogFault { seed: 11, crash_on_append: 3, flip_bit: false });
+    let from = replica.subscribe_from();
+    let (bytes, start) = wal.durable_tail(from).unwrap();
+    let avail = ((wal.durable_lsn() - start) as usize).min(bytes.len());
+    let mut off = 0usize;
+    for chunk in bytes[..avail].chunks(193) {
+        match replica.ingest(start + off as u64, chunk) {
+            Ok(()) => off += chunk.len(),
+            Err(_) => break, // the crash
+        }
+    }
+    // First restart: salvage the cursor, reinstall the snapshot, rebuild the
+    // indexes from the installed heap, re-apply — then catch up.
+    replica
+        .cursor_store()
+        .set_fault(LogFault { seed: 1, crash_on_append: u64::MAX, flip_bit: false });
+    let mut replica = replica.reopen().unwrap();
+    ship_available(wal, &mut replica).unwrap();
+    assert_eq!(contents(&db, t), contents(replica.db(), t));
+    assert_eq!(index_dump(&db, t), index_dump(replica.db(), t));
+    assert_eq!(index_dump(control.db(), t), index_dump(replica.db(), t));
+    // Second restart with nothing new to ship: the full re-derivation must
+    // be deterministic — byte-identical index contents both times.
+    let replica = replica.reopen().unwrap();
+    assert_eq!(contents(&db, t), contents(replica.db(), t));
+    assert_eq!(index_dump(control.db(), t), index_dump(replica.db(), t));
+}
+
+/// Crash the follower *during the initial index build*: the snapshot heap is
+/// installed but the cursor holds only a prefix of the stream when the
+/// process dies (simulated by reopening from a replica that never finished
+/// applying). Double restart, then catch up — identical answers to an
+/// uninterrupted follower.
+#[test]
+fn follower_crash_mid_index_build_converges() {
+    let (db, t) = indexed_primary(120);
+    mutate(&db, t, 40);
+    // Snapshot taken mid-history: bootstrap rebuilds indexes over a heap
+    // that already carries index entries, then the stream extends them.
+    let snap = local_snapshot(&db).unwrap();
+    // Post-snapshot churn under fresh keys (mutate's insert keys were used).
+    for i in 0..40u64 {
+        db.execute(|txn| {
+            let k = i % 20;
+            let row = txn.read(t, k)?;
+            txn.update(t, k, &[row[0] + 3, row[1] - 1])?;
+            txn.insert(t, 20_000 + i, &[i as i64 % 9, i as i64 % 4])?;
+            if i % 4 == 3 {
+                txn.delete(t, 20_000 + i - 2)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    let wal0 = db.wal();
+    wal0.wait_durable(wal0.current_lsn());
+    let mut control =
+        Replica::bootstrap(snap.clone(), EngineConfig::conventional_baseline()).unwrap();
+    ship_available(db.wal(), &mut control).unwrap();
+    let mut replica = Replica::bootstrap(snap, EngineConfig::conventional_baseline()).unwrap();
+    // Land a prefix of the stream, then "crash" before the rest arrives:
+    // reopen() discards all volatile state and rebuilds indexes from zero.
+    let wal = db.wal();
+    let from = replica.subscribe_from();
+    let (bytes, start) = wal.durable_tail(from).unwrap();
+    let avail = ((wal.durable_lsn() - start) as usize).min(bytes.len());
+    replica.ingest(start, &bytes[..avail / 3]).unwrap();
+    let mut replica = replica.reopen().unwrap();
+    let replica2 = replica.reopen().unwrap(); // double restart, mid-build state
+    let mut replica = replica2;
+    ship_available(wal, &mut replica).unwrap();
+    assert_eq!(contents(&db, t), contents(replica.db(), t));
+    assert_eq!(index_dump(control.db(), t), index_dump(replica.db(), t));
+    // And the indexes agree with the follower's own heap, not just the
+    // primary's: derive the reference from a full scan.
+    let table = replica.db().table(t).unwrap();
+    let mut rows: Vec<(u64, Vec<i64>)> = Vec::new();
+    table.scan(|k, row| rows.push((k, row.to_vec()))).unwrap();
+    rows.sort();
+    for (ix_pos, col) in [(0usize, 0usize), (1, 1)] {
+        let mut by_val: std::collections::BTreeMap<i64, Vec<u64>> = Default::default();
+        for (k, row) in &rows {
+            by_val.entry(row[col]).or_default().push(*k);
+        }
+        let expected: Vec<(i64, Vec<u64>)> = by_val.into_iter().collect();
+        assert_eq!(table.secondaries()[ix_pos].entries(), expected);
+    }
+}
+
+/// Detectable corruption in the shipped stream halts index maintenance with
+/// a typed error — the index is never left silently wrong, and restarts keep
+/// refusing rather than serving a half-maintained index.
+#[test]
+fn corrupt_stream_halts_index_maintenance_typed() {
+    let (db, t) = indexed_primary(50);
+    let snap = local_snapshot(&db).unwrap();
+    let mut replica = Replica::bootstrap(snap, EngineConfig::conventional_baseline()).unwrap();
+    mutate(&db, t, 30);
+    let wal = db.wal();
+    let from = replica.subscribe_from();
+    wal.flip_durable_bit(from + 64, 2);
+    let err = ship_available(wal, &mut replica).unwrap_err();
+    assert!(matches!(err, ReplError::Corrupt(_)), "err = {err}");
     let err = replica.reopen().unwrap_err();
     assert!(matches!(err, ReplError::Corrupt(_)), "err = {err}");
 }

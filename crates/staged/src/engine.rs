@@ -180,6 +180,10 @@ fn compile(plan: &PlanNode, batch: usize) -> Pipeline {
                 stages: Vec::new(),
             }
         }
+        PlanNode::IndexScan { table, index, lo, hi } => Pipeline {
+            source: crate::plan::index_scan_rows(table, *index, *lo, *hi),
+            stages: Vec::new(),
+        },
         PlanNode::Values(rows) => Pipeline {
             source: rows.as_ref().clone(),
             stages: Vec::new(),

@@ -72,6 +72,25 @@ impl AggFunc {
 pub enum PlanNode {
     /// Full scan of a stored table; rows are `[key, col0, col1, ...]`.
     Scan(Arc<Table>),
+    /// Index-assisted scan: rows of `table` whose indexed column lies in
+    /// `[lo, hi]` (inclusive), found through the secondary index `index`
+    /// and fetched in primary-key order. Output rows are `[key, col0, ...]`
+    /// exactly like `Scan`, so the node is a drop-in replacement for
+    /// `Scan + Filter` — which is also the equivalence the proptests pin.
+    ///
+    /// A hash-shaped index can only serve `lo == hi`; execution falls back
+    /// to a full scan + filter over the index's column for wider ranges, so
+    /// a mis-planned node degrades to slower, never to wrong.
+    IndexScan {
+        /// Scanned table.
+        table: Arc<Table>,
+        /// Secondary index id within the table.
+        index: esdb_storage::IndexId,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
     /// Literal row source (tests, intermediate results).
     Values(Arc<Vec<Row>>),
     /// Keep rows where `row[col] OP value`.
@@ -129,6 +148,49 @@ impl PlanNode {
         PlanNode::Scan(table)
     }
 
+    /// Index-scan helper.
+    pub fn index_scan(table: Arc<Table>, index: esdb_storage::IndexId, lo: i64, hi: i64) -> Self {
+        PlanNode::IndexScan { table, index, lo, hi }
+    }
+
+    /// Plans a single-predicate scan over a *table* column (0-based into the
+    /// row, key excluded): picks a declared secondary index that can serve
+    /// `col OP value` and builds an [`PlanNode::IndexScan`], or falls back to
+    /// `Scan + Filter`. Either shape yields identical full rows
+    /// `[key, col0, ...]`.
+    pub fn scan_filtered(table: Arc<Table>, col: usize, op: CmpOp, value: i64) -> Self {
+        let pick = table
+            .secondaries()
+            .iter()
+            .find(|ix| {
+                ix.def().col == col
+                    && match ix.def().kind {
+                        esdb_storage::IndexKind::Hash => op == CmpOp::Eq,
+                        esdb_storage::IndexKind::Range => op != CmpOp::Ne,
+                    }
+            })
+            .map(|ix| ix.def().id);
+        let Some(index) = pick else {
+            // Plan column = table column + 1: Scan emits the key at 0.
+            return PlanNode::scan(table).filter(col + 1, op, value);
+        };
+        let (lo, hi) = match op {
+            CmpOp::Eq => (value, value),
+            CmpOp::Le => (i64::MIN, value),
+            CmpOp::Ge => (value, i64::MAX),
+            CmpOp::Lt => match value.checked_sub(1) {
+                Some(hi) => (i64::MIN, hi),
+                None => return PlanNode::values(Vec::new()), // x < i64::MIN
+            },
+            CmpOp::Gt => match value.checked_add(1) {
+                Some(lo) => (lo, i64::MAX),
+                None => return PlanNode::values(Vec::new()), // x > i64::MAX
+            },
+            CmpOp::Ne => unreachable!("Ne never picks an index"),
+        };
+        PlanNode::IndexScan { table, index, lo, hi }
+    }
+
     /// Values helper.
     pub fn values(rows: Vec<Row>) -> Self {
         PlanNode::Values(Arc::new(rows))
@@ -181,6 +243,64 @@ impl PlanNode {
     }
 }
 
+/// Materializes an [`PlanNode::IndexScan`]'s rows — shared by both engines
+/// so index-assisted scans are bit-identical across Volcano and staged
+/// execution. Rows come back as `[key, col0, ...]` in primary-key order,
+/// the same shape and order-insensitive content a `Scan + Filter` yields.
+///
+/// Panics on an index id the table never declared: plans are validated
+/// where they enter the system (the wire decoder checks ids against the
+/// catalog), so an unknown id here is a programming error, not bad input.
+pub(crate) fn index_scan_rows(
+    table: &Arc<Table>,
+    index: esdb_storage::IndexId,
+    lo: i64,
+    hi: i64,
+) -> Vec<Row> {
+    let ix = table
+        .secondary(index)
+        .unwrap_or_else(|| panic!("plan references unknown index {index} on table {}", table.id()));
+    if lo > hi {
+        return Vec::new();
+    }
+    let pks = if lo == hi {
+        Some(ix.lookup_eq(lo))
+    } else {
+        ix.lookup_range(lo, hi) // None: hash index cannot serve a range
+    };
+    match pks {
+        Some(pks) => pks
+            .into_iter()
+            .filter_map(|pk| {
+                table.get(pk).ok().map(|cols| {
+                    let mut r = Vec::with_capacity(cols.len() + 1);
+                    r.push(pk as i64);
+                    r.extend_from_slice(&cols);
+                    r
+                })
+            })
+            .collect(),
+        None => {
+            // Degrade to a correct (if slower) filtered full scan over the
+            // index's column rather than answering wrongly.
+            let col = ix.def().col;
+            let mut rows = Vec::new();
+            table
+                .scan(|key, cols| {
+                    if cols.get(col).is_some_and(|v| (lo..=hi).contains(v)) {
+                        let mut r = Vec::with_capacity(cols.len() + 1);
+                        r.push(key as i64);
+                        r.extend_from_slice(cols);
+                        rows.push(r);
+                    }
+                })
+                .expect("scan");
+            rows.sort_by_key(|r| r[0]);
+            rows
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +324,65 @@ mod tests {
         assert_eq!(AggFunc::Count.fold(Some(3), 99), 4);
         assert_eq!(AggFunc::Min.fold(Some(3), 1), 1);
         assert_eq!(AggFunc::Max.fold(Some(3), 9), 9);
+    }
+
+    #[test]
+    fn index_scan_matches_scan_filter_on_both_engines() {
+        use esdb_storage::{buffer::BufferPool, disk::InMemoryDisk, IndexDef, IndexKind};
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(64, disk));
+        let table = Arc::new(esdb_storage::table::Table::create_indexed(
+            0,
+            "t",
+            2,
+            vec![
+                IndexDef { id: 0, name: "h0".into(), col: 0, kind: IndexKind::Hash },
+                IndexDef { id: 1, name: "r1".into(), col: 1, kind: IndexKind::Range },
+            ],
+            pool,
+        ));
+        for k in 0..100u64 {
+            table.insert(k, &[(k % 7) as i64, k as i64 - 50]).unwrap();
+        }
+        let cases = vec![
+            PlanNode::scan_filtered(table.clone(), 0, CmpOp::Eq, 3),
+            PlanNode::scan_filtered(table.clone(), 1, CmpOp::Eq, 0),
+            PlanNode::scan_filtered(table.clone(), 1, CmpOp::Le, -40),
+            PlanNode::scan_filtered(table.clone(), 1, CmpOp::Gt, 30),
+            PlanNode::index_scan(table.clone(), 1, -10, 10),
+        ];
+        let references = vec![
+            PlanNode::scan(table.clone()).filter(1, CmpOp::Eq, 3),
+            PlanNode::scan(table.clone()).filter(2, CmpOp::Eq, 0),
+            PlanNode::scan(table.clone()).filter(2, CmpOp::Le, -40),
+            PlanNode::scan(table.clone()).filter(2, CmpOp::Gt, 30),
+            PlanNode::scan(table.clone())
+                .filter(2, CmpOp::Ge, -10)
+                .filter(2, CmpOp::Le, 10),
+        ];
+        for (i, (plan, reference)) in cases.iter().zip(&references).enumerate() {
+            let mut expect = crate::volcano::execute_volcano(reference);
+            expect.sort();
+            assert!(!expect.is_empty(), "case {i} reference empty");
+            for rows in [
+                crate::volcano::execute_volcano(plan),
+                crate::engine::execute_staged(plan, 16),
+            ] {
+                let mut got = rows;
+                got.sort();
+                assert_eq!(got, expect, "case {i}");
+            }
+        }
+        // A column with no usable index falls back to Scan + Filter.
+        assert!(matches!(
+            PlanNode::scan_filtered(table.clone(), 0, CmpOp::Lt, 3),
+            PlanNode::Filter { .. }
+        ));
+        // Ne never uses an index.
+        assert!(matches!(
+            PlanNode::scan_filtered(table, 1, CmpOp::Ne, 0),
+            PlanNode::Filter { .. }
+        ));
     }
 
     #[test]

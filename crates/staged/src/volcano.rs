@@ -106,6 +106,9 @@ fn compile(plan: &PlanNode) -> Box<dyn RowIter> {
                 rows: rows.into_iter(),
             })
         }
+        PlanNode::IndexScan { table, index, lo, hi } => Box::new(ValuesIter {
+            rows: crate::plan::index_scan_rows(table, *index, *lo, *hi).into_iter(),
+        }),
         PlanNode::Values(rows) => Box::new(ValuesIter {
             rows: rows.as_ref().clone().into_iter(),
         }),

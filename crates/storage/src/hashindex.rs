@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 /// Fibonacci-style multiplicative hash spreading sequential keys.
 #[inline]
-fn spread(key: u64) -> u64 {
+pub(crate) fn spread(key: u64) -> u64 {
     key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
@@ -100,6 +100,129 @@ impl HashIndex {
     }
 }
 
+struct MultiPartition {
+    latch: RwLatch,
+    map: std::cell::UnsafeCell<HashMap<i64, std::collections::BTreeSet<u64>>>,
+}
+
+unsafe impl Send for MultiPartition {}
+unsafe impl Sync for MultiPartition {}
+
+/// A partitioned multimap from column values to primary-key sets — the
+/// substrate secondary hash indexes are built on.
+///
+/// Operations have set semantics (`add`/`remove` of a `(value, pk)` pair are
+/// idempotent), which is what makes index maintenance through WAL redo safe
+/// to replay: re-applying a prefix of the log after a crash converges to the
+/// same contents instead of double-counting.
+pub struct HashMultiIndex {
+    partitions: Vec<MultiPartition>,
+    mask: u64,
+}
+
+impl HashMultiIndex {
+    /// Creates a multimap with `partitions` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(partitions: usize) -> Self {
+        let n = partitions.max(1).next_power_of_two();
+        HashMultiIndex {
+            partitions: (0..n)
+                .map(|_| MultiPartition {
+                    latch: RwLatch::new(),
+                    map: std::cell::UnsafeCell::new(HashMap::new()),
+                })
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, value: i64) -> &MultiPartition {
+        &self.partitions[(spread(value as u64) & self.mask) as usize]
+    }
+
+    /// Adds `(value, pk)`. Idempotent: returns `false` if already present.
+    pub fn add(&self, value: i64, pk: u64) -> bool {
+        let p = self.shard(value);
+        p.latch.lock_exclusive();
+        let fresh = unsafe { &mut *p.map.get() }.entry(value).or_default().insert(pk);
+        p.latch.unlock_exclusive();
+        fresh
+    }
+
+    /// Removes `(value, pk)`. Idempotent: returns `false` if absent.
+    pub fn remove(&self, value: i64, pk: u64) -> bool {
+        let p = self.shard(value);
+        p.latch.lock_exclusive();
+        let map = unsafe { &mut *p.map.get() };
+        let hit = match map.get_mut(&value) {
+            Some(set) => {
+                let hit = set.remove(&pk);
+                if set.is_empty() {
+                    map.remove(&value);
+                }
+                hit
+            }
+            None => false,
+        };
+        p.latch.unlock_exclusive();
+        hit
+    }
+
+    /// Primary keys indexed under `value`, in ascending order.
+    pub fn get(&self, value: i64) -> Vec<u64> {
+        let p = self.shard(value);
+        p.latch.lock_shared();
+        let pks = unsafe { &*p.map.get() }
+            .get(&value)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        p.latch.unlock_shared();
+        pks
+    }
+
+    /// Total `(value, pk)` pairs across all shards.
+    pub fn len(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.latch.lock_shared();
+                let n = unsafe { &*p.map.get() }.values().map(|s| s.len()).sum::<usize>();
+                p.latch.unlock_shared();
+                n
+            })
+            .sum()
+    }
+
+    /// Returns `true` if no pairs exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(value, sorted pks)` group, sorted by value — the canonical
+    /// form torture tests compare for byte-identical convergence.
+    pub fn entries(&self) -> Vec<(i64, Vec<u64>)> {
+        let mut all: Vec<(i64, Vec<u64>)> = Vec::new();
+        for p in &self.partitions {
+            p.latch.lock_shared();
+            for (v, set) in unsafe { &*p.map.get() }.iter() {
+                all.push((*v, set.iter().copied().collect()));
+            }
+            p.latch.unlock_shared();
+        }
+        all.sort_unstable_by_key(|(v, _)| *v);
+        all
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        for p in &self.partitions {
+            p.latch.lock_exclusive();
+            unsafe { &mut *p.map.get() }.clear();
+            p.latch.unlock_exclusive();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +284,22 @@ mod tests {
         }
         assert_eq!(idx.len(), 4_000);
         assert_eq!(idx.get(30_500), Some(500));
+    }
+
+    #[test]
+    fn multi_index_set_semantics() {
+        let idx = HashMultiIndex::new(4);
+        assert!(idx.add(-5, 1));
+        assert!(!idx.add(-5, 1), "re-add must be a no-op");
+        assert!(idx.add(-5, 2));
+        assert!(idx.add(7, 1));
+        assert_eq!(idx.get(-5), vec![1, 2]);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.remove(-5, 1));
+        assert!(!idx.remove(-5, 1), "re-remove must be a no-op");
+        assert_eq!(idx.get(-5), vec![2]);
+        assert_eq!(idx.entries(), vec![(-5, vec![2]), (7, vec![1])]);
+        idx.clear();
+        assert!(idx.is_empty());
     }
 }

@@ -18,7 +18,10 @@
 //! * [`heap`] — heap files of slotted pages addressed by [`rid::Rid`].
 //! * [`btree`] — an in-memory B+tree with per-node latches and latch
 //!   crabbing, mapping `u64` keys to values.
-//! * [`hashindex`] — a partitioned hash index (used for DORA-local indexes).
+//! * [`hashindex`] — a partitioned hash index (used for DORA-local indexes)
+//!   plus the partitioned multimap backing secondary hash indexes.
+//! * [`secondary`] — secondary indexes over single columns (hash and range),
+//!   maintained with idempotent set semantics so WAL redo can replay them.
 //! * [`schema`] — minimal catalog types. Tuples are fixed-arity `i64` rows;
 //!   this is sufficient for the TATP/TPC-C-style workloads the keynote's
 //!   experiments use and keeps tuple (de)serialization trivial.
@@ -45,6 +48,7 @@ pub mod heap;
 pub mod page;
 pub mod rid;
 pub mod schema;
+pub mod secondary;
 pub mod table;
 
 pub use buffer::BufferPool;
@@ -52,6 +56,8 @@ pub use disk::InMemoryDisk;
 pub use error::{IoOp, StorageError};
 pub use fault::{FaultConfig, FaultInjector, FaultRng, FaultStats};
 pub use rid::{PageId, Rid};
+pub use schema::{IndexDef, IndexId, IndexKind};
+pub use secondary::SecondaryIndex;
 pub use table::Table;
 
 /// Crate-wide result alias.

@@ -11,7 +11,57 @@ use crate::StorageError;
 /// Identifier of a table in the catalog.
 pub type TableId = u32;
 
-/// Description of one table: a name and a column count.
+/// Identifier of a secondary index within its table.
+pub type IndexId = u32;
+
+/// Physical shape of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Partitioned hash index: equality lookups only.
+    Hash,
+    /// Ordered index: equality and range lookups.
+    Range,
+}
+
+impl IndexKind {
+    /// Stable wire/catalog encoding of the kind.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            IndexKind::Hash => 0,
+            IndexKind::Range => 1,
+        }
+    }
+
+    /// Inverse of [`IndexKind::as_u8`]; `None` on unknown codes.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(IndexKind::Hash),
+            1 => Some(IndexKind::Range),
+            _ => None,
+        }
+    }
+}
+
+/// Declaration of one secondary index over a single `i64` column.
+///
+/// Index declarations live in the table's [`Schema`] so they travel with the
+/// catalog: through checkpoints, crash recovery, and replica snapshots. The
+/// indexed column is identified by its position in the row (`col`), never by
+/// the primary key (which already has the table's B+tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index id, unique within the table.
+    pub id: IndexId,
+    /// Human-readable index name.
+    pub name: String,
+    /// Indexed column position (0-based, into the row's columns).
+    pub col: usize,
+    /// Physical shape.
+    pub kind: IndexKind,
+}
+
+/// Description of one table: a name, a column count, and any secondary
+/// index declarations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Table id.
@@ -20,15 +70,33 @@ pub struct Schema {
     pub name: String,
     /// Number of `i64` columns (excluding the primary key).
     pub arity: usize,
+    /// Secondary indexes declared over this table's columns.
+    pub indexes: Vec<IndexDef>,
 }
 
 impl Schema {
-    /// Creates a schema.
+    /// Creates a schema with no secondary indexes.
     pub fn new(id: TableId, name: impl Into<String>, arity: usize) -> Self {
         Schema {
             id,
             name: name.into(),
             arity,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Creates a schema carrying secondary index declarations.
+    pub fn with_indexes(
+        id: TableId,
+        name: impl Into<String>,
+        arity: usize,
+        indexes: Vec<IndexDef>,
+    ) -> Self {
+        Schema {
+            id,
+            name: name.into(),
+            arity,
+            indexes,
         }
     }
 

@@ -1,0 +1,295 @@
+//! Secondary indexes over single `i64` columns.
+//!
+//! A [`SecondaryIndex`] maps column values to primary-key sets, in one of two
+//! shapes: a partitioned hash multimap ([`crate::hashindex::HashMultiIndex`],
+//! equality only) or an ordered multimap (equality + range). Both are
+//! maintained with set semantics — adding or removing a `(value, pk)` pair is
+//! idempotent — so the same maintenance calls are safe from the logged write
+//! path, from WAL redo during recovery, and from a replica re-applying a log
+//! suffix after reinstalling its snapshot. Replaying any prefix twice
+//! converges to identical contents instead of corrupting counts.
+//!
+//! Indexes are derived state: they are never checkpointed or shipped.
+//! Recovery and replica bootstrap rebuild them from the heap
+//! ([`crate::table::Table::rebuild_secondaries`]) and then keep them current
+//! through redo, exactly like the primary B+tree.
+
+use crate::hashindex::HashMultiIndex;
+use crate::schema::{IndexDef, IndexKind};
+use esdb_sync::RwLatch;
+use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ordered multimap: a latched `BTreeMap` from column value to pk set.
+struct RangeMulti {
+    latch: RwLatch,
+    map: UnsafeCell<BTreeMap<i64, BTreeSet<u64>>>,
+}
+
+unsafe impl Send for RangeMulti {}
+unsafe impl Sync for RangeMulti {}
+
+impl RangeMulti {
+    fn new() -> Self {
+        RangeMulti {
+            latch: RwLatch::new(),
+            map: UnsafeCell::new(BTreeMap::new()),
+        }
+    }
+
+    fn add(&self, value: i64, pk: u64) -> bool {
+        self.latch.lock_exclusive();
+        let fresh = unsafe { &mut *self.map.get() }.entry(value).or_default().insert(pk);
+        self.latch.unlock_exclusive();
+        fresh
+    }
+
+    fn remove(&self, value: i64, pk: u64) -> bool {
+        self.latch.lock_exclusive();
+        let map = unsafe { &mut *self.map.get() };
+        let hit = match map.get_mut(&value) {
+            Some(set) => {
+                let hit = set.remove(&pk);
+                if set.is_empty() {
+                    map.remove(&value);
+                }
+                hit
+            }
+            None => false,
+        };
+        self.latch.unlock_exclusive();
+        hit
+    }
+
+    fn get(&self, value: i64) -> Vec<u64> {
+        self.latch.lock_shared();
+        let pks = unsafe { &*self.map.get() }
+            .get(&value)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        self.latch.unlock_shared();
+        pks
+    }
+
+    fn range(&self, lo: i64, hi: i64) -> Vec<u64> {
+        // An empty window is a valid (empty) answer, not a panic —
+        // `lo`/`hi` can arrive straight off the wire.
+        if lo > hi {
+            return Vec::new();
+        }
+        self.latch.lock_shared();
+        let mut pks: Vec<u64> = Vec::new();
+        for set in unsafe { &*self.map.get() }.range(lo..=hi).map(|(_, s)| s) {
+            pks.extend(set.iter().copied());
+        }
+        self.latch.unlock_shared();
+        pks.sort_unstable();
+        pks.dedup();
+        pks
+    }
+
+    fn len(&self) -> usize {
+        self.latch.lock_shared();
+        let n = unsafe { &*self.map.get() }.values().map(|s| s.len()).sum();
+        self.latch.unlock_shared();
+        n
+    }
+
+    fn entries(&self) -> Vec<(i64, Vec<u64>)> {
+        self.latch.lock_shared();
+        let all = unsafe { &*self.map.get() }
+            .iter()
+            .map(|(v, s)| (*v, s.iter().copied().collect()))
+            .collect();
+        self.latch.unlock_shared();
+        all
+    }
+
+    fn clear(&self) {
+        self.latch.lock_exclusive();
+        unsafe { &mut *self.map.get() }.clear();
+        self.latch.unlock_exclusive();
+    }
+}
+
+enum Repr {
+    Hash(HashMultiIndex),
+    Range(RangeMulti),
+}
+
+/// One secondary index instance: an [`IndexDef`] plus its live contents.
+pub struct SecondaryIndex {
+    def: IndexDef,
+    repr: Repr,
+}
+
+impl SecondaryIndex {
+    /// Number of shards for hash-shaped indexes.
+    const HASH_PARTITIONS: usize = 16;
+
+    /// Builds an empty index for `def`.
+    pub fn new(def: IndexDef) -> Self {
+        let repr = match def.kind {
+            IndexKind::Hash => Repr::Hash(HashMultiIndex::new(Self::HASH_PARTITIONS)),
+            IndexKind::Range => Repr::Range(RangeMulti::new()),
+        };
+        SecondaryIndex { def, repr }
+    }
+
+    /// The declaration this index materializes.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// The indexed column's value in `row`, if the row is wide enough.
+    fn col_value(&self, row: &[i64]) -> Option<i64> {
+        row.get(self.def.col).copied()
+    }
+
+    /// Indexes `row` under primary key `pk`. Idempotent.
+    pub fn insert_row(&self, pk: u64, row: &[i64]) {
+        if let Some(v) = self.col_value(row) {
+            match &self.repr {
+                Repr::Hash(h) => {
+                    h.add(v, pk);
+                }
+                Repr::Range(r) => {
+                    r.add(v, pk);
+                }
+            }
+        }
+    }
+
+    /// Un-indexes `row` under primary key `pk`. Idempotent.
+    pub fn remove_row(&self, pk: u64, row: &[i64]) {
+        if let Some(v) = self.col_value(row) {
+            match &self.repr {
+                Repr::Hash(h) => {
+                    h.remove(v, pk);
+                }
+                Repr::Range(r) => {
+                    r.remove(v, pk);
+                }
+            }
+        }
+    }
+
+    /// Moves `pk` from its `before` image to its `after` image.
+    pub fn update_row(&self, pk: u64, before: &[i64], after: &[i64]) {
+        if self.col_value(before) == self.col_value(after) {
+            return;
+        }
+        self.remove_row(pk, before);
+        self.insert_row(pk, after);
+    }
+
+    /// Primary keys whose indexed column equals `value`, ascending.
+    pub fn lookup_eq(&self, value: i64) -> Vec<u64> {
+        match &self.repr {
+            Repr::Hash(h) => h.get(value),
+            Repr::Range(r) => r.get(value),
+        }
+    }
+
+    /// Primary keys whose indexed column lies in `[lo, hi]`, ascending.
+    /// `None` for hash-shaped indexes, which cannot serve ranges.
+    pub fn lookup_range(&self, lo: i64, hi: i64) -> Option<Vec<u64>> {
+        match &self.repr {
+            Repr::Hash(_) => None,
+            Repr::Range(r) => Some(r.range(lo, hi)),
+        }
+    }
+
+    /// Total `(value, pk)` pairs.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(h) => h.len(),
+            Repr::Range(r) => r.len(),
+        }
+    }
+
+    /// Returns `true` if the index holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical contents: every `(value, sorted pks)` group sorted by
+    /// value. Two indexes with equal `entries()` are byte-identical under
+    /// any serialization — this is what idempotence torture compares.
+    pub fn entries(&self) -> Vec<(i64, Vec<u64>)> {
+        match &self.repr {
+            Repr::Hash(h) => h.entries(),
+            Repr::Range(r) => r.entries(),
+        }
+    }
+
+    /// Drops all contents (rebuild precursor).
+    pub fn clear(&self) {
+        match &self.repr {
+            Repr::Hash(h) => h.clear(),
+            Repr::Range(r) => r.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(kind: IndexKind) -> IndexDef {
+        IndexDef {
+            id: 0,
+            name: "ix".into(),
+            col: 1,
+            kind,
+        }
+    }
+
+    #[test]
+    fn hash_and_range_agree_on_equality() {
+        for kind in [IndexKind::Hash, IndexKind::Range] {
+            let ix = SecondaryIndex::new(def(kind));
+            ix.insert_row(10, &[0, 5]);
+            ix.insert_row(11, &[0, 5]);
+            ix.insert_row(12, &[0, -3]);
+            assert_eq!(ix.lookup_eq(5), vec![10, 11]);
+            assert_eq!(ix.lookup_eq(-3), vec![12]);
+            assert_eq!(ix.lookup_eq(99), Vec::<u64>::new());
+            ix.update_row(11, &[0, 5], &[0, -3]);
+            assert_eq!(ix.lookup_eq(5), vec![10]);
+            assert_eq!(ix.lookup_eq(-3), vec![11, 12]);
+            ix.remove_row(12, &[0, -3]);
+            assert_eq!(ix.lookup_eq(-3), vec![11]);
+        }
+    }
+
+    #[test]
+    fn range_lookup_spans_values() {
+        let ix = SecondaryIndex::new(def(IndexKind::Range));
+        for pk in 0..10u64 {
+            ix.insert_row(pk, &[0, pk as i64 - 5]);
+        }
+        assert_eq!(ix.lookup_range(-2, 1).unwrap(), vec![3, 4, 5, 6]);
+        assert_eq!(ix.lookup_range(i64::MIN, i64::MAX).unwrap().len(), 10);
+        let hash = SecondaryIndex::new(def(IndexKind::Hash));
+        assert!(hash.lookup_range(0, 1).is_none());
+    }
+
+    #[test]
+    fn maintenance_is_idempotent() {
+        let ix = SecondaryIndex::new(def(IndexKind::Range));
+        ix.insert_row(1, &[0, 7]);
+        ix.insert_row(1, &[0, 7]);
+        assert_eq!(ix.len(), 1);
+        ix.remove_row(1, &[0, 7]);
+        ix.remove_row(1, &[0, 7]);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn narrow_rows_are_skipped() {
+        let ix = SecondaryIndex::new(def(IndexKind::Range));
+        ix.insert_row(1, &[0]);
+        assert!(ix.is_empty());
+    }
+}

@@ -10,7 +10,8 @@ use crate::btree::BTree;
 use crate::buffer::BufferPool;
 use crate::heap::HeapFile;
 use crate::rid::Rid;
-use crate::schema::{decode_row, encode_row, Schema, TableId};
+use crate::schema::{decode_row, encode_row, IndexDef, IndexId, Schema, TableId};
+use crate::secondary::SecondaryIndex;
 use crate::{Result, StorageError};
 use std::sync::Arc;
 
@@ -19,27 +20,56 @@ pub struct Table {
     schema: Schema,
     heap: HeapFile,
     index: BTree,
+    /// Secondary indexes declared in the schema, in declaration order.
+    /// Like the primary B+tree these are derived, in-memory state: never
+    /// checkpointed, rebuilt from the heap after recovery or bootstrap.
+    secondaries: Vec<Arc<SecondaryIndex>>,
+}
+
+fn build_secondaries(schema: &Schema) -> Vec<Arc<SecondaryIndex>> {
+    schema
+        .indexes
+        .iter()
+        .map(|def| Arc::new(SecondaryIndex::new(def.clone())))
+        .collect()
 }
 
 impl Table {
     /// Creates an empty table with `arity` value columns.
     pub fn create(id: TableId, name: impl Into<String>, arity: usize, pool: Arc<BufferPool>) -> Self {
+        Self::create_indexed(id, name, arity, Vec::new(), pool)
+    }
+
+    /// Creates an empty table carrying secondary index declarations.
+    pub fn create_indexed(
+        id: TableId,
+        name: impl Into<String>,
+        arity: usize,
+        indexes: Vec<IndexDef>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        let schema = Schema::with_indexes(id, name, arity, indexes);
+        let secondaries = build_secondaries(&schema);
         Table {
-            schema: Schema::new(id, name, arity),
+            schema,
             heap: HeapFile::create(pool).expect("allocating first heap page"),
             index: BTree::new(),
+            secondaries,
         }
     }
 
     /// Reconstructs a table around an existing heap (crash recovery: the
-    /// heap pages survive on the page store, the in-memory index does not).
-    /// The primary index starts empty; call [`Table::rebuild_index`] after
+    /// heap pages survive on the page store, the in-memory indexes do not).
+    /// The primary and secondary indexes start empty; call
+    /// [`Table::rebuild_index`] and [`Table::rebuild_secondaries`] after
     /// redo/undo have restored the heap.
     pub fn from_heap(schema: Schema, heap: HeapFile) -> Self {
+        let secondaries = build_secondaries(&schema);
         Table {
             schema,
             heap,
             index: BTree::new(),
+            secondaries,
         }
     }
 
@@ -63,6 +93,46 @@ impl Table {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Rebuilds every secondary index from a full heap scan (clearing any
+    /// stale contents first). Fails with [`StorageError::CorruptRow`] if any
+    /// live slot holds an undecodable row image.
+    pub fn rebuild_secondaries(&self) -> Result<()> {
+        if self.secondaries.is_empty() {
+            return Ok(());
+        }
+        for ix in &self.secondaries {
+            ix.clear();
+        }
+        let mut bad: Option<StorageError> = None;
+        self.heap.scan(|_rid, bytes| {
+            if bad.is_some() {
+                return;
+            }
+            match decode_row(bytes) {
+                Ok((key, row)) => {
+                    for ix in &self.secondaries {
+                        ix.insert_row(key, &row);
+                    }
+                }
+                Err(e) => bad = Some(e),
+            }
+        })?;
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// This table's secondary indexes, in declaration order.
+    pub fn secondaries(&self) -> &[Arc<SecondaryIndex>] {
+        &self.secondaries
+    }
+
+    /// The secondary index with the given id, if declared.
+    pub fn secondary(&self, id: IndexId) -> Option<&Arc<SecondaryIndex>> {
+        self.secondaries.iter().find(|ix| ix.def().id == id)
     }
 
     /// This table's schema.
@@ -105,6 +175,9 @@ impl Table {
             let _ = self.heap.delete(rid, lsn);
             return Err(StorageError::DuplicateKey(key));
         }
+        for ix in &self.secondaries {
+            ix.insert_row(key, row);
+        }
         Ok(rid)
     }
 
@@ -133,7 +206,11 @@ impl Table {
         self.check_arity(row)?;
         let rid = self.rid_of(key)?;
         let old = self.heap.update(rid, &encode_row(key, row), lsn)?;
-        Ok(decode_row(&old)?.1)
+        let before = decode_row(&old)?.1;
+        for ix in &self.secondaries {
+            ix.update_row(key, &before, row);
+        }
+        Ok(before)
     }
 
     /// Deletes `key`, returning the before-image.
@@ -146,7 +223,11 @@ impl Table {
         let rid = self.rid_of(key)?;
         let old = self.heap.delete(rid, lsn)?;
         self.index.remove(key);
-        Ok(decode_row(&old)?.1)
+        let before = decode_row(&old)?.1;
+        for ix in &self.secondaries {
+            ix.remove_row(key, &before);
+        }
+        Ok(before)
     }
 
     /// Inclusive primary-key range scan, returning `(key, row)` pairs in key
@@ -275,6 +356,42 @@ mod tests {
         let t = table(1);
         assert_eq!(t.update(99, &[1]).unwrap_err(), StorageError::KeyNotFound(99));
         assert_eq!(t.delete(99).unwrap_err(), StorageError::KeyNotFound(99));
+    }
+
+    #[test]
+    fn secondaries_track_crud() {
+        use crate::schema::{IndexDef, IndexKind};
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(128, disk));
+        let t = Table::create_indexed(
+            1,
+            "t",
+            2,
+            vec![
+                IndexDef { id: 0, name: "h0".into(), col: 0, kind: IndexKind::Hash },
+                IndexDef { id: 1, name: "r1".into(), col: 1, kind: IndexKind::Range },
+            ],
+            pool,
+        );
+        t.insert(1, &[10, 100]).unwrap();
+        t.insert(2, &[10, 200]).unwrap();
+        t.insert(3, &[30, 300]).unwrap();
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(10), vec![1, 2]);
+        assert_eq!(t.secondary(1).unwrap().lookup_range(150, 350).unwrap(), vec![2, 3]);
+        t.update(2, &[40, 250]).unwrap();
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(10), vec![1]);
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(40), vec![2]);
+        t.delete(1).unwrap();
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(10), Vec::<u64>::new());
+        // Duplicate insert must not disturb the winner's entries.
+        assert!(t.insert(3, &[99, 99]).is_err());
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(30), vec![3]);
+        assert_eq!(t.secondary(0).unwrap().lookup_eq(99), Vec::<u64>::new());
+        // Rebuild from the heap converges to the same contents.
+        let before: Vec<_> = t.secondaries().iter().map(|ix| ix.entries()).collect();
+        t.rebuild_secondaries().unwrap();
+        let after: Vec<_> = t.secondaries().iter().map(|ix| ix.entries()).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -115,11 +115,17 @@ pub fn slice_from_checkpoint(records: &[LogRecord]) -> &[LogRecord] {
 }
 
 /// Applies one record's redo action against `tables`, maintaining the
-/// primary index alongside the heap, and returns whether the page actually
-/// changed (`false`: skipped by the page-LSN check, unknown table, or a
-/// non-redo record). Page-LSN skips still perform the (idempotent) index
-/// maintenance, so a caller replaying an already-applied stream converges
-/// to the same index it had.
+/// primary and secondary indexes alongside the heap, and returns whether the
+/// page actually changed (`false`: skipped by the page-LSN check, unknown
+/// table, or a non-redo record). Page-LSN skips still perform the
+/// (idempotent) index maintenance, so a caller replaying an already-applied
+/// stream converges to the same indexes it had.
+///
+/// Secondary maintenance is *derived* from the row images the redo records
+/// already carry (full before/after rows) — no separate index-maintenance
+/// record type exists, so a replica or recovery replaying the data stream
+/// reconstructs exactly the indexes the primary maintained, and set
+/// semantics make the re-derivation idempotent under replay.
 ///
 /// This is the replica apply loop's kernel: the same repeating-history redo
 /// that crash recovery runs, applied incrementally and in LSN order.
@@ -132,21 +138,30 @@ pub fn apply_redo(r: &LogRecord, tables: &HashMap<TableId, Arc<Table>>) -> bool 
                 .insert_at(*rid, &encode_row(*key, row), r.lsn)
                 .unwrap_or(false);
             t.index().insert(*key, rid.to_u64());
+            for ix in t.secondaries() {
+                ix.insert_row(*key, row);
+            }
             applied
         }
-        LogBody::Update { table, rid, after, key, .. } => {
+        LogBody::Update { table, rid, before, after, key } => {
             let Some(t) = tables.get(table) else { return false };
             let applied = t
                 .heap()
                 .update_if_newer(*rid, &encode_row(*key, after), r.lsn)
                 .unwrap_or(false);
             t.index().insert(*key, rid.to_u64());
+            for ix in t.secondaries() {
+                ix.update_row(*key, before, after);
+            }
             applied
         }
-        LogBody::Delete { table, rid, key, .. } => {
+        LogBody::Delete { table, rid, key, before } => {
             let Some(t) = tables.get(table) else { return false };
             let applied = t.heap().delete_if_newer(*rid, r.lsn).unwrap_or(false);
             t.index().remove(*key);
+            for ix in t.secondaries() {
+                ix.remove_row(*key, before);
+            }
             applied
         }
         _ => false,
@@ -247,8 +262,12 @@ pub fn recover(
     }
 
     // --- Index rebuild. --------------------------------------------------
+    // Primary and secondary alike: both are derived, in-memory state, so
+    // both are reconstructed from the settled post-undo heap rather than
+    // maintained record-by-record above.
     for t in tables.values() {
         t.rebuild_index()?;
+        t.rebuild_secondaries()?;
     }
     Ok(report)
 }
@@ -276,22 +295,31 @@ pub fn undo_txn(
         }
         undo_lsn += 1;
         match &r.body {
-            LogBody::Insert { table, rid, key, .. } => {
+            LogBody::Insert { table, rid, key, row } => {
                 let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().delete(*rid, undo_lsn);
                 t.index().remove(*key);
+                for ix in t.secondaries() {
+                    ix.remove_row(*key, row);
+                }
                 applied += 1;
             }
-            LogBody::Update { table, rid, before, key, .. } => {
+            LogBody::Update { table, rid, before, after, key } => {
                 let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().update(*rid, &encode_row(*key, before), undo_lsn);
                 t.index().insert(*key, rid.to_u64());
+                for ix in t.secondaries() {
+                    ix.update_row(*key, after, before);
+                }
                 applied += 1;
             }
             LogBody::Delete { table, rid, before, key } => {
                 let Some(t) = tables.get(table) else { continue };
                 let _ = t.heap().insert_at(*rid, &encode_row(*key, before), undo_lsn);
                 t.index().insert(*key, rid.to_u64());
+                for ix in t.secondaries() {
+                    ix.insert_row(*key, before);
+                }
                 applied += 1;
             }
             _ => {}
@@ -419,6 +447,78 @@ mod tests {
         assert_eq!(table.get(1).unwrap(), vec![10]);
         assert_eq!(report.redo_applied, 0, "all redo skipped: {report:?}");
         assert!(report.redo_skipped >= 1);
+    }
+
+    #[test]
+    fn secondary_indexes_rebuilt_equal_full_scan_after_crash() {
+        use esdb_storage::schema::{IndexDef, IndexKind};
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(64, disk.clone()));
+        let defs = vec![
+            IndexDef { id: 0, name: "h".into(), col: 0, kind: IndexKind::Hash },
+            IndexDef { id: 1, name: "r".into(), col: 0, kind: IndexKind::Range },
+        ];
+        let table = Arc::new(Table::create_indexed(1, "t", 1, defs.clone(), pool.clone()));
+        let wal = Wal::new(LogPolicy::Serial, None);
+
+        // Committed txn: ten inserts, one value-moving update, one delete.
+        let b = wal.append(1, NULL_LSN, &LogBody::Begin);
+        let mut prev = b.start;
+        let mut lsn = b.end;
+        for k in 0..10u64 {
+            let row = vec![(k % 3) as i64];
+            let rid = table.insert_logged(k, &row, lsn).unwrap();
+            let rec = wal.append(1, prev, &LogBody::Insert { table: 1, key: k, rid, row });
+            prev = rec.start;
+            lsn = rec.end;
+        }
+        let rid4 = table.rid_of(4).unwrap();
+        let before = table.update_logged(4, &[7], lsn).unwrap();
+        let rec = wal.append(1, prev, &LogBody::Update { table: 1, key: 4, rid: rid4, before, after: vec![7] });
+        prev = rec.start;
+        lsn = rec.end;
+        let rid9 = table.rid_of(9).unwrap();
+        let before9 = table.delete_logged(9, lsn).unwrap();
+        let rec = wal.append(1, prev, &LogBody::Delete { table: 1, key: 9, rid: rid9, before: before9 });
+        wal.commit(1, rec.start);
+
+        // Loser txn: durable insert, no commit — must vanish from indexes.
+        let b2 = wal.append(2, NULL_LSN, &LogBody::Begin);
+        let rid100 = table.insert_logged(100, &[1], b2.end).unwrap();
+        let i100 = wal.append(2, b2.start, &LogBody::Insert { table: 1, key: 100, rid: rid100, row: vec![1] });
+        wal.wait_durable(i100.end);
+
+        pool.flush_all().unwrap();
+        let pool2 = Arc::new(BufferPool::new(64, disk));
+        let heap = HeapFile::from_pages(pool2, table.heap().pages());
+        let recovered = Arc::new(Table::from_heap(
+            Schema::with_indexes(1, "t", 1, defs),
+            heap,
+        ));
+        let mut tables = HashMap::new();
+        tables.insert(1u32, recovered.clone());
+        recover(&wal.durable_records(), &tables).unwrap();
+
+        // Full-scan reference model: value → sorted pks of the live heap.
+        let mut expect: std::collections::BTreeMap<i64, Vec<u64>> = Default::default();
+        recovered
+            .scan(|k, row| expect.entry(row[0]).or_default().push(k))
+            .unwrap();
+        for pks in expect.values_mut() {
+            pks.sort_unstable();
+        }
+        let expect: Vec<(i64, Vec<u64>)> = expect.into_iter().collect();
+        for ix in recovered.secondaries() {
+            assert_eq!(ix.entries(), expect, "index {}", ix.def().name);
+        }
+        let hash = recovered.secondary(0).unwrap();
+        assert!(!hash.lookup_eq(1).contains(&100), "loser leaked into index");
+        assert_eq!(hash.lookup_eq(7), vec![4], "moved update not tracked");
+        assert_eq!(
+            recovered.secondary(1).unwrap().lookup_range(0, 2).unwrap().len(),
+            8,
+            "delete not reflected"
+        );
     }
 
     #[test]

@@ -31,6 +31,11 @@ TABR_READERS=2 TABR_READS=4000 TABR_WRITES=500 TABR_REPLICAS=0,1 TABR_REPS=3 TAB
     ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_repl
 
+echo "== bench: tab_htap (follower OLAP vs primary write throughput) =="
+TABH_WRITERS=2 TABH_WRITES=2000 TABH_REPS=3 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab_htap
+
 echo "== bench: tab_shard (sharded TPC-B, 1/2/4 shards x 0/10/50% cross) =="
 ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_shard

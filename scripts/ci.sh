@@ -68,6 +68,13 @@ TAB3_CONNS=2 TAB3_TXNS=1000 TAB3_SUBSCRIBERS=1000 TAB3_REPS=1 \
 NET_SCALE_CONNS=300 cargo test --release -q -p esdb-net --test net_scale
 cargo test --release -q -p esdb-net --test reactor_sm
 
+echo "== smoke: htap (follower OLAP under primary writes, index=scan + token-pinned query) =="
+# Reduced tab_htap run (<10 s): one rep, small burst. The run itself asserts
+# the correctness cells — every index-assisted probe equal to its full-scan
+# twin, and a commit-token-pinned analytical query served by the follower.
+TABH_WRITERS=2 TABH_WRITES=500 TABH_REPS=1 ESDB_BENCH_DIR=bench_out/htap_smoke \
+    cargo run --release -q -p esdb-bench --bin tab_htap
+
 echo "== smoke: sharding (2-shard loopback cluster, 2PC burst, coordinator crash + recover) =="
 # The shard_net integration test is the smoke: two shard servers over TCP, a
 # mixed single/cross-shard TPC-B burst through the router, one cross-shard
@@ -93,8 +100,16 @@ echo "== gate: bench regression (fresh numbers vs committed snapshots) =="
 # single-vCPU preemption (3-5x swings that survive best-of-N) — and the
 # latency-family cells (p50_us, lag_p99_bytes), where lower-is-better
 # inverts the gate's drop test and host jitter dominates at these sizes.
+# tab_htap's deterministic cells join the gate: degradation_ratio (primary
+# tps while a zero-CPU thread pins the follower's apply gate for the whole
+# burst, over the unpinned baseline — the pin costs no CPU, so the ratio
+# isolates commit-path coupling from single-vCPU time-sharing; clamped at
+# 1.0 since a pin can only help on a shared core) and index_fullscan_match
+# (exactly 1.0 unless an index-assisted query diverged from its full-scan
+# twin). The busy-OLAP olap_ratio and measured primary_tps/olap_qps cells
+# stay ungated context.
 BENCH_NEW_DIR=bench_out BENCH_GATE_PCT=35 \
-    BENCH_GATE_METRICS="tps,read_tps,write_tps,commit_tps,tpmc" \
+    BENCH_GATE_METRICS="tps,read_tps,write_tps,commit_tps,tpmc,degradation_ratio,index_fullscan_match" \
     cargo run --release -p esdb-bench --bin bench_regress
 
 echo "== ci: all green =="
