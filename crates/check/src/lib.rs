@@ -39,12 +39,14 @@
 
 mod dist;
 mod history;
+mod migrate;
 mod runner;
 mod scenario;
 mod schedule;
 mod vthread;
 
 pub use dist::{DistEvent, DistViolation, FailoverOracle};
+pub use migrate::{MigEvent, MigViolation, MigrationOracle};
 pub use history::{Event, Recorder};
 pub use runner::{
     check, replay, CheckConfig, CheckReport, FailureReport, Mutation, ScheduleRunPublic,

@@ -1,0 +1,359 @@
+//! Migration-history oracle for online rebalancing.
+//!
+//! The rebalancing torture harness (`crates/rebal/tests/`) records what
+//! the routed clients and the shards observed during a live slot
+//! migration as [`MigEvent`]s, and [`MigrationOracle::check`] decides
+//! whether the run upheld the rebalancing invariants:
+//!
+//! 1. **No row is lost and none is duplicated** — after the migration
+//!    settles, every key whose last committed write put value `v` exists
+//!    on exactly one shard with value `v`; every key whose last committed
+//!    operation deleted it exists nowhere.
+//! 2. **Single write-admitting owner** — at no instant do two shards both
+//!    admit writes for the moving slot, and no shard ever admits a write
+//!    for a slot it does not own. (The source may remain *nominally*
+//!    owned while fenced; the oracle judges admission, which the fence
+//!    blocks — so harnesses record ownership transitions as they become
+//!    admission-effective.)
+//!
+//! Unlike the failover oracle, **event order matters**: ownership is a
+//! time-varying predicate the write stream is judged against, so the
+//! harness records events in its scripted order. The oracle is pure
+//! bookkeeping over recorded facts; it runs no engine code.
+
+use std::collections::{HashMap, HashSet};
+
+/// One observed fact in a rebalancing run, in harness order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigEvent {
+    /// From this point in the run, `shard` does (`owned`) or does not
+    /// admit writes for `slot`.
+    Own {
+        /// Torture-harness shard id.
+        shard: u32,
+        /// The hash slot.
+        slot: u32,
+        /// Whether the shard now admits writes for it.
+        owned: bool,
+    },
+    /// A committed write of `val` to `key` (which hashes to `slot`) was
+    /// admitted by `shard`.
+    Write {
+        /// The admitting shard.
+        shard: u32,
+        /// The key's hash slot.
+        slot: u32,
+        /// Key.
+        key: u64,
+        /// The committed value (first column — enough to fingerprint).
+        val: i64,
+    },
+    /// A committed delete of `key` was admitted by `shard`.
+    Delete {
+        /// The admitting shard.
+        shard: u32,
+        /// The key's hash slot.
+        slot: u32,
+        /// Key.
+        key: u64,
+    },
+    /// End-state fact: the final scan of `shard` found `key` = `val`.
+    FinalRow {
+        /// The shard holding the row.
+        shard: u32,
+        /// Key.
+        key: u64,
+        /// Stored value (first column).
+        val: i64,
+    },
+}
+
+/// A rebalancing-invariant violation. `Display` carries the full story so
+/// a torture-harness failure message is self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigViolation {
+    /// Two shards both admitted writes for the slot at the same instant.
+    DualOwnership {
+        /// The contested slot.
+        slot: u32,
+        /// The two owners.
+        shards: (u32, u32),
+    },
+    /// A shard admitted a write (or delete) for a slot it did not own.
+    WriteWithoutOwnership {
+        /// The offending shard.
+        shard: u32,
+        /// The slot it did not own.
+        slot: u32,
+        /// The key it nonetheless mutated.
+        key: u64,
+    },
+    /// Invariant 1 broken (loss side): the key's last committed write is
+    /// missing from every shard's final state.
+    LostRow {
+        /// The lost key.
+        key: u64,
+        /// The value its last committed write stored.
+        expected: i64,
+    },
+    /// Invariant 1 broken (duplication side): the key exists on two
+    /// shards after the migration settled.
+    DuplicateRow {
+        /// The duplicated key.
+        key: u64,
+        /// The two holders.
+        shards: (u32, u32),
+    },
+    /// The key survives on exactly one shard but with a value no
+    /// committed write produced last.
+    WrongValue {
+        /// The key.
+        key: u64,
+        /// The last committed value.
+        expected: i64,
+        /// What the final scan found.
+        got: i64,
+    },
+    /// A key that was deleted (or never written) haunts a shard's final
+    /// state — e.g. a source cleanup that missed, or a stale copy the
+    /// delta ship should have removed.
+    GhostRow {
+        /// The haunted shard.
+        shard: u32,
+        /// The key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for MigViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigViolation::DualOwnership { slot, shards } => write!(
+                f,
+                "dual ownership: shards {} and {} both admitted writes for slot {slot}",
+                shards.0, shards.1
+            ),
+            MigViolation::WriteWithoutOwnership { shard, slot, key } => write!(
+                f,
+                "write without ownership: shard {shard} mutated key {key} in slot {slot} it did not own"
+            ),
+            MigViolation::LostRow { key, expected } => write!(
+                f,
+                "row lost in migration: key {key} (last committed value {expected}) absent from every shard"
+            ),
+            MigViolation::DuplicateRow { key, shards } => write!(
+                f,
+                "row duplicated by migration: key {key} present on shards {} and {}",
+                shards.0, shards.1
+            ),
+            MigViolation::WrongValue { key, expected, got } => write!(
+                f,
+                "stale row after migration: key {key} holds {got}, last committed write was {expected}"
+            ),
+            MigViolation::GhostRow { shard, key } => write!(
+                f,
+                "ghost row after migration: key {key} on shard {shard} was deleted or never committed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigViolation {}
+
+/// Accumulates [`MigEvent`]s from a rebalancing run (in harness order) and
+/// checks the invariants.
+#[derive(Debug, Default)]
+pub struct MigrationOracle {
+    events: Vec<MigEvent>,
+}
+
+impl MigrationOracle {
+    /// An empty history.
+    pub fn new() -> MigrationOracle {
+        MigrationOracle::default()
+    }
+
+    /// Records one observed fact. Order is significant: ownership
+    /// transitions apply to every later write.
+    pub fn record(&mut self, event: MigEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded history, for failure reports.
+    pub fn events(&self) -> &[MigEvent] {
+        &self.events
+    }
+
+    /// Checks every invariant, returning the first violation found.
+    /// Ownership violations surface during replay; end-state violations
+    /// (duplication first — it implies the cleanup failed) after it.
+    pub fn check(&self) -> Result<(), MigViolation> {
+        // Replay: ownership as a time-varying predicate over the stream.
+        let mut owners: HashMap<u32, HashSet<u32>> = HashMap::new();
+        let mut expected: HashMap<u64, Option<i64>> = HashMap::new();
+        for e in &self.events {
+            match e {
+                MigEvent::Own { shard, slot, owned } => {
+                    let set = owners.entry(*slot).or_default();
+                    if *owned {
+                        set.insert(*shard);
+                        if set.len() > 1 {
+                            let mut two: Vec<u32> = set.iter().copied().collect();
+                            two.sort_unstable();
+                            return Err(MigViolation::DualOwnership {
+                                slot: *slot,
+                                shards: (two[0], two[1]),
+                            });
+                        }
+                    } else {
+                        set.remove(shard);
+                    }
+                }
+                MigEvent::Write { shard, slot, key, val } => {
+                    if !owners.get(slot).is_some_and(|s| s.contains(shard)) {
+                        return Err(MigViolation::WriteWithoutOwnership {
+                            shard: *shard,
+                            slot: *slot,
+                            key: *key,
+                        });
+                    }
+                    expected.insert(*key, Some(*val));
+                }
+                MigEvent::Delete { shard, slot, key } => {
+                    if !owners.get(slot).is_some_and(|s| s.contains(shard)) {
+                        return Err(MigViolation::WriteWithoutOwnership {
+                            shard: *shard,
+                            slot: *slot,
+                            key: *key,
+                        });
+                    }
+                    expected.insert(*key, None);
+                }
+                MigEvent::FinalRow { .. } => {}
+            }
+        }
+        // End state: every key on exactly the shard its history demands.
+        let mut found: HashMap<u64, Vec<(u32, i64)>> = HashMap::new();
+        for e in &self.events {
+            if let MigEvent::FinalRow { shard, key, val } = e {
+                found.entry(*key).or_default().push((*shard, *val));
+            }
+        }
+        for (key, holders) in &found {
+            if holders.len() > 1 {
+                return Err(MigViolation::DuplicateRow {
+                    key: *key,
+                    shards: (holders[0].0, holders[1].0),
+                });
+            }
+        }
+        for (key, want) in &expected {
+            match (want, found.get(key).map(|h| h[0])) {
+                (Some(v), None) => return Err(MigViolation::LostRow { key: *key, expected: *v }),
+                (Some(v), Some((_, got))) if got != *v => {
+                    return Err(MigViolation::WrongValue { key: *key, expected: *v, got })
+                }
+                (None, Some((shard, _))) => {
+                    return Err(MigViolation::GhostRow { shard, key: *key })
+                }
+                _ => {}
+            }
+        }
+        for (key, holders) in &found {
+            if !expected.contains_key(key) {
+                return Err(MigViolation::GhostRow { shard: holders[0].0, key: *key });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-behaved migration: writes on the source, cutover, writes on
+    /// the destination, rows end up exactly once.
+    fn clean_history() -> MigrationOracle {
+        let mut o = MigrationOracle::new();
+        o.record(MigEvent::Own { shard: 0, slot: 3, owned: true });
+        o.record(MigEvent::Write { shard: 0, slot: 3, key: 10, val: 1 });
+        o.record(MigEvent::Write { shard: 0, slot: 3, key: 11, val: 2 });
+        o.record(MigEvent::Delete { shard: 0, slot: 3, key: 11 });
+        // Cutover: source releases before destination adopts.
+        o.record(MigEvent::Own { shard: 0, slot: 3, owned: false });
+        o.record(MigEvent::Own { shard: 1, slot: 3, owned: true });
+        o.record(MigEvent::Write { shard: 1, slot: 3, key: 10, val: 5 });
+        o.record(MigEvent::FinalRow { shard: 1, key: 10, val: 5 });
+        o
+    }
+
+    #[test]
+    fn clean_migration_history_passes() {
+        clean_history().check().unwrap();
+    }
+
+    #[test]
+    fn overlapping_ownership_is_dual_ownership() {
+        let mut o = MigrationOracle::new();
+        o.record(MigEvent::Own { shard: 0, slot: 3, owned: true });
+        o.record(MigEvent::Own { shard: 1, slot: 3, owned: true });
+        assert_eq!(
+            o.check(),
+            Err(MigViolation::DualOwnership { slot: 3, shards: (0, 1) })
+        );
+    }
+
+    #[test]
+    fn a_write_on_a_non_owner_is_flagged() {
+        let mut o = MigrationOracle::new();
+        o.record(MigEvent::Own { shard: 0, slot: 3, owned: true });
+        o.record(MigEvent::Write { shard: 1, slot: 3, key: 9, val: 1 });
+        assert_eq!(
+            o.check(),
+            Err(MigViolation::WriteWithoutOwnership { shard: 1, slot: 3, key: 9 })
+        );
+    }
+
+    #[test]
+    fn a_missing_final_row_is_a_lost_row() {
+        let mut o = clean_history();
+        o.record(MigEvent::Write { shard: 1, slot: 3, key: 12, val: 9 });
+        assert_eq!(o.check(), Err(MigViolation::LostRow { key: 12, expected: 9 }));
+    }
+
+    #[test]
+    fn a_row_on_both_shards_is_a_duplicate() {
+        let mut o = clean_history();
+        // The source cleanup missed: key 10 still on shard 0 too.
+        o.record(MigEvent::FinalRow { shard: 0, key: 10, val: 1 });
+        assert_eq!(
+            o.check(),
+            Err(MigViolation::DuplicateRow { key: 10, shards: (1, 0) })
+        );
+    }
+
+    #[test]
+    fn a_stale_value_is_flagged() {
+        let mut o = MigrationOracle::new();
+        o.record(MigEvent::Own { shard: 0, slot: 3, owned: true });
+        o.record(MigEvent::Write { shard: 0, slot: 3, key: 10, val: 7 });
+        o.record(MigEvent::FinalRow { shard: 0, key: 10, val: 1 });
+        assert_eq!(
+            o.check(),
+            Err(MigViolation::WrongValue { key: 10, expected: 7, got: 1 })
+        );
+    }
+
+    #[test]
+    fn a_deleted_or_unknown_key_surviving_is_a_ghost() {
+        let mut o = clean_history();
+        // Key 11 was deleted before the cutover; a stale copy survives.
+        o.record(MigEvent::FinalRow { shard: 1, key: 11, val: 2 });
+        assert_eq!(o.check(), Err(MigViolation::GhostRow { shard: 1, key: 11 }));
+
+        let mut o = clean_history();
+        o.record(MigEvent::FinalRow { shard: 0, key: 999, val: 0 });
+        assert_eq!(o.check(), Err(MigViolation::GhostRow { shard: 0, key: 999 }));
+    }
+}

@@ -32,12 +32,14 @@ pub mod db;
 pub mod metrics;
 pub mod query;
 pub mod quorum;
+pub mod routing;
 pub mod simbridge;
 pub mod spec_exec;
 
 pub use config::{EngineConfig, ExecutionModel};
 pub use db::{Database, DbError, ObsSnapshot, PrepareVote, StatsSnapshot, OBS_SNAPSHOT_VERSION};
 pub use quorum::{QuorumError, QuorumPolicy, ReplGroup};
+pub use routing::{slot_of, RoutingTable, DEFAULT_SLOTS};
 pub use metrics::WorkloadReport;
 pub use simbridge::{run_sim_workload, sim_model_config, sim_wait_profile, SimRunConfig};
 

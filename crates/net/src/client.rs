@@ -40,6 +40,15 @@ pub enum NetError {
         /// The higher term that fenced the server.
         term: u64,
     },
+    /// The server does not own the slot the request touched — the caller's
+    /// routing table is stale. Carries the server's routing epoch and its
+    /// hint at the owning shard so routers can refresh and retry.
+    WrongShard {
+        /// The server's current routing epoch.
+        epoch: u64,
+        /// The shard the server believes owns the touched slot.
+        hint: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -54,6 +63,9 @@ impl std::fmt::Display for NetError {
                 write!(f, "quorum timeout at lsn {lsn}: {acked}/{needed} follower acks")
             }
             NetError::Fenced { term } => write!(f, "server fenced by higher term {term}"),
+            NetError::WrongShard { epoch, hint } => {
+                write!(f, "wrong shard (routing epoch {epoch}, owner hint shard {hint})")
+            }
         }
     }
 }
@@ -326,6 +338,7 @@ impl Client {
                 Err(NetError::QuorumTimeout { lsn, acked, needed })
             }
             Response::Fenced { term } => Err(NetError::Fenced { term }),
+            Response::WrongShard { epoch, hint } => Err(NetError::WrongShard { epoch, hint }),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("outcome")),
         }
@@ -543,6 +556,7 @@ impl Client {
         self.send(&Request::ShardPrepare { gtid, ops })?;
         match self.recv()? {
             Response::ShardVote { gtid: g, outcome } if g == gtid => Ok(outcome),
+            Response::WrongShard { epoch, hint } => Err(NetError::WrongShard { epoch, hint }),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("shard vote")),
         }
@@ -574,6 +588,33 @@ impl Client {
             Response::ShardGtids(gtids) => Ok(gtids),
             Response::Error(msg) => Err(NetError::Server(msg)),
             _ => Err(NetError::Unexpected("shard gtids")),
+        }
+    }
+
+    /// The server's current routing table: `(epoch, slot → shard map)`.
+    /// Errors when the server has no routing source configured.
+    pub fn routing_snapshot(&mut self) -> Result<(u64, Vec<u32>), NetError> {
+        self.send(&Request::RoutingSnapshot)?;
+        match self.recv()? {
+            Response::Routing { epoch, slots } => Ok((epoch, slots)),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("routing")),
+        }
+    }
+
+    /// Migration bulk fetch: every row of `table` in `slot` under a
+    /// `slot_count`-slot ring, as the server's live (fuzzy) heap holds them.
+    pub fn mig_fetch(
+        &mut self,
+        table: u32,
+        slot: u32,
+        slot_count: u32,
+    ) -> Result<Vec<(u64, Vec<i64>)>, NetError> {
+        self.send(&Request::MigFetch { table, slot, slot_count })?;
+        match self.recv()? {
+            Response::MigRows { rows } => Ok(rows),
+            Response::Error(msg) => Err(NetError::Server(msg)),
+            _ => Err(NetError::Unexpected("migration rows")),
         }
     }
 

@@ -45,7 +45,7 @@ pub mod server;
 pub use client::{run_load, Client, LoadConfig, NetError, ReconnectPolicy, Snapshot};
 pub use protocol::{FrameError, Request, Response, ServerStats, WirePlan, MAX_FRAME};
 pub use reactor::FrameCursor;
-pub use server::{DecisionSource, Server, ServerConfig};
+pub use server::{DecisionSource, OwnershipCheck, RoutingSource, Server, ServerConfig};
 
 use esdb_core::WorkloadReport;
 

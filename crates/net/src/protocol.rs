@@ -194,6 +194,24 @@ pub enum Request {
         /// The plan to execute.
         plan: WirePlan,
     },
+    /// Routing-table observation: "what slot → shard map are you serving
+    /// under, and at which epoch?". Answered with [`Response::Routing`].
+    /// Cheap by design — routers poll it to refresh after a
+    /// [`Response::WrongShard`], and tests poll it to observe cutover.
+    RoutingSnapshot,
+    /// Migration bulk fetch: stream every committed row of `table` whose
+    /// `(table, key)` hashes to `slot` under a `slot_count`-slot ring.
+    /// Answered with [`Response::MigRows`]. This is the fuzzy-copy read the
+    /// rebalance coordinator drives against a source shard.
+    MigFetch {
+        /// Table id.
+        table: u32,
+        /// Hash slot whose rows are wanted.
+        slot: u32,
+        /// Ring size the requester's routing table uses (so both sides
+        /// agree on the hash domain even across ring-size reconfigurations).
+        slot_count: u32,
+    },
 }
 
 /// Maximum [`WirePlan`] nesting depth a decoder accepts. Caps recursion so
@@ -400,6 +418,32 @@ pub enum Response {
     /// so the server bounds result size and answers [`Response::Error`]
     /// when a query would overflow it.
     Rows(Vec<Vec<i64>>),
+    /// The server's current routing table ([`Request::RoutingSnapshot`]
+    /// reply): the fencing epoch and the full slot → shard map.
+    Routing {
+        /// Routing epoch this map was installed under.
+        epoch: u64,
+        /// `slots[s]` is the shard owning slot `s`.
+        slots: Vec<u32>,
+    },
+    /// One batch of migration rows ([`Request::MigFetch`] reply): the
+    /// committed `(key, row)` pairs of the requested slot.
+    MigRows {
+        /// The slot's rows, in scan order.
+        rows: Vec<(u64, Vec<i64>)>,
+    },
+    /// This server no longer (or does not yet) own the slot the request
+    /// touches — the rebalancing analog of [`Response::Fenced`]. Carries
+    /// the server's routing epoch and its best hint at the owning shard so
+    /// a stale router can refresh and retry instead of silently reading
+    /// from a shard that gave the data away.
+    WrongShard {
+        /// The server's current routing epoch (greater than the stale
+        /// requester's, or the requester would not have come here).
+        epoch: u64,
+        /// The shard this server believes owns the touched slot.
+        hint: u32,
+    },
 }
 
 // Payload tags. Requests and responses share one byte space so a tag is
@@ -424,6 +468,8 @@ const T_SHARD_PREPARE: u8 = 0x30;
 const T_SHARD_DECIDE: u8 = 0x31;
 const T_SHARD_STATUS: u8 = 0x32;
 const T_SHARD_IN_DOUBT: u8 = 0x33;
+const T_ROUTING_SNAPSHOT: u8 = 0x34;
+const T_MIG_FETCH: u8 = 0x35;
 const T_HELLO: u8 = 0x80;
 const T_BUSY: u8 = 0x81;
 const T_PONG: u8 = 0x82;
@@ -445,6 +491,9 @@ const T_SHARD_GTIDS: u8 = 0x98;
 const T_FENCED: u8 = 0x99;
 const T_QUORUM_TIMEOUT: u8 = 0x9A;
 const T_ROWS: u8 = 0x9B;
+const T_ROUTING: u8 = 0x9C;
+const T_MIG_ROWS: u8 = 0x9D;
+const T_WRONG_SHARD: u8 = 0x9E;
 
 // Op tags inside OneShot.
 const OP_READ: u8 = 0;
@@ -931,6 +980,13 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.put_u64_le(*min_lsn);
             encode_plan(out, plan);
         }
+        Request::RoutingSnapshot => out.put_u8(T_ROUTING_SNAPSHOT),
+        Request::MigFetch { table, slot, slot_count } => {
+            out.put_u8(T_MIG_FETCH);
+            out.put_u32_le(*table);
+            out.put_u32_le(*slot);
+            out.put_u32_le(*slot_count);
+        }
     }
     end_frame(out, at);
 }
@@ -1069,6 +1125,29 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                 put_row(out, row);
             }
         }
+        Response::Routing { epoch, slots } => {
+            out.put_u8(T_ROUTING);
+            out.put_u64_le(*epoch);
+            debug_assert!(slots.len() <= u32::MAX as usize);
+            out.put_u32_le(slots.len() as u32);
+            for shard in slots {
+                out.put_u32_le(*shard);
+            }
+        }
+        Response::MigRows { rows } => {
+            out.put_u8(T_MIG_ROWS);
+            debug_assert!(rows.len() <= u32::MAX as usize);
+            out.put_u32_le(rows.len() as u32);
+            for (key, row) in rows {
+                out.put_u64_le(*key);
+                put_row(out, row);
+            }
+        }
+        Response::WrongShard { epoch, hint } => {
+            out.put_u8(T_WRONG_SHARD);
+            out.put_u64_le(*epoch);
+            out.put_u32_le(*hint);
+        }
     }
     end_frame(out, at);
 }
@@ -1177,6 +1256,12 @@ pub fn decode_request(buf: &[u8]) -> Decoded<Request> {
             let min_lsn = r.u64()?;
             Request::Query { min_lsn, plan: decode_plan(&mut r, 0)? }
         }
+        T_ROUTING_SNAPSHOT => Request::RoutingSnapshot,
+        T_MIG_FETCH => Request::MigFetch {
+            table: r.u32()?,
+            slot: r.u32()?,
+            slot_count: r.u32()?,
+        },
         _ => return Err(FrameError::Malformed("unknown request tag")),
     };
     r.finish()?;
@@ -1283,6 +1368,25 @@ pub fn decode_response(buf: &[u8]) -> Decoded<Response> {
             }
             Response::Rows(rows)
         }
+        T_ROUTING => {
+            let epoch = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut slots = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                slots.push(r.u32()?);
+            }
+            Response::Routing { epoch, slots }
+        }
+        T_MIG_ROWS => {
+            let n = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let key = r.u64()?;
+                rows.push((key, r.row()?));
+            }
+            Response::MigRows { rows }
+        }
+        T_WRONG_SHARD => Response::WrongShard { epoch: r.u64()?, hint: r.u32()? },
         _ => return Err(FrameError::Malformed("unknown response tag")),
     };
     r.finish()?;
@@ -1413,6 +1517,24 @@ mod tests {
         roundtrip_request(Request::ShardDecide { gtid: 8, commit: false });
         roundtrip_request(Request::ShardStatus { gtid: 1 << 50 });
         roundtrip_request(Request::ShardInDoubt);
+    }
+
+    #[test]
+    fn rebalance_frames_roundtrip() {
+        roundtrip_request(Request::RoutingSnapshot);
+        roundtrip_request(Request::MigFetch { table: 7, slot: 3, slot_count: 16 });
+        roundtrip_request(Request::MigFetch { table: u32::MAX, slot: 0, slot_count: 1 });
+        roundtrip_response(Response::Routing { epoch: 0, slots: vec![] });
+        roundtrip_response(Response::Routing {
+            epoch: u64::MAX,
+            slots: vec![0, 1, 2, 1, 0, u32::MAX],
+        });
+        roundtrip_response(Response::MigRows { rows: vec![] });
+        roundtrip_response(Response::MigRows {
+            rows: vec![(0, vec![]), (u64::MAX, vec![i64::MIN, 0, i64::MAX])],
+        });
+        roundtrip_response(Response::WrongShard { epoch: 9, hint: 2 });
+        roundtrip_response(Response::WrongShard { epoch: u64::MAX, hint: u32::MAX });
     }
 
     #[test]

@@ -58,7 +58,7 @@ use esdb_core::config::ExecutionModel;
 use esdb_core::{Database, QuorumError, ReplGroup};
 use esdb_txn::Txn;
 use esdb_wal::Lsn;
-use esdb_workload::TxnSpec;
+use esdb_workload::{TxnSpec, WorkloadOp};
 use minipoll::{Event, Interest, Poller, WakeHandle, Waker};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -720,6 +720,10 @@ fn exec_one(shared: &Arc<Shared>, conn: &mut Conn, req: Request, now: Instant, i
         Request::Stats => Response::Stats(shared.stats()),
         Request::ObsStats => Response::ObsStats(Box::new(db.obs_snapshot())),
         Request::OneShot { may_fail, ops } => {
+            if let Some(wrong) = ownership_refusal(shared, &ops) {
+                conn.staged.push(wrong);
+                return;
+            }
             shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
             let spec = TxnSpec { kind: "net", ops, may_fail };
             // Per-txn profile covers execution only; the tick's shared
@@ -839,6 +843,13 @@ fn exec_one(shared: &Arc<Shared>, conn: &mut Conn, req: Request, now: Instant, i
         // vote. A yes-vote parks the transaction (locks held) in the
         // engine's prepared registry until a ShardDecide arrives.
         Request::ShardPrepare { gtid, ops } => {
+            // The gate runs before the prepare executes, so a refused slice
+            // registers nothing — the coordinator sees a clean no-vote
+            // analog and aborts without an in-doubt participant here.
+            if let Some(wrong) = ownership_refusal(shared, &ops) {
+                conn.staged.push(wrong);
+                return;
+            }
             shared.counters.txns_executed.fetch_add(1, Ordering::Relaxed);
             let spec = TxnSpec { kind: "shard", ops, may_fail: true };
             let outcome = match db.run_spec_prepare(gtid, &spec) {
@@ -882,8 +893,67 @@ fn exec_one(shared: &Arc<Shared>, conn: &mut Conn, req: Request, now: Instant, i
             // that asymmetry is the HTAP design, not an accident.
             Response::Error("queries are served by followers; connect to a replica".into())
         }
+        Request::RoutingSnapshot => match &shared.config.routing_source {
+            Some(source) => {
+                let (epoch, slots) = (source.0)();
+                Response::Routing { epoch, slots }
+            }
+            None => Response::Error("no routing table configured".into()),
+        },
+        Request::MigFetch { table, slot, slot_count } => match db.table(table) {
+            Some(t) => {
+                // Fuzzy by design: the scan runs against the live heap with
+                // no pin, so it may carry uncommitted rows — the migration's
+                // repeat-history delta catch-up replays the WAL (including
+                // abort compensations) and converges the copy regardless.
+                let mut rows = Vec::new();
+                let mut overflow = false;
+                let scan = t.scan(|key, row| {
+                    if esdb_core::slot_of(table, key, slot_count) == slot {
+                        if rows.len() >= MIG_FETCH_MAX_ROWS {
+                            overflow = true;
+                        } else {
+                            rows.push((key, row.to_vec()));
+                        }
+                    }
+                });
+                match scan {
+                    Err(e) => Response::Error(format!("migration scan failed: {e}")),
+                    Ok(()) if overflow => Response::Error(format!(
+                        "slot exceeds {MIG_FETCH_MAX_ROWS} rows; fetch a finer ring"
+                    )),
+                    Ok(()) => Response::MigRows { rows },
+                }
+            }
+            None => Response::Error(format!("no such table: {table}")),
+        },
     };
     conn.staged.push(resp);
+}
+
+/// Most rows a [`Request::MigFetch`] answer carries. Keeps the single-frame
+/// reply comfortably under [`MAX_FRAME`]; a slot that outgrows the cap is a
+/// typed error telling the operator to migrate on a finer ring.
+const MIG_FETCH_MAX_ROWS: usize = 8192;
+
+/// Runs the configured ownership gate over every op target, returning the
+/// typed [`Response::WrongShard`] refusal for the first key this server
+/// does not own (`None` when unsharded or everything is owned).
+fn ownership_refusal(shared: &Arc<Shared>, ops: &[WorkloadOp]) -> Option<Response> {
+    let check = shared.config.ownership_check.as_ref()?;
+    for op in ops {
+        let (table, key) = match *op {
+            WorkloadOp::Read { table, key }
+            | WorkloadOp::Write { table, key, .. }
+            | WorkloadOp::Add { table, key, .. }
+            | WorkloadOp::Insert { table, key, .. }
+            | WorkloadOp::Delete { table, key } => (table, key),
+        };
+        if let Some((epoch, hint)) = (check.0)(table, key) {
+            return Some(Response::WrongShard { epoch, hint });
+        }
+    }
+    None
 }
 
 /// Re-checks a parked follower query (or resolves a fresh one). `deadline:

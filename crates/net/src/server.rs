@@ -47,6 +47,35 @@ impl std::fmt::Debug for DecisionSource {
     }
 }
 
+/// Where the server reads its current routing table when answering a
+/// [`crate::protocol::Request::RoutingSnapshot`]: the closure returns
+/// `(epoch, slot → shard map)`. Servers without one answer a typed error —
+/// routing observation is a sharded-deployment feature.
+#[derive(Clone)]
+pub struct RoutingSource(pub Arc<dyn Fn() -> (u64, Vec<u32>) + Send + Sync>);
+
+impl std::fmt::Debug for RoutingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RoutingSource(..)")
+    }
+}
+
+/// Slot-ownership gate for rebalancing. Called with every `(table, key)` a
+/// transactional request touches: `None` means this server owns the key's
+/// slot and the request proceeds; `Some((epoch, hint))` means it does not —
+/// the request is refused with a typed
+/// [`crate::protocol::Response::WrongShard`] carrying the server's routing
+/// epoch and its best guess at the owning shard. `None` in the config means
+/// the server owns everything (an unsharded deployment).
+#[derive(Clone)]
+pub struct OwnershipCheck(pub Arc<dyn Fn(u32, u64) -> Option<(u64, u32)> + Send + Sync>);
+
+impl std::fmt::Debug for OwnershipCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OwnershipCheck(..)")
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -115,6 +144,13 @@ pub struct ServerConfig {
     /// holding its session slot forever. `None` keeps the historic
     /// wait-forever behavior.
     pub stall_timeout: Option<Duration>,
+    /// Routing-table observation source, answering
+    /// [`crate::protocol::Request::RoutingSnapshot`]. `None` on unsharded
+    /// servers (the request then returns a typed error).
+    pub routing_source: Option<RoutingSource>,
+    /// Rebalancing ownership gate consulted before transactional work; see
+    /// [`OwnershipCheck`]. `None` means the server owns every slot.
+    pub ownership_check: Option<OwnershipCheck>,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +168,8 @@ impl Default for ServerConfig {
             feed_live: None,
             apply_gate: None,
             stall_timeout: None,
+            routing_source: None,
+            ownership_check: None,
         }
     }
 }

@@ -111,6 +111,27 @@ fn request_strategy() -> BoxedStrategy<Request> {
             .boxed(),
         any::<u64>().prop_map(|gtid| Request::ShardStatus { gtid }).boxed(),
         Just(Request::ShardInDoubt).boxed(),
+        Just(Request::RoutingSnapshot).boxed(),
+        (0u32..64, any::<u32>(), 1u32..64)
+            .prop_map(|(table, slot, slot_count)| Request::MigFetch { table, slot, slot_count })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+/// The rebalancing response frames: routing tables, migration row batches,
+/// and wrong-shard refusals.
+fn rebal_response_strategy() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (any::<u64>(), prop::collection::vec(any::<u32>(), 0..32))
+            .prop_map(|(epoch, slots)| Response::Routing { epoch, slots })
+            .boxed(),
+        prop::collection::vec((any::<u64>(), row_strategy()).boxed(), 0..8)
+            .prop_map(|rows| Response::MigRows { rows })
+            .boxed(),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(epoch, hint)| Response::WrongShard { epoch, hint })
+            .boxed(),
     ]
     .boxed()
 }
@@ -360,6 +381,48 @@ proptest! {
         let mut buf = Vec::new();
         encode_response(&resp, &mut buf);
         // A corrupted vote or decision must decode to a typed error or a
+        // different frame — never a panic, never an over-read.
+        let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
+        if i < buf.len() {
+            buf[i] ^= 1 << bit;
+        }
+        if let Ok(Some((_, used))) = decode_response(&buf) {
+            prop_assert!(used <= buf.len());
+        }
+    }
+
+    #[test]
+    fn rebal_responses_roundtrip(resp in rebal_response_strategy()) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (decoded, consumed) = decode_response(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, resp);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncated_rebal_responses_report_incomplete(
+        resp in rebal_response_strategy(),
+        cut in 0usize..10_000,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let cut = cut % buf.len();
+        // A router reading a half-arrived routing table or WrongShard must
+        // see "incomplete" — treating it as malformed would drop a healthy
+        // connection mid-refresh.
+        prop_assert_eq!(decode_response(&buf[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn bit_flipped_rebal_frames_never_panic(
+        resp in rebal_response_strategy(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        // A corrupted routing table must decode to a typed error or a
         // different frame — never a panic, never an over-read.
         let i = 4 + (byte as usize) % (buf.len() - 4).max(1);
         if i < buf.len() {

@@ -33,10 +33,12 @@
 //! See `DESIGN.md` ("Replication") for the invariants and their arguments.
 
 pub mod htap;
+pub mod range;
 pub mod replica;
 pub mod runner;
 
 pub use htap::HtapView;
+pub use range::{apply_range_op, range_rows, RangeOp, RangeShip, RangeShipError};
 pub use replica::{
     divergence_check, local_snapshot, ship_available, Promotion, Replica, ReplError,
 };

@@ -356,7 +356,8 @@ impl Replica {
                 | LogBody::TermChange { .. }
                 | LogBody::Prepare { .. }
                 | LogBody::Decide { .. }
-                | LogBody::GtidWatermark { .. } => {}
+                | LogBody::GtidWatermark { .. }
+                | LogBody::MigrationStep { .. } => {}
                 LogBody::Commit | LogBody::Abort => {
                     open.remove(&r.txn_id);
                 }

@@ -40,12 +40,14 @@ pub mod coordinator;
 pub mod partition;
 pub mod recovery;
 pub mod router;
+pub mod routing;
 pub mod workload;
 
 pub use coordinator::DecisionLog;
 pub use partition::{BranchPartitioner, HashPartitioner, Partitioner};
 pub use recovery::{resolve_in_doubt, ResolveReport};
 pub use router::{CrashPoint, LocalShard, NetShard, ShardBackend, ShardRouter, TwoPcTrace};
+pub use routing::{OwnedShard, SharedRouting, ShardOwnership};
 pub use workload::{load_shard_population, ShardedTpcb};
 
 /// Errors surfaced by the routing layer.
@@ -55,6 +57,22 @@ pub enum ShardError {
     Net(esdb_net::NetError),
     /// The router was built over zero shards.
     NoShards,
+    /// The addressed shard does not own the touched slot: the caller's
+    /// routing table is stale. Carries the shard's routing epoch and its
+    /// hint at the owner — a router refreshes its table and retries once.
+    WrongShard {
+        /// The refusing shard's routing epoch.
+        epoch: u64,
+        /// The shard it believes owns the touched slot.
+        hint: u32,
+    },
+    /// Routing stayed stale across a refresh-and-retry: the refreshed table
+    /// *still* sent the transaction to a shard that refused it. Bounded
+    /// retry, typed surface — callers decide whether to back off or fail.
+    RoutingStale {
+        /// The epoch of the second refusal.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -62,6 +80,12 @@ impl std::fmt::Display for ShardError {
         match self {
             ShardError::Net(e) => write!(f, "shard backend: {e}"),
             ShardError::NoShards => write!(f, "router needs at least one shard"),
+            ShardError::WrongShard { epoch, hint } => {
+                write!(f, "wrong shard (routing epoch {epoch}, owner hint shard {hint})")
+            }
+            ShardError::RoutingStale { epoch } => {
+                write!(f, "routing still stale after refresh (shard epoch {epoch})")
+            }
         }
     }
 }
@@ -70,6 +94,11 @@ impl std::error::Error for ShardError {}
 
 impl From<esdb_net::NetError> for ShardError {
     fn from(e: esdb_net::NetError) -> Self {
-        ShardError::Net(e)
+        match e {
+            esdb_net::NetError::WrongShard { epoch, hint } => {
+                ShardError::WrongShard { epoch, hint }
+            }
+            e => ShardError::Net(e),
+        }
     }
 }

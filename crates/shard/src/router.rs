@@ -101,7 +101,15 @@ pub struct RouterStats {
     pub cross_commits: u64,
     /// Cross-shard transactions that aborted (any participant voted no).
     pub cross_aborts: u64,
+    /// `WrongShard` refusals absorbed by a routing refresh + retry.
+    pub wrong_shard_retries: u64,
 }
+
+/// How a router refreshes a stale routing table after a `WrongShard`
+/// refusal — typically a closure over [`esdb_net::Client::routing_snapshot`]
+/// against any shard, or over the migration coordinator's shared table.
+pub type RoutingRefresh =
+    Box<dyn FnMut() -> Result<esdb_core::RoutingTable, ShardError> + Send>;
 
 /// Routes transactions across `N` shard engines. Single-shard transactions
 /// go straight to their home shard's one-shot path — byte-for-byte the same
@@ -112,6 +120,11 @@ pub struct ShardRouter {
     part: Arc<dyn Partitioner>,
     coord: Arc<DecisionLog>,
     stats: RouterStats,
+    /// Rebalance-aware routing: the live table placement reads, plus the
+    /// refresh used to recover from a `WrongShard`. `None` = static
+    /// placement (pre-rebalance behavior, refusals surface to the caller).
+    routing: Option<Arc<crate::routing::SharedRouting>>,
+    refresh: Option<RoutingRefresh>,
 }
 
 impl ShardRouter {
@@ -125,7 +138,37 @@ impl ShardRouter {
         if shards.is_empty() {
             return Err(ShardError::NoShards);
         }
-        Ok(ShardRouter { shards, part, coord, stats: RouterStats::default() })
+        Ok(ShardRouter {
+            shards,
+            part,
+            coord,
+            stats: RouterStats::default(),
+            routing: None,
+            refresh: None,
+        })
+    }
+
+    /// Builds a rebalance-aware router: placement reads `routing` live (so
+    /// an installed cutover redirects subsequent transactions), and a
+    /// `WrongShard` refusal triggers one `refresh` + install + retry before
+    /// surfacing as [`ShardError::RoutingStale`].
+    pub fn with_routing(
+        shards: Vec<Box<dyn ShardBackend>>,
+        routing: Arc<crate::routing::SharedRouting>,
+        coord: Arc<DecisionLog>,
+        refresh: Option<RoutingRefresh>,
+    ) -> Result<ShardRouter, ShardError> {
+        let mut router =
+            ShardRouter::new(shards, Arc::clone(&routing) as Arc<dyn Partitioner>, coord)?;
+        router.routing = Some(routing);
+        router.refresh = refresh;
+        Ok(router)
+    }
+
+    /// The live routing observation `(epoch, slot → shard map)`, when this
+    /// router is rebalance-aware.
+    pub fn routing_snapshot(&self) -> Option<(u64, Vec<u32>)> {
+        self.routing.as_ref().map(|r| r.snapshot())
     }
 
     /// Number of shards behind this router.
@@ -160,8 +203,30 @@ impl ShardRouter {
     }
 
     /// Executes one transaction: fast path if it is single-shard, 2PC
-    /// otherwise.
+    /// otherwise. A [`ShardError::WrongShard`] refusal (a migration cut a
+    /// slot over under us) triggers one routing refresh and one retry; a
+    /// second refusal surfaces as the typed [`ShardError::RoutingStale`].
     pub fn execute(&mut self, spec: &TxnSpec) -> Result<SpecOutcome, ShardError> {
+        match self.execute_once(spec) {
+            Err(ShardError::WrongShard { epoch, hint }) => {
+                self.stats.wrong_shard_retries += 1;
+                self.refresh_routing(epoch, hint)?;
+                match self.execute_once(spec) {
+                    Err(ShardError::WrongShard { epoch, .. }) => {
+                        Err(ShardError::RoutingStale { epoch })
+                    }
+                    other => other,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// One routing-table attempt at `spec` — [`ShardRouter::execute`]
+    /// without the refresh-and-retry envelope. A `WrongShard` from either
+    /// path leaves no residue: the fast path refused before executing, and
+    /// 2PC aborts its prepared participants before surfacing the error.
+    fn execute_once(&mut self, spec: &TxnSpec) -> Result<SpecOutcome, ShardError> {
         let groups = self.groups(spec);
         if groups.len() <= 1 {
             self.stats.single_shard += 1;
@@ -177,6 +242,25 @@ impl ShardRouter {
             self.stats.cross_aborts += 1;
         }
         Ok(outcome)
+    }
+
+    /// Installs a fresh routing table after a `WrongShard { epoch, hint }`
+    /// refusal. With a refresh source, the fetched table is installed into
+    /// the shared routing (epoch-fenced — a stale fetch is a no-op and the
+    /// retry simply fails again, typed). Without one, but with live shared
+    /// routing, the table may already have been advanced by an in-process
+    /// migration — nothing to do. A static router cannot recover: the
+    /// refusal propagates unchanged.
+    fn refresh_routing(&mut self, epoch: u64, hint: u32) -> Result<(), ShardError> {
+        match (&self.routing, &mut self.refresh) {
+            (Some(routing), Some(refresh)) => {
+                let table = refresh()?;
+                routing.install(table);
+                Ok(())
+            }
+            (Some(_), None) => Ok(()),
+            _ => Err(ShardError::WrongShard { epoch, hint }),
+        }
     }
 
     /// Runs 2PC for `spec` but abandons the protocol dead at `crash` — the
@@ -207,7 +291,23 @@ impl ShardRouter {
         let mut all_yes = true;
         for (shard, idxs) in groups {
             let ops: Vec<WorkloadOp> = idxs.iter().map(|&i| spec.ops[i].clone()).collect();
-            let vote = self.shards[*shard].prepare(gtid, ops)?;
+            let vote = match self.shards[*shard].prepare(gtid, ops) {
+                Ok(vote) => vote,
+                // A WrongShard refusal registered nothing on the refusing
+                // shard, but earlier yes-voters hold locks. Abort them and
+                // log the verdict before surfacing — the retry must find no
+                // residue, and recovery must resolve this gtid as aborted.
+                Err(e @ ShardError::WrongShard { .. }) => {
+                    self.coord.decide(gtid, false);
+                    for (s, v) in &votes {
+                        if v.is_committed() {
+                            self.shards[*s].decide(gtid, false)?;
+                        }
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            };
             let yes = vote.is_committed();
             votes.push((*shard, vote));
             if !yes {
@@ -252,7 +352,7 @@ impl ShardRouter {
 }
 
 /// The `(table, key)` an op addresses — what placement is decided on.
-fn op_target(op: &WorkloadOp) -> (u32, u64) {
+pub fn op_target(op: &WorkloadOp) -> (u32, u64) {
     match op {
         WorkloadOp::Read { table, key }
         | WorkloadOp::Write { table, key, .. }

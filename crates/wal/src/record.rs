@@ -192,6 +192,27 @@ pub enum LogBody {
         /// stream.
         term: u64,
     },
+    /// A durable transition of the online-rebalancing state machine, written
+    /// by two writers: the migration coordinator's own log records every
+    /// phase change (so a crashed coordinator resumes or rolls forward
+    /// idempotently), and the *source shard's* WAL gets one as the **fence
+    /// marker** — the record whose LSN bounds the final filtered-tail ship,
+    /// appended after the write fence has drained the moving slot.
+    MigrationStep {
+        /// Migration id (coordinator-scoped).
+        mid: u64,
+        /// State-machine phase ordinal (see `esdb-rebal`'s `Phase`).
+        phase: u8,
+        /// The hash slot being moved.
+        slot: u32,
+        /// Source shard.
+        from: u32,
+        /// Destination shard.
+        to: u32,
+        /// Phase-specific payload: the delta-ship start LSN for a copy
+        /// record, the new routing epoch for a cutover record, 0 otherwise.
+        mark: u64,
+    },
 }
 
 impl LogBody {
@@ -208,6 +229,7 @@ impl LogBody {
             LogBody::Decide { .. } => 8,
             LogBody::GtidWatermark { .. } => 9,
             LogBody::TermChange { .. } => 10,
+            LogBody::MigrationStep { .. } => 11,
         }
     }
 }
@@ -269,6 +291,14 @@ pub fn encode(txn_id: u64, prev_lsn: Lsn, body: &LogBody) -> Vec<u8> {
         }
         LogBody::TermChange { term } => {
             out.put_u64_le(*term);
+        }
+        LogBody::MigrationStep { mid, phase, slot, from, to, mark } => {
+            out.put_u64_le(*mid);
+            out.put_u8(*phase);
+            out.put_u32_le(*slot);
+            out.put_u32_le(*from);
+            out.put_u32_le(*to);
+            out.put_u64_le(*mark);
         }
         LogBody::Insert { table, key, rid, row } => {
             out.put_u32_le(*table);
@@ -419,6 +449,15 @@ fn decode_payload(r: &mut Reader<'_>) -> Option<(u64, Lsn, Option<LogBody>)> {
         10 => {
             let term = r.u64_le()?;
             LogBody::TermChange { term }
+        }
+        11 => {
+            let mid = r.u64_le()?;
+            let phase = r.u8()?;
+            let slot = r.u32_le()?;
+            let from = r.u32_le()?;
+            let to = r.u32_le()?;
+            let mark = r.u64_le()?;
+            LogBody::MigrationStep { mid, phase, slot, from, to, mark }
         }
         _ => return Some((txn_id, prev_lsn, None)), // unknown tag
     };
@@ -574,6 +613,18 @@ mod tests {
             (0, NULL_LSN, LogBody::Decide { gtid: 8, commit: false }),
             (0, NULL_LSN, LogBody::GtidWatermark { next: 1024 }),
             (0, NULL_LSN, LogBody::TermChange { term: 3 }),
+            (
+                0,
+                NULL_LSN,
+                LogBody::MigrationStep {
+                    mid: 5,
+                    phase: 3,
+                    slot: 11,
+                    from: 0,
+                    to: 2,
+                    mark: u64::MAX,
+                },
+            ),
         ]);
     }
 

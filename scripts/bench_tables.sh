@@ -36,6 +36,11 @@ TABH_WRITERS=2 TABH_WRITES=2000 TABH_REPS=3 \
     ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_htap
 
+echo "== bench: tab_rebal (foreground writes ± a live slot migration) =="
+TABREB_WRITERS=2 TABREB_WRITES=20000 TABREB_REPS=3 \
+    ESDB_BENCH_DIR="$out" \
+    cargo run --release -p esdb-bench --bin tab_rebal
+
 echo "== bench: tab_shard (sharded TPC-B, 1/2/4 shards x 0/10/50% cross) =="
 ESDB_BENCH_DIR="$out" \
     cargo run --release -p esdb-bench --bin tab_shard

@@ -83,6 +83,17 @@ echo "== smoke: sharding (2-shard loopback cluster, 2PC burst, coordinator crash
 # minutes.
 cargo test --release -q -p esdb-shard --test shard_net
 
+echo "== smoke: rebalancing (crash-torture matrix + wire-level migration) =="
+# migration_torture sweeps {coordinator, source, dest} crashes x {copy,
+# catch-up, fence, after cutover} x 3 seeds against the migration oracle
+# (no lost/duplicated/ghost rows, no dual ownership, writes blocked only
+# during the fence), plus in-doubt-2PC resolution at the fence and the
+# blocked-writer -> WrongShard -> retry-to-dest path. rebal_net runs a
+# live migration under wire traffic with a stale client recovering
+# through the typed refusal + RoutingSnapshot refresh.
+cargo test --release -q -p esdb-rebal --test migration_torture
+cargo test --release -q -p esdb-rebal --test rebal_net
+
 echo "== bench: headline tables (fresh BENCH_*.json into bench_out/) =="
 scripts/bench_tables.sh bench_out
 
@@ -107,9 +118,17 @@ echo "== gate: bench regression (fresh numbers vs committed snapshots) =="
 # 1.0 since a pin can only help on a shared core) and index_fullscan_match
 # (exactly 1.0 unless an index-assisted query diverged from its full-scan
 # twin). The busy-OLAP olap_ratio and measured primary_tps/olap_qps cells
-# stay ungated context.
+# stay ungated context. tab_rebal joins the gate on the same terms:
+# degradation_ratio (foreground tps while a full live slot migration
+# completes during the burst, over the no-migration baseline — the
+# catch-up pump sleeps between rounds, so the ratio isolates migration
+# coupling from time-sharing; clamped at 1.0) and fence_bound_ok (1.0 iff
+# the write-blocked fence+cutover window held its 250 ms bound — a
+# boolean, so any flip to 0.0 is a 100% drop and always trips the band).
+# The measured fence_ms/copy_rows_per_s/catchup_lag_bytes cells stay
+# ungated context.
 BENCH_NEW_DIR=bench_out BENCH_GATE_PCT=35 \
-    BENCH_GATE_METRICS="tps,read_tps,write_tps,commit_tps,tpmc,degradation_ratio,index_fullscan_match" \
+    BENCH_GATE_METRICS="tps,read_tps,write_tps,commit_tps,tpmc,degradation_ratio,index_fullscan_match,fence_bound_ok" \
     cargo run --release -p esdb-bench --bin bench_regress
 
 echo "== ci: all green =="

@@ -30,6 +30,7 @@ pub use esdb_dora as dora;
 pub use esdb_lock as lock;
 pub use esdb_net as net;
 pub use esdb_obs as obs;
+pub use esdb_rebal as rebal;
 pub use esdb_repl as repl;
 pub use esdb_shard as shard;
 pub use esdb_sim as sim;
